@@ -1,0 +1,56 @@
+//! Ablation: the paper's greedy worst-case attacker vs the
+//! "computationally inefficient" exhaustive search it replaces
+//! (Sec. V-B). Both produce identical worst-case classifications
+//! (property-tested); this bench quantifies the cost gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_scada::Architecture;
+use ct_threat::{
+    classify, AttackBudget, Attacker, ExhaustiveAttacker, PostDisasterState, WorstCaseAttacker,
+};
+
+fn posts(arch: Architecture) -> Vec<PostDisasterState> {
+    let n = arch.site_count();
+    (0..(1u32 << n))
+        .map(|mask| PostDisasterState::new(arch, (0..n).map(|i| mask & (1 << i) != 0).collect()))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let budget = AttackBudget {
+        intrusions: 2,
+        isolations: 1,
+    };
+    let mut group = c.benchmark_group("attacker");
+    for arch in [Architecture::C2_2, Architecture::C6_6, Architecture::C6P6P6] {
+        let states = posts(arch);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", arch.label()),
+            &states,
+            |b, states| {
+                b.iter(|| {
+                    states
+                        .iter()
+                        .map(|p| classify(&WorstCaseAttacker.attack(arch, p, budget)) as usize)
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", arch.label()),
+            &states,
+            |b, states| {
+                b.iter(|| {
+                    states
+                        .iter()
+                        .map(|p| classify(&ExhaustiveAttacker.attack(arch, p, budget)) as usize)
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

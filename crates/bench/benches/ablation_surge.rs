@@ -1,0 +1,70 @@
+//! Ablation: the fast parametric surge model (used for the
+//! 1000-realization ensembles) vs the 2-D shallow-water solver (the
+//! ADCIRC stand-in). Prints both models' station peaks for a direct
+//! hit, then times one storm evaluation under each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+use ct_geo::LatLon;
+use ct_hydro::{
+    ParametricSurge, ShallowWaterConfig, ShallowWaterSolver, StationId, Stations, StormParams,
+    StormTrack, SurgeCalibration,
+};
+
+fn direct_hit() -> StormParams {
+    StormParams {
+        track: StormTrack::straight(LatLon::new(19.2, -158.35), 5.0, 6.0, 48.0)
+            .expect("valid track"),
+        central_pressure_hpa: 966.0,
+        ambient_pressure_hpa: 1010.0,
+        rmax_km: 35.0,
+        b: 1.6,
+        tide_m: 0.3,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let dem = synthesize_oahu(&OahuTerrainConfig::default());
+    let storm = direct_hit();
+    let parametric = ParametricSurge::new(Stations::from_dem(&dem), SurgeCalibration::default());
+    let coarse = ShallowWaterConfig {
+        cell_km: 3.0,
+        window_before_hours: 8.0,
+        window_after_hours: 4.0,
+        ..ShallowWaterConfig::default()
+    };
+    let solver = ShallowWaterSolver::new(&dem, coarse);
+
+    // Print the comparison once.
+    let fast = parametric.station_surge(&storm).expect("parametric runs");
+    let outcome = solver.run(&storm).expect("solver stays stable");
+    println!("\nDirect-hit Category 2 — station peaks (m):");
+    for id in [
+        StationId::South,
+        StationId::Ewa,
+        StationId::West,
+        StationId::North,
+        StationId::East,
+    ] {
+        let enu = dem.projection().to_enu(parametric.stations().get(id).pos);
+        println!(
+            "  {:<18} parametric {:5.2}   shallow-water {:5.2}",
+            id.to_string(),
+            fast.get(id),
+            outcome.coastal_peak_near(enu, 8.0).unwrap_or(f64::NAN)
+        );
+    }
+
+    c.bench_function("surge_parametric_one_storm", |b| {
+        b.iter(|| parametric.station_surge(&storm).expect("parametric runs"))
+    });
+    let mut slow = c.benchmark_group("surge_shallow_water");
+    slow.sample_size(10);
+    slow.bench_function("one_storm_coarse", |b| {
+        b.iter(|| solver.run(&storm).expect("solver stays stable"))
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

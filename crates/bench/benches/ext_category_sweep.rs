@@ -1,0 +1,42 @@
+//! Extension bench: hazard-intensity sensitivity — the case study
+//! rebuilt per Saffir-Simpson category.
+
+use compound_threats::pipeline::CaseStudyConfig;
+use compound_threats::sensitivity::category_sweep;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_hydro::Category;
+use ct_scada::{oahu::SiteChoice, Architecture};
+use ct_threat::ThreatScenario;
+
+fn bench(c: &mut Criterion) {
+    let base = CaseStudyConfig::with_realizations(300);
+    let cats = [
+        Category::Cat1,
+        Category::Cat2,
+        Category::Cat3,
+        Category::Cat4,
+    ];
+    let points = category_sweep(&base, &cats, ThreatScenario::Hurricane, SiteChoice::Waiau)
+        .expect("sweep runs");
+    println!("\nCategory sweep (hurricane-only, Waiau backup):");
+    for p in &points {
+        println!(
+            "  {:<12} P(CC floods) {:5.1} %   \"6+6+6\" green {:5.1} %",
+            p.category.to_string(),
+            100.0 * p.p_honolulu_flood,
+            100.0 * p.profile(Architecture::C6P6P6).unwrap().green()
+        );
+    }
+    let mut group = c.benchmark_group("category_sweep");
+    group.sample_size(10);
+    group.bench_function("four_categories_300_realizations", |b| {
+        b.iter(|| {
+            category_sweep(&base, &cats, ThreatScenario::Hurricane, SiteChoice::Waiau)
+                .expect("sweep runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

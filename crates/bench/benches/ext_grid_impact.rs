@@ -1,0 +1,38 @@
+//! Extension bench: grid-impact evaluation (wind fragility + DC power
+//! flow + cascade) over the hazard ensemble, printing the
+//! supervised-vs-blind served-load table.
+
+use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = ct_bench::study();
+    let config = GridImpactConfig::default();
+    let summary = grid_impact(study, &config).expect("grid impact runs");
+    println!(
+        "\nGrid impact over {} realizations:",
+        summary.served_blind.len()
+    );
+    println!(
+        "  mean served, SCADA up   : {:5.1} %",
+        100.0 * summary.mean_served_supervised()
+    );
+    println!(
+        "  mean served, SCADA down : {:5.1} %",
+        100.0 * summary.mean_served_blind()
+    );
+    println!(
+        "  P(blind served < 90%)   : {:5.1} %",
+        100.0 * summary.p_loss_below(0.9)
+    );
+
+    let mut group = c.benchmark_group("grid_impact");
+    group.sample_size(10);
+    group.bench_function("full_ensemble", |b| {
+        b.iter(|| grid_impact(study, &config).expect("grid impact runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

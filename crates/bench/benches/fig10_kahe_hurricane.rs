@@ -1,0 +1,11 @@
+//! Regenerates Figure 10 of the paper and times the analysis stage.
+
+use compound_threats::figures::Figure;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    ct_bench::bench_figure(c, Figure::Fig10, "fig10_kahe_hurricane");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates Figure 8 of the paper and times the analysis stage.
+
+use compound_threats::figures::Figure;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    ct_bench::bench_figure(c, Figure::Fig8, "fig8_isolation");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Performance of the full Fig. 5 pipeline: hazard-ensemble
+//! generation (serial vs crossbeam-parallel) and per-scenario
+//! profiling throughput.
+
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_scada::{oahu::SiteChoice, Architecture};
+use ct_threat::ThreatScenario;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_generation");
+    let n = 200usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut cfg = CaseStudyConfig::with_realizations(n);
+                cfg.threads = threads;
+                b.iter(|| CaseStudy::build(&cfg).expect("case study builds"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let study = ct_bench::study();
+    let mut group = c.benchmark_group("scenario_profiling");
+    group.throughput(Throughput::Elements(
+        study.realizations().len() as u64 * Architecture::ALL.len() as u64,
+    ));
+    group.bench_function("all_architectures_full_compound", |b| {
+        b.iter(|| {
+            Architecture::ALL
+                .iter()
+                .map(|&arch| {
+                    study
+                        .profile(
+                            arch,
+                            ThreatScenario::HurricaneIntrusionIsolation,
+                            SiteChoice::Waiau,
+                        )
+                        .expect("profiles")
+                        .green()
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_profiling);
+criterion_main!(benches);

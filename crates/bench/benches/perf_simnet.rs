@@ -1,0 +1,29 @@
+//! Performance of the discrete-event replication substrate: events
+//! per second through the intrusion-tolerant protocol for each
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_replication::{run_scenario, DeploymentSpec, FaultScenario, VerdictConfig};
+use ct_simnet::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let cfg = VerdictConfig {
+        run_duration: SimTime::from_secs(30.0),
+        ..VerdictConfig::default()
+    };
+    let mut group = c.benchmark_group("replication_30s_virtual");
+    group.sample_size(10);
+    for spec in DeploymentSpec::all_paper_configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| {
+                let v = run_scenario(spec, &FaultScenario::benign(), &cfg);
+                assert!(v.safe);
+                v.accepted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerates Table I (the state-classification conditions) by
+//! classifying every architecture × site-status × intrusion-count
+//! combination, printing the resulting decision table, and timing the
+//! classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_scada::Architecture;
+use ct_threat::{classify, SiteState, SiteStatus, SystemState};
+
+fn all_states(arch: Architecture) -> Vec<SystemState> {
+    let statuses = [SiteStatus::Up, SiteStatus::Flooded, SiteStatus::Isolated];
+    let n = arch.site_count();
+    let mut out = Vec::new();
+    let combos = 3usize.pow(n as u32);
+    for mut code in 0..combos {
+        let mut sites = Vec::with_capacity(n);
+        for _ in 0..n {
+            sites.push(statuses[code % 3]);
+            code /= 3;
+        }
+        for intrusions in 0..=arch.gray_threshold() {
+            // Place intrusions in the first running site, mirroring
+            // the worst-case attacker.
+            let mut site_states: Vec<SiteState> = sites
+                .iter()
+                .map(|&status| SiteState {
+                    status,
+                    intrusions: 0,
+                })
+                .collect();
+            if intrusions > 0 {
+                if let Some(target) = site_states
+                    .iter()
+                    .position(|s| s.status != SiteStatus::Flooded)
+                {
+                    site_states[target].intrusions = intrusions;
+                } else {
+                    continue;
+                }
+            }
+            out.push(SystemState {
+                architecture: arch,
+                sites: site_states,
+            });
+        }
+    }
+    out
+}
+
+fn print_table() {
+    println!("\nTable I — operational state per configuration and condition:");
+    for arch in Architecture::ALL {
+        println!("Configuration {arch}:");
+        for state in all_states(arch) {
+            println!("  {:<46} -> {}", state.to_string(), classify(&state));
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let states: Vec<SystemState> = Architecture::ALL
+        .iter()
+        .flat_map(|&a| all_states(a))
+        .collect();
+    println!("\n({} distinct conditions classified)", states.len());
+    c.bench_function("table1_rules", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .map(|s| classify(std::hint::black_box(s)) as usize)
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Each `benches/figN_*.rs` target regenerates one figure of the
+//! paper's evaluation: it prints the reproduced probability rows (the
+//! deliverable) and then times the analysis stage that produces them.
+
+use compound_threats::figures::{reproduce, Figure, FigureData};
+use compound_threats::report::figure_table;
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use std::sync::OnceLock;
+
+/// The shared full-scale case study (1000 realizations), built once
+/// per benchmark process.
+pub fn study() -> &'static CaseStudy {
+    static STUDY: OnceLock<CaseStudy> = OnceLock::new();
+    STUDY.get_or_init(|| CaseStudy::build(&CaseStudyConfig::default()).expect("case study builds"))
+}
+
+/// Reproduces a figure and prints its rows (so `cargo bench` output
+/// contains the regenerated table), returning the data for timing
+/// assertions.
+pub fn print_figure(figure: Figure) -> FigureData {
+    let data = reproduce(study(), figure).expect("figure reproduces");
+    println!("\n{}", figure_table(&data));
+    data
+}
+
+/// Times the end-to-end per-figure analysis (post-disaster derivation,
+/// worst-case attack, classification for all five architectures) in a
+/// Criterion benchmark body.
+pub fn bench_figure(c: &mut criterion::Criterion, figure: Figure, name: &str) {
+    print_figure(figure);
+    let study = study();
+    c.bench_function(name, |b| {
+        b.iter(|| reproduce(study, figure).expect("figure reproduces"))
+    });
+}

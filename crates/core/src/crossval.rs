@@ -1,0 +1,196 @@
+//! Cross-validation of the rule-based classifier against protocol
+//! executions.
+//!
+//! The paper *assumes* Table I's conditions (they come from prior
+//! work). We additionally check them: every post-compound-threat
+//! system state is mapped to a concrete deployment + fault scenario
+//! on the discrete-event simulator, executed, and the observed
+//! operational state compared with the classifier's answer.
+
+use ct_replication::{
+    run_scenario, DeploymentSpec, FaultScenario, ObservedState, SimVerdict, VerdictConfig,
+};
+use ct_scada::Architecture;
+use ct_threat::{classify, OperationalState, SiteStatus, SystemState};
+use serde::{Deserialize, Serialize};
+
+/// Maps an architecture to its executable deployment.
+pub fn deployment_for(architecture: Architecture) -> DeploymentSpec {
+    match architecture {
+        Architecture::C2 => DeploymentSpec::config_2(),
+        Architecture::C2_2 => DeploymentSpec::config_2_2(),
+        Architecture::C6 => DeploymentSpec::config_6(),
+        Architecture::C6_6 => DeploymentSpec::config_6_6(),
+        Architecture::C6P6P6 => DeploymentSpec::config_6p6p6(),
+    }
+}
+
+/// Maps a post-compound-threat system state to the faults injected
+/// into the simulation. Intrusions are placed at the lowest server
+/// indices of their site, which makes the initial leader compromised
+/// first — the worst case the classifier assumes.
+pub fn fault_scenario_for(state: &SystemState) -> FaultScenario {
+    let mut scenario = FaultScenario::default();
+    for (site, s) in state.sites.iter().enumerate() {
+        match s.status {
+            SiteStatus::Flooded => scenario.flooded_sites.push(site),
+            SiteStatus::Isolated => scenario.isolated_sites.push(site),
+            SiteStatus::Up => {}
+        }
+        for idx in 0..s.intrusions {
+            scenario.intrusions.push((site, idx));
+        }
+    }
+    scenario
+}
+
+/// Whether the rule-based and observed states denote the same color.
+pub fn states_agree(rule: OperationalState, observed: ObservedState) -> bool {
+    matches!(
+        (rule, observed),
+        (OperationalState::Green, ObservedState::Green)
+            | (OperationalState::Orange, ObservedState::Orange)
+            | (OperationalState::Red, ObservedState::Red)
+            | (OperationalState::Gray, ObservedState::Gray)
+    )
+}
+
+/// The outcome of cross-validating one system state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// The state that was validated.
+    pub state: SystemState,
+    /// Table I's answer.
+    pub rule: OperationalState,
+    /// The protocol execution's answer.
+    pub observed: ObservedState,
+    /// Raw simulation verdict (diagnostics).
+    pub verdict: SimVerdict,
+}
+
+impl CrossValidation {
+    /// Whether classifier and execution agree.
+    pub fn agrees(&self) -> bool {
+        states_agree(self.rule, self.observed)
+    }
+}
+
+/// Executes the deployment under the faults implied by `state` and
+/// compares with the classifier.
+pub fn cross_validate(state: &SystemState, config: &VerdictConfig) -> CrossValidation {
+    let rule = classify(state);
+    let spec = deployment_for(state.architecture);
+    let scenario = fault_scenario_for(state);
+    let verdict = run_scenario(&spec, &scenario, config);
+    CrossValidation {
+        state: state.clone(),
+        rule,
+        observed: verdict.state,
+        verdict,
+    }
+}
+
+/// The distinct system states the worst-case attacker can reach for an
+/// architecture across all flood patterns and the paper's four threat
+/// scenarios — the set worth cross-validating.
+pub fn reachable_states(architecture: Architecture) -> Vec<SystemState> {
+    use ct_threat::{Attacker, PostDisasterState, ThreatScenario, WorstCaseAttacker};
+    let n = architecture.site_count();
+    let mut out: Vec<SystemState> = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let flooded: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        let post = PostDisasterState::new(architecture, flooded);
+        for scenario in ThreatScenario::ALL {
+            let state = WorstCaseAttacker.attack(architecture, &post, scenario.budget());
+            if !out.contains(&state) {
+                out.push(state);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_threat::SiteState;
+
+    fn state(arch: Architecture, sites: Vec<(SiteStatus, usize)>) -> SystemState {
+        SystemState {
+            architecture: arch,
+            sites: sites
+                .into_iter()
+                .map(|(status, intrusions)| SiteState { status, intrusions })
+                .collect(),
+        }
+    }
+
+    fn quick_cfg() -> VerdictConfig {
+        VerdictConfig {
+            run_duration: ct_simnet::SimTime::from_secs(60.0),
+            ..VerdictConfig::default()
+        }
+    }
+
+    #[test]
+    fn deployment_mapping_matches_labels() {
+        for arch in Architecture::ALL {
+            assert_eq!(deployment_for(arch).name, arch.label());
+        }
+    }
+
+    #[test]
+    fn fault_mapping_covers_all_site_states() {
+        let s = state(
+            Architecture::C6P6P6,
+            vec![
+                (SiteStatus::Flooded, 0),
+                (SiteStatus::Isolated, 0),
+                (SiteStatus::Up, 2),
+            ],
+        );
+        let f = fault_scenario_for(&s);
+        assert_eq!(f.flooded_sites, vec![0]);
+        assert_eq!(f.isolated_sites, vec![1]);
+        assert_eq!(f.intrusions, vec![(2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn reachable_states_are_modest_and_distinct() {
+        for arch in Architecture::ALL {
+            let states = reachable_states(arch);
+            assert!(!states.is_empty());
+            assert!(states.len() <= 32, "{arch}: {}", states.len());
+            for (i, a) in states.iter().enumerate() {
+                assert!(!states[..i].contains(a), "duplicate state");
+            }
+        }
+    }
+
+    #[test]
+    fn crossval_agreement_green_case() {
+        let s = state(Architecture::C6, vec![(SiteStatus::Up, 1)]);
+        let cv = cross_validate(&s, &quick_cfg());
+        assert_eq!(cv.rule, OperationalState::Green);
+        assert!(cv.agrees(), "{cv:?}");
+    }
+
+    #[test]
+    fn crossval_agreement_gray_case() {
+        let s = state(Architecture::C2, vec![(SiteStatus::Up, 1)]);
+        let cv = cross_validate(&s, &quick_cfg());
+        assert_eq!(cv.rule, OperationalState::Gray);
+        assert!(cv.agrees(), "{cv:?}");
+    }
+
+    #[test]
+    fn crossval_agreement_orange_case() {
+        let s = state(
+            Architecture::C6_6,
+            vec![(SiteStatus::Isolated, 0), (SiteStatus::Up, 1)],
+        );
+        let cv = cross_validate(&s, &quick_cfg());
+        assert_eq!(cv.rule, OperationalState::Orange);
+        assert!(cv.agrees(), "{cv:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Framework-level errors.
+
+use std::fmt;
+
+/// Errors surfaced by the analysis framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Hazard-model failure.
+    Hydro(ct_hydro::HydroError),
+    /// Topology / architecture failure.
+    Scada(ct_scada::ScadaError),
+    /// Geospatial failure.
+    Geo(ct_geo::GeoError),
+    /// Power-grid model failure.
+    Grid(ct_grid::GridError),
+    /// A requested asset id is unknown to the case study.
+    UnknownAsset {
+        /// The missing id.
+        id: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Hydro(e) => write!(f, "hazard model: {e}"),
+            CoreError::Scada(e) => write!(f, "scada model: {e}"),
+            CoreError::Geo(e) => write!(f, "geospatial: {e}"),
+            CoreError::Grid(e) => write!(f, "power grid: {e}"),
+            CoreError::UnknownAsset { id } => write!(f, "unknown asset id '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Hydro(e) => Some(e),
+            CoreError::Scada(e) => Some(e),
+            CoreError::Geo(e) => Some(e),
+            CoreError::Grid(e) => Some(e),
+            CoreError::UnknownAsset { .. } => None,
+        }
+    }
+}
+
+impl From<ct_hydro::HydroError> for CoreError {
+    fn from(e: ct_hydro::HydroError) -> Self {
+        CoreError::Hydro(e)
+    }
+}
+
+impl From<ct_scada::ScadaError> for CoreError {
+    fn from(e: ct_scada::ScadaError) -> Self {
+        CoreError::Scada(e)
+    }
+}
+
+impl From<ct_geo::GeoError> for CoreError {
+    fn from(e: ct_geo::GeoError) -> Self {
+        CoreError::Geo(e)
+    }
+}
+
+impl From<ct_grid::GridError> for CoreError {
+    fn from(e: ct_grid::GridError) -> Self {
+        CoreError::Grid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::from(ct_hydro::HydroError::EmptyEnsemble);
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+        let e = CoreError::UnknownAsset { id: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

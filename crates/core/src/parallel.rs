@@ -1,0 +1,87 @@
+//! Crossbeam-based parallel evaluation helpers.
+
+use crossbeam::thread;
+
+/// Maps `f` over `items` using up to `threads` worker threads
+/// (scoped; no `'static` bound needed), preserving order.
+///
+/// `threads == 0` or `1` falls back to a serial map.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        for (w, chunk_items) in items.chunks(chunk).enumerate() {
+            let (head, tail) = rest.split_at_mut(chunk_items.len());
+            rest = tail;
+            let f = &f;
+            let base = w * chunk;
+            let _ = base;
+            scope.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
+}
+
+/// A reasonable default worker count: the machine's parallelism,
+/// capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = par_map(&items, 1, |x| x * x);
+        let parallel = par_map(&items, 8, |x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[999], 999 * 999);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |x| *x).is_empty());
+        assert_eq!(par_map(&[42], 8, |x| *x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, 64, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The analysis pipeline (Fig. 5) specialised to the Oahu case study.
+
+use crate::error::CoreError;
+use crate::parallel::{default_threads, par_map};
+use crate::profile::OutcomeProfile;
+use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+use ct_geo::Dem;
+use ct_hydro::{
+    EnsembleConfig, ParametricSurge, RealizationSet, Stations, SurgeCalibration, TrackEnsemble,
+};
+use ct_scada::{oahu, Architecture, SitePlan, Topology};
+use ct_threat::{classify, post_disaster_states, Attacker, ThreatScenario, WorstCaseAttacker};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full case-study run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudyConfig {
+    /// Terrain synthesis parameters.
+    pub terrain: OahuTerrainConfig,
+    /// Hurricane ensemble parameters (1000 realizations by default,
+    /// as in the paper).
+    pub ensemble: EnsembleConfig,
+    /// Surge-model calibration.
+    pub calibration: SurgeCalibration,
+    /// Worker threads for ensemble evaluation (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for CaseStudyConfig {
+    fn default() -> Self {
+        Self {
+            terrain: OahuTerrainConfig::default(),
+            ensemble: EnsembleConfig::default(),
+            calibration: SurgeCalibration::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl CaseStudyConfig {
+    /// A reduced configuration for fast tests: `n` realizations.
+    pub fn with_realizations(n: usize) -> Self {
+        Self {
+            ensemble: EnsembleConfig {
+                realizations: n,
+                ..EnsembleConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// A fully-prepared case study: terrain, topology, and the hazard
+/// ensemble, ready to evaluate architectures under threat scenarios.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    config: CaseStudyConfig,
+    dem: Dem,
+    topology: Topology,
+    set: RealizationSet,
+}
+
+impl CaseStudy {
+    /// Synthesizes the terrain, builds the Oahu topology, and
+    /// evaluates the hurricane ensemble at every asset (in parallel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates terrain/hazard errors (e.g. an asset outside the
+    /// DEM).
+    pub fn build(config: &CaseStudyConfig) -> Result<Self, CoreError> {
+        let dem = synthesize_oahu(&config.terrain);
+        let topology = oahu::topology();
+        let pois = oahu::case_study_pois(&dem)?;
+        let model = ParametricSurge::new(Stations::from_dem(&dem), config.calibration);
+        let storms = TrackEnsemble::new(config.ensemble.clone())?.generate();
+        let threads = if config.threads == 0 {
+            default_threads()
+        } else {
+            config.threads
+        };
+        let indexed: Vec<(usize, ct_hydro::StormParams)> = storms.into_iter().enumerate().collect();
+        let realizations = par_map(&indexed, threads, |(i, storm)| {
+            RealizationSet::evaluate_storm(*i, storm, &model, &pois)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        let set = RealizationSet::from_parts(pois, realizations);
+        Ok(Self {
+            config: config.clone(),
+            dem,
+            topology,
+            set,
+        })
+    }
+
+    /// The configuration the study was built from.
+    pub fn config(&self) -> &CaseStudyConfig {
+        &self.config
+    }
+
+    /// The synthetic terrain.
+    pub fn dem(&self) -> &Dem {
+        &self.dem
+    }
+
+    /// The Oahu topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The evaluated hazard ensemble.
+    pub fn realizations(&self) -> &RealizationSet {
+        &self.set
+    }
+
+    /// Outcome profile of an architecture under a scenario with the
+    /// paper's control-site plan for `choice`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates site-plan errors.
+    pub fn profile(
+        &self,
+        architecture: Architecture,
+        scenario: ThreatScenario,
+        choice: oahu::SiteChoice,
+    ) -> Result<OutcomeProfile, CoreError> {
+        let plan = oahu::site_plan(architecture, choice)?;
+        self.profile_with_plan(&plan, scenario)
+    }
+
+    /// Outcome profile for an arbitrary site plan: applies each
+    /// hurricane realization, then the worst-case attacker, then
+    /// Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the plan references assets missing from
+    /// the ensemble's POI set.
+    pub fn profile_with_plan(
+        &self,
+        plan: &SitePlan,
+        scenario: ThreatScenario,
+    ) -> Result<OutcomeProfile, CoreError> {
+        let posts = post_disaster_states(plan, &self.set)?;
+        let budget = scenario.budget();
+        let arch = plan.architecture();
+        let attacker = WorstCaseAttacker;
+        Ok(OutcomeProfile::from_outcomes(posts.iter().map(|post| {
+            classify(&attacker.attack(arch, post, budget))
+        })))
+    }
+
+    /// A copy of this study with a different asset-failure flood
+    /// threshold (the paper assumes 0.5 m switch height; this enables
+    /// sensitivity analysis of that assumption).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative or non-finite thresholds.
+    pub fn with_flood_threshold(&self, depth_m: f64) -> Result<CaseStudy, CoreError> {
+        let threshold = ct_hydro::FloodThreshold::new(depth_m)?;
+        let mut copy = self.clone();
+        copy.set.set_threshold(threshold);
+        Ok(copy)
+    }
+
+    /// Probability that the asset's site floods across the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownAsset`] for ids missing from the
+    /// topology.
+    pub fn flood_probability(&self, asset_id: &str) -> Result<f64, CoreError> {
+        let idx = self
+            .set
+            .poi_index(asset_id)
+            .ok_or_else(|| CoreError::UnknownAsset {
+                id: asset_id.to_string(),
+            })?;
+        Ok(self.set.flood_fraction(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_threat::OperationalState;
+
+    fn small_study() -> CaseStudy {
+        CaseStudy::build(&CaseStudyConfig::with_realizations(120)).unwrap()
+    }
+
+    #[test]
+    fn build_and_shapes() {
+        let s = small_study();
+        assert_eq!(s.realizations().len(), 120);
+        assert_eq!(s.realizations().pois().len(), s.topology().assets().len());
+    }
+
+    #[test]
+    fn parallel_matches_serial_generation() {
+        let mut cfg = CaseStudyConfig::with_realizations(40);
+        cfg.threads = 1;
+        let serial = CaseStudy::build(&cfg).unwrap();
+        cfg.threads = 8;
+        let parallel = CaseStudy::build(&cfg).unwrap();
+        assert_eq!(
+            serial.realizations().realizations(),
+            parallel.realizations().realizations()
+        );
+    }
+
+    #[test]
+    fn hurricane_only_profiles_match_across_architectures() {
+        // Fig. 6's headline: with Honolulu+Waiau siting, every
+        // architecture has the same hurricane-only profile.
+        let s = small_study();
+        let base = s
+            .profile(
+                Architecture::C2,
+                ThreatScenario::Hurricane,
+                oahu::SiteChoice::Waiau,
+            )
+            .unwrap();
+        for arch in Architecture::ALL {
+            let p = s
+                .profile(arch, ThreatScenario::Hurricane, oahu::SiteChoice::Waiau)
+                .unwrap();
+            assert!(p.approx_eq(&base, 1e-9), "{arch}: {p} differs from {base}");
+        }
+        assert_eq!(base.orange(), 0.0);
+        assert_eq!(base.gray(), 0.0);
+    }
+
+    #[test]
+    fn flood_probability_known_sites() {
+        let s = small_study();
+        let kahe = s.flood_probability(ct_scada::oahu::KAHE).unwrap();
+        assert_eq!(kahe, 0.0, "Kahe never floods");
+        assert!(s.flood_probability("nope").is_err());
+    }
+
+    #[test]
+    fn compound_threat_degrades_industry_configs() {
+        let s = small_study();
+        let p = s
+            .profile(
+                Architecture::C2,
+                ThreatScenario::HurricaneIntrusion,
+                oahu::SiteChoice::Waiau,
+            )
+            .unwrap();
+        assert_eq!(p.green(), 0.0);
+        assert!(p.gray() > 0.5);
+        assert!(
+            (p.gray() + p.red() - 1.0).abs() < 1e-9,
+            "only gray/red possible: {p}"
+        );
+        let _ = OperationalState::Gray;
+    }
+}

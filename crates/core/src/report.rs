@@ -1,0 +1,159 @@
+//! Text renderers for figures and tables (no plotting dependencies:
+//! the "figures" are probability tables plus ASCII bars).
+
+use crate::figures::FigureData;
+use crate::profile::OutcomeProfile;
+use ct_threat::OperationalState;
+use std::fmt::Write as _;
+
+/// Renders a figure as an aligned text table with one row per
+/// architecture.
+pub fn figure_table(data: &FigureData) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}: {}", data.figure, data.figure.caption()).unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "config", "green", "orange", "red", "gray"
+    )
+    .unwrap();
+    for (arch, p) in &data.rows {
+        writeln!(
+            out,
+            "{:<8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            format!("\"{}\"", arch.label()),
+            100.0 * p.green(),
+            100.0 * p.orange(),
+            100.0 * p.red(),
+            100.0 * p.gray()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders a figure as a Markdown table.
+pub fn figure_markdown(data: &FigureData) -> String {
+    let mut out = String::new();
+    writeln!(out, "**{} — {}**", data.figure, data.figure.caption()).unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "| config | green | orange | red | gray |").unwrap();
+    writeln!(out, "|---|---|---|---|---|").unwrap();
+    for (arch, p) in &data.rows {
+        writeln!(
+            out,
+            "| \"{}\" | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
+            arch.label(),
+            100.0 * p.green(),
+            100.0 * p.orange(),
+            100.0 * p.red(),
+            100.0 * p.gray()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders a figure as CSV (`figure,config,green,orange,red,gray`).
+pub fn figure_csv(data: &FigureData) -> String {
+    let mut out = String::from("figure,config,green,orange,red,gray\n");
+    for (arch, p) in &data.rows {
+        writeln!(
+            out,
+            "{},{},{:.4},{:.4},{:.4},{:.4}",
+            data.figure.number(),
+            arch.label(),
+            p.green(),
+            p.orange(),
+            p.red(),
+            p.gray()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// An ASCII stacked bar for one profile (40 characters wide):
+/// `G` green, `O` orange, `R` red, `X` gray, `.` filler.
+pub fn profile_bar(profile: &OutcomeProfile) -> String {
+    const WIDTH: usize = 40;
+    let mut bar = String::with_capacity(WIDTH);
+    let segments = [
+        (OperationalState::Green, 'G'),
+        (OperationalState::Orange, 'O'),
+        (OperationalState::Red, 'R'),
+        (OperationalState::Gray, 'X'),
+    ];
+    for (state, ch) in segments {
+        let n = (profile.fraction(state) * WIDTH as f64).round() as usize;
+        for _ in 0..n {
+            bar.push(ch);
+        }
+    }
+    bar.truncate(WIDTH);
+    while bar.len() < WIDTH {
+        bar.push('.');
+    }
+    bar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Figure;
+    use ct_scada::Architecture;
+    use OperationalState::*;
+
+    fn sample() -> FigureData {
+        FigureData {
+            figure: Figure::Fig6,
+            rows: vec![
+                (
+                    Architecture::C2,
+                    OutcomeProfile::from_outcomes(std::iter::repeat(Green).take(9).chain([Red])),
+                ),
+                (Architecture::C6P6P6, OutcomeProfile::from_outcomes([Green])),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_table_contains_rows_and_caption() {
+        let t = figure_table(&sample());
+        assert!(t.contains("Fig. 6"));
+        assert!(t.contains("\"2\""));
+        assert!(t.contains("90.0%"));
+        assert!(t.contains("\"6+6+6\""));
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let md = figure_markdown(&sample());
+        assert!(md.contains("| config |"));
+        assert_eq!(md.matches('\n').count(), md.lines().count());
+        assert!(md.contains("| \"2\" | 90.0% |"));
+    }
+
+    #[test]
+    fn csv_has_numeric_fractions() {
+        let csv = figure_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "figure,config,green,orange,red,gray");
+        assert!(lines[1].starts_with("6,2,0.9000,"));
+    }
+
+    #[test]
+    fn bar_width_fixed_and_composition_sane() {
+        let p = OutcomeProfile::from_outcomes(
+            std::iter::repeat(Green)
+                .take(20)
+                .chain(std::iter::repeat(Red).take(20)),
+        );
+        let bar = profile_bar(&p);
+        assert_eq!(bar.chars().count(), 40);
+        assert_eq!(bar.matches('G').count(), 20);
+        assert_eq!(bar.matches('R').count(), 20);
+        // Empty profile is all filler.
+        assert_eq!(profile_bar(&OutcomeProfile::new()), ".".repeat(40));
+    }
+}

@@ -1,0 +1,259 @@
+//! Geographic coordinates and a local tangent-plane projection.
+
+use crate::error::GeoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in kilometres (spherical approximation).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A geographic coordinate in degrees (WGS-84 latitude/longitude,
+/// spherical Earth approximation for distances).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lat` is outside `[-90, 90]` or `lon`
+    /// outside `[-180, 180]`. Use [`LatLon::try_new`] for validated
+    /// construction.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Self { lat, lon }
+    }
+
+    /// Creates a coordinate, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidCoordinate`] if latitude is outside
+    /// `[-90, 90]` or longitude outside `[-180, 180]`.
+    pub fn try_new(lat: f64, lon: f64) -> Result<Self, GeoError> {
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(GeoError::InvalidCoordinate { lat, lon });
+        }
+        Ok(Self { lat, lon })
+    }
+
+    /// Great-circle (haversine) distance to `other` in kilometres.
+    pub fn distance_km(&self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Initial bearing from `self` to `other` in degrees clockwise from
+    /// north, in `[0, 360)`.
+    pub fn bearing_deg(&self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// Destination point after travelling `distance_km` along the given
+    /// initial bearing (degrees clockwise from north).
+    pub fn destination(&self, bearing_deg: f64, distance_km: f64) -> LatLon {
+        let delta = distance_km / EARTH_RADIUS_KM;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        LatLon {
+            lat: lat2.to_degrees(),
+            lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
+        }
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+/// A point in a local east/north tangent plane, in kilometres.
+///
+/// Produced by [`Projection::to_enu`]; the projection origin maps to
+/// `(0, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnuKm {
+    /// Kilometres east of the projection origin.
+    pub east: f64,
+    /// Kilometres north of the projection origin.
+    pub north: f64,
+}
+
+impl EnuKm {
+    /// Creates a point from east/north offsets in kilometres.
+    pub fn new(east: f64, north: f64) -> Self {
+        Self { east, north }
+    }
+
+    /// Euclidean distance to `other` in kilometres.
+    pub fn distance_km(&self, other: EnuKm) -> f64 {
+        ((self.east - other.east).powi(2) + (self.north - other.north).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for EnuKm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:+.2}E, {:+.2}N] km", self.east, self.north)
+    }
+}
+
+/// An equirectangular local tangent-plane projection centred on an
+/// origin coordinate.
+///
+/// Accurate to well under 1 % over island-scale domains (~100 km),
+/// which is all the analysis requires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    origin: LatLon,
+    cos_lat0: f64,
+}
+
+impl Projection {
+    /// Creates a projection centred on `origin`.
+    pub fn new(origin: LatLon) -> Self {
+        Self {
+            origin,
+            cos_lat0: origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// The projection origin.
+    pub fn origin(&self) -> LatLon {
+        self.origin
+    }
+
+    /// Projects a geographic coordinate to local east/north kilometres.
+    pub fn to_enu(&self, p: LatLon) -> EnuKm {
+        let km_per_deg = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        EnuKm {
+            east: (p.lon - self.origin.lon) * km_per_deg * self.cos_lat0,
+            north: (p.lat - self.origin.lat) * km_per_deg,
+        }
+    }
+
+    /// Inverse projection from local east/north kilometres.
+    pub fn to_latlon(&self, p: EnuKm) -> LatLon {
+        let km_per_deg = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        LatLon {
+            lat: self.origin.lat + p.north / km_per_deg,
+            lon: self.origin.lon + p.east / (km_per_deg * self.cos_lat0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OAHU: LatLon = LatLon {
+        lat: 21.45,
+        lon: -158.0,
+    };
+
+    #[test]
+    fn try_new_validates() {
+        assert!(LatLon::try_new(91.0, 0.0).is_err());
+        assert!(LatLon::try_new(0.0, 181.0).is_err());
+        assert!(LatLon::try_new(21.3, -157.8).is_ok());
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Honolulu to Kahe is roughly 29 km.
+        let honolulu = LatLon::new(21.307, -157.858);
+        let kahe = LatLon::new(21.354, -158.129);
+        let d = honolulu.distance_km(kahe);
+        assert!((25.0..35.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = LatLon::new(21.3, -157.9);
+        let b = LatLon::new(21.6, -158.2);
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        assert!(a.distance_km(a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let a = LatLon::new(21.0, -158.0);
+        assert!((a.bearing_deg(LatLon::new(22.0, -158.0)) - 0.0).abs() < 1e-6);
+        let east = a.bearing_deg(LatLon::new(21.0, -157.0));
+        assert!((east - 90.0).abs() < 0.5, "got {east}");
+        let south = a.bearing_deg(LatLon::new(20.0, -158.0));
+        assert!((south - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_round_trips_distance() {
+        let a = LatLon::new(21.3, -158.0);
+        for bearing in [0.0, 45.0, 133.0, 270.0] {
+            let b = a.destination(bearing, 42.0);
+            assert!((a.distance_km(b) - 42.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn projection_round_trip() {
+        let proj = Projection::new(OAHU);
+        let p = LatLon::new(21.31, -157.86);
+        let enu = proj.to_enu(p);
+        let back = proj.to_latlon(enu);
+        assert!((back.lat - p.lat).abs() < 1e-9);
+        assert!((back.lon - p.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_matches_haversine_locally() {
+        let proj = Projection::new(OAHU);
+        let a = LatLon::new(21.31, -157.86);
+        let b = LatLon::new(21.50, -158.20);
+        let planar = proj.to_enu(a).distance_km(proj.to_enu(b));
+        let sphere = a.distance_km(b);
+        let rel = (planar - sphere).abs() / sphere;
+        assert!(rel < 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn enu_distance() {
+        let a = EnuKm::new(0.0, 0.0);
+        let b = EnuKm::new(3.0, 4.0);
+        assert!((a.distance_km(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            LatLon::new(21.3, -157.8).to_string(),
+            "(21.3000, -157.8000)"
+        );
+        assert!(EnuKm::new(1.0, -2.0).to_string().contains('E'));
+    }
+}

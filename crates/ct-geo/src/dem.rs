@@ -1,0 +1,263 @@
+//! Digital elevation model with land/sea masking and shoreline queries.
+
+use crate::coords::{EnuKm, LatLon, Projection};
+use crate::error::GeoError;
+use crate::grid::Grid;
+use serde::{Deserialize, Serialize};
+
+/// A digital elevation model over a local east/north domain.
+///
+/// Elevations are metres above mean sea level; negative values are
+/// bathymetry (sea floor below sea level). A cell is *land* when its
+/// elevation is strictly positive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dem {
+    elevation: Grid<f64>,
+    projection: Projection,
+    /// Cell centres of land cells that touch at least one sea cell.
+    coastline: Vec<EnuKm>,
+}
+
+impl Dem {
+    /// Builds a DEM from an elevation grid (metres, negative = sea
+    /// floor) and the projection tying the local frame to geography.
+    ///
+    /// Coastline cells are extracted eagerly at construction.
+    pub fn new(elevation: Grid<f64>, projection: Projection) -> Self {
+        let coastline = extract_coastline(&elevation);
+        Self {
+            elevation,
+            projection,
+            coastline,
+        }
+    }
+
+    /// The underlying elevation raster.
+    pub fn elevation_grid(&self) -> &Grid<f64> {
+        &self.elevation
+    }
+
+    /// The projection mapping geographic coordinates into the DEM's
+    /// local frame.
+    pub fn projection(&self) -> &Projection {
+        &self.projection
+    }
+
+    /// Bilinearly-interpolated elevation (m) at a geographic point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::OutOfBounds`] when the point falls outside
+    /// the raster domain.
+    pub fn elevation_at(&self, p: LatLon) -> Result<f64, GeoError> {
+        self.elevation_at_enu(self.projection.to_enu(p))
+            .ok_or_else(|| GeoError::OutOfBounds {
+                what: format!("elevation at {p}"),
+            })
+    }
+
+    /// Bilinearly-interpolated elevation (m) at a local point, or
+    /// `None` outside the domain.
+    pub fn elevation_at_enu(&self, p: EnuKm) -> Option<f64> {
+        self.elevation.sample(p)
+    }
+
+    /// Whether the point is on land (elevation > 0). Points outside
+    /// the domain count as sea.
+    pub fn is_land(&self, p: LatLon) -> bool {
+        self.elevation_at_enu(self.projection.to_enu(p))
+            .is_some_and(|e| e > 0.0)
+    }
+
+    /// Cell centres of all coastline cells (land cells adjacent to
+    /// sea), in local km.
+    pub fn coastline_cells(&self) -> &[EnuKm] {
+        &self.coastline
+    }
+
+    /// Nearest coastline cell centre to a local point, with its
+    /// distance in km. `None` when the DEM contains no coastline.
+    pub fn nearest_shore(&self, p: EnuKm) -> Option<(EnuKm, f64)> {
+        self.coastline
+            .iter()
+            .map(|&c| (c, c.distance_km(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Distance from a geographic point to the nearest coastline, km.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::OutOfBounds`] if the DEM has no coastline
+    /// at all (fully land or fully sea).
+    pub fn distance_to_shore_km(&self, p: LatLon) -> Result<f64, GeoError> {
+        self.nearest_shore(self.projection.to_enu(p))
+            .map(|(_, d)| d)
+            .ok_or_else(|| GeoError::OutOfBounds {
+                what: "no coastline in DEM".to_string(),
+            })
+    }
+
+    /// Mean sea depth (positive metres) along the outward-pointing ray
+    /// from `shore` in direction `bearing_deg`, sampled out to
+    /// `range_km`. Used to characterise the offshore shelf profile.
+    ///
+    /// Returns `None` when no sea cells are found along the ray.
+    pub fn mean_offshore_depth(
+        &self,
+        shore: EnuKm,
+        bearing_deg: f64,
+        range_km: f64,
+    ) -> Option<f64> {
+        let theta = bearing_deg.to_radians();
+        let (de, dn) = (theta.sin(), theta.cos());
+        let step = self.elevation.cell_km() / 2.0;
+        let mut depths = Vec::new();
+        let mut s = step;
+        while s <= range_km {
+            let q = EnuKm::new(shore.east + de * s, shore.north + dn * s);
+            if let Some(e) = self.elevation.sample(q) {
+                if e < 0.0 {
+                    depths.push(-e);
+                }
+            }
+            s += step;
+        }
+        if depths.is_empty() {
+            None
+        } else {
+            Some(depths.iter().sum::<f64>() / depths.len() as f64)
+        }
+    }
+
+    /// Fraction of cells that are land.
+    pub fn land_fraction(&self) -> f64 {
+        let total = self.elevation.cols() * self.elevation.rows();
+        let land = self
+            .elevation
+            .as_slice()
+            .iter()
+            .filter(|&&e| e > 0.0)
+            .count();
+        land as f64 / total as f64
+    }
+}
+
+/// Finds land cells with at least one 4-neighbour sea cell.
+fn extract_coastline(elev: &Grid<f64>) -> Vec<EnuKm> {
+    let mut out = Vec::new();
+    let (cols, rows) = (elev.cols(), elev.rows());
+    for r in 0..rows {
+        for c in 0..cols {
+            let e = *elev.get(c, r).expect("cell in range");
+            if e <= 0.0 {
+                continue;
+            }
+            let mut near_sea = false;
+            if c > 0 && *elev.get(c - 1, r).unwrap() <= 0.0 {
+                near_sea = true;
+            }
+            if c + 1 < cols && *elev.get(c + 1, r).unwrap() <= 0.0 {
+                near_sea = true;
+            }
+            if r > 0 && *elev.get(c, r - 1).unwrap() <= 0.0 {
+                near_sea = true;
+            }
+            if r + 1 < rows && *elev.get(c, r + 1).unwrap() <= 0.0 {
+                near_sea = true;
+            }
+            if near_sea {
+                out.push(elev.cell_center(c, r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::LatLon;
+
+    /// A toy island: a 10 km-radius cone centred at the origin,
+    /// surrounded by sea deepening outward.
+    fn cone_island() -> Dem {
+        let origin = EnuKm::new(-25.0, -25.0);
+        let grid = Grid::from_fn(50, 50, origin, 1.0, |p| {
+            let r = (p.east * p.east + p.north * p.north).sqrt();
+            if r < 10.0 {
+                (10.0 - r) * 20.0 // up to 200 m at the peak
+            } else {
+                -(r - 10.0) * 30.0 // deepening sea
+            }
+        })
+        .unwrap();
+        Dem::new(grid, Projection::new(LatLon::new(21.45, -158.0)))
+    }
+
+    #[test]
+    fn land_and_sea_classification() {
+        let dem = cone_island();
+        let proj = *dem.projection();
+        let center = proj.to_latlon(EnuKm::new(0.0, 0.0));
+        let far = proj.to_latlon(EnuKm::new(20.0, 0.0));
+        assert!(dem.is_land(center));
+        assert!(!dem.is_land(far));
+    }
+
+    #[test]
+    fn coastline_ring_extracted() {
+        let dem = cone_island();
+        let ring = dem.coastline_cells();
+        assert!(!ring.is_empty());
+        for c in ring {
+            let r = (c.east * c.east + c.north * c.north).sqrt();
+            assert!(
+                (8.0..=11.5).contains(&r),
+                "coastline cell at radius {r}, expected near 10"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_shore_distance() {
+        let dem = cone_island();
+        let (_, d) = dem.nearest_shore(EnuKm::new(0.0, 0.0)).unwrap();
+        assert!((8.0..=11.0).contains(&d), "got {d}");
+        let (_, d) = dem.nearest_shore(EnuKm::new(15.0, 0.0)).unwrap();
+        assert!(d < 7.0, "got {d}");
+    }
+
+    #[test]
+    fn offshore_depth_increases_with_range() {
+        let dem = cone_island();
+        let shore = EnuKm::new(9.5, 0.0);
+        let near = dem.mean_offshore_depth(shore, 90.0, 3.0).unwrap();
+        let far = dem.mean_offshore_depth(shore, 90.0, 12.0).unwrap();
+        assert!(far > near, "near={near} far={far}");
+    }
+
+    #[test]
+    fn offshore_depth_none_inland() {
+        let dem = cone_island();
+        // Pointing inland from the peak: no sea within 5 km.
+        assert!(dem
+            .mean_offshore_depth(EnuKm::new(-5.0, 0.0), 90.0, 4.0)
+            .is_none());
+    }
+
+    #[test]
+    fn land_fraction_sane() {
+        let dem = cone_island();
+        let f = dem.land_fraction();
+        // Cone of radius 10 in a 50x50 domain: pi*100/2500 ≈ 0.126.
+        assert!((0.08..0.2).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn elevation_at_out_of_bounds_errors() {
+        let dem = cone_island();
+        let far = LatLon::new(25.0, -160.0);
+        assert!(dem.elevation_at(far).is_err());
+    }
+}

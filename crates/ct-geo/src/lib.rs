@@ -1,0 +1,44 @@
+//! Geospatial substrate for the compound-threats analysis framework.
+//!
+//! This crate provides the low-level geographic machinery that the
+//! hurricane model (`ct-hydro`) and the SCADA topology (`ct-scada`)
+//! are built on:
+//!
+//! * [`LatLon`] geographic coordinates with haversine distances and a
+//!   local east/north tangent-plane [`Projection`];
+//! * a generic raster [`Grid`] with bilinear sampling;
+//! * a digital elevation model ([`Dem`]) with land/sea masking,
+//!   coastline extraction and distance-to-shore queries;
+//! * closed [`Polygon`]s with point-in-polygon and signed-distance
+//!   queries, used to describe island outlines;
+//! * deterministic procedural [`noise`] and a synthetic Oahu terrain
+//!   generator ([`terrain::synthesize_oahu`]).
+//!
+//! Everything here is deterministic: the same inputs always produce the
+//! same terrain, which is what makes the downstream Monte-Carlo
+//! analysis reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use ct_geo::{LatLon, terrain};
+//!
+//! let dem = terrain::synthesize_oahu(&terrain::OahuTerrainConfig::default());
+//! let honolulu = LatLon::new(21.307, -157.858);
+//! let elev = dem.elevation_at(honolulu).unwrap();
+//! assert!(elev > 0.0, "downtown Honolulu is on land");
+//! ```
+
+pub mod coords;
+pub mod dem;
+pub mod error;
+pub mod grid;
+pub mod noise;
+pub mod polygon;
+pub mod terrain;
+
+pub use coords::{EnuKm, LatLon, Projection, EARTH_RADIUS_KM};
+pub use dem::Dem;
+pub use error::GeoError;
+pub use grid::Grid;
+pub use polygon::Polygon;

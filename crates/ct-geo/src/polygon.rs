@@ -1,0 +1,229 @@
+//! Closed polygons with containment and signed-distance queries.
+
+use crate::coords::EnuKm;
+use crate::error::GeoError;
+use serde::{Deserialize, Serialize};
+
+/// A closed simple polygon in the local east/north plane (km).
+///
+/// Vertices are stored in order; the closing edge from the last vertex
+/// back to the first is implicit. Winding order does not matter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<EnuKm>,
+}
+
+impl Polygon {
+    /// Creates a polygon from a vertex list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegeneratePolygon`] if fewer than three
+    /// vertices are supplied.
+    pub fn new(vertices: Vec<EnuKm>) -> Result<Self, GeoError> {
+        if vertices.len() < 3 {
+            return Err(GeoError::DegeneratePolygon {
+                vertices: vertices.len(),
+            });
+        }
+        Ok(Self { vertices })
+    }
+
+    /// The vertex list (closing edge implicit).
+    pub fn vertices(&self) -> &[EnuKm] {
+        &self.vertices
+    }
+
+    /// Tests whether `p` lies inside the polygon (even-odd rule).
+    /// Points exactly on the boundary may go either way.
+    pub fn contains(&self, p: EnuKm) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.north > p.north) != (vj.north > p.north) {
+                let t = (p.north - vi.north) / (vj.north - vi.north);
+                let x = vi.east + t * (vj.east - vi.east);
+                if p.east < x {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Unsigned distance from `p` to the polygon boundary, in km.
+    pub fn boundary_distance_km(&self, p: EnuKm) -> f64 {
+        let mut best = f64::INFINITY;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            best = best.min(segment_distance(p, self.vertices[j], self.vertices[i]));
+            j = i;
+        }
+        best
+    }
+
+    /// Signed distance: negative inside, positive outside, zero on the
+    /// boundary (up to floating point).
+    pub fn signed_distance_km(&self, p: EnuKm) -> f64 {
+        let d = self.boundary_distance_km(p);
+        if self.contains(p) {
+            -d
+        } else {
+            d
+        }
+    }
+
+    /// Closest point on the polygon boundary to `p`.
+    pub fn closest_boundary_point(&self, p: EnuKm) -> EnuKm {
+        let mut best = f64::INFINITY;
+        let mut best_pt = self.vertices[0];
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let q = segment_closest_point(p, self.vertices[j], self.vertices[i]);
+            let d = p.distance_km(q);
+            if d < best {
+                best = d;
+                best_pt = q;
+            }
+            j = i;
+        }
+        best_pt
+    }
+
+    /// Signed area via the shoelace formula (km²). Positive for
+    /// counter-clockwise winding.
+    pub fn signed_area_km2(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        let mut j = n - 1;
+        for i in 0..n {
+            let (a, b) = (self.vertices[j], self.vertices[i]);
+            acc += a.east * b.north - b.east * a.north;
+            j = i;
+        }
+        acc / 2.0
+    }
+
+    /// Unsigned area in km².
+    pub fn area_km2(&self) -> f64 {
+        self.signed_area_km2().abs()
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn bounding_box(&self) -> (EnuKm, EnuKm) {
+        let mut min = EnuKm::new(f64::INFINITY, f64::INFINITY);
+        let mut max = EnuKm::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            min.east = min.east.min(v.east);
+            min.north = min.north.min(v.north);
+            max.east = max.east.max(v.east);
+            max.north = max.north.max(v.north);
+        }
+        (min, max)
+    }
+}
+
+/// Distance from point `p` to segment `ab`.
+fn segment_distance(p: EnuKm, a: EnuKm, b: EnuKm) -> f64 {
+    p.distance_km(segment_closest_point(p, a, b))
+}
+
+/// Closest point to `p` on segment `ab`.
+fn segment_closest_point(p: EnuKm, a: EnuKm, b: EnuKm) -> EnuKm {
+    let abe = b.east - a.east;
+    let abn = b.north - a.north;
+    let len2 = abe * abe + abn * abn;
+    if len2 == 0.0 {
+        return a;
+    }
+    let t = (((p.east - a.east) * abe + (p.north - a.north) * abn) / len2).clamp(0.0, 1.0);
+    EnuKm::new(a.east + t * abe, a.north + t * abn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::new(vec![
+            EnuKm::new(0.0, 0.0),
+            EnuKm::new(10.0, 0.0),
+            EnuKm::new(10.0, 10.0),
+            EnuKm::new(0.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(matches!(
+            Polygon::new(vec![EnuKm::default(), EnuKm::default()]),
+            Err(GeoError::DegeneratePolygon { vertices: 2 })
+        ));
+    }
+
+    #[test]
+    fn containment() {
+        let sq = square();
+        assert!(sq.contains(EnuKm::new(5.0, 5.0)));
+        assert!(!sq.contains(EnuKm::new(-1.0, 5.0)));
+        assert!(!sq.contains(EnuKm::new(5.0, 10.5)));
+    }
+
+    #[test]
+    fn signed_distance_signs() {
+        let sq = square();
+        assert!((sq.signed_distance_km(EnuKm::new(5.0, 5.0)) + 5.0).abs() < 1e-12);
+        assert!((sq.signed_distance_km(EnuKm::new(13.0, 5.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_on_edge() {
+        let sq = square();
+        let q = sq.closest_boundary_point(EnuKm::new(5.0, -3.0));
+        assert!((q.east - 5.0).abs() < 1e-12 && q.north.abs() < 1e-12);
+        // Corner case: nearest to a vertex.
+        let q = sq.closest_boundary_point(EnuKm::new(12.0, 12.0));
+        assert!((q.east - 10.0).abs() < 1e-12 && (q.north - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area() {
+        assert!((square().area_km2() - 100.0).abs() < 1e-12);
+        // Winding order reversal preserves unsigned area.
+        let mut verts = square().vertices().to_vec();
+        verts.reverse();
+        assert!((Polygon::new(verts).unwrap().area_km2() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let (min, max) = square().bounding_box();
+        assert_eq!((min.east, min.north), (0.0, 0.0));
+        assert_eq!((max.east, max.north), (10.0, 10.0));
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // An L-shape: the notch at top-right is outside.
+        let l = Polygon::new(vec![
+            EnuKm::new(0.0, 0.0),
+            EnuKm::new(10.0, 0.0),
+            EnuKm::new(10.0, 5.0),
+            EnuKm::new(5.0, 5.0),
+            EnuKm::new(5.0, 10.0),
+            EnuKm::new(0.0, 10.0),
+        ])
+        .unwrap();
+        assert!(l.contains(EnuKm::new(2.0, 8.0)));
+        assert!(!l.contains(EnuKm::new(8.0, 8.0)));
+        assert!(l.contains(EnuKm::new(8.0, 2.0)));
+        assert!((l.area_km2() - 75.0).abs() < 1e-12);
+    }
+}

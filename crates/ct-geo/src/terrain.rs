@@ -1,0 +1,355 @@
+//! Procedural synthesis of an Oahu-like island DEM.
+//!
+//! The real analysis in the paper used USGS terrain plus an ADCIRC
+//! coastal mesh. Neither is redistributable, so this module builds a
+//! *synthetic but geographically faithful* Oahu: the island outline,
+//! Pearl Harbor inlet, the Wai'anae and Ko'olau ranges, a low southern
+//! coastal plain (Honolulu/Ewa), a steep west coast, and region-specific
+//! offshore shelf profiles. What matters downstream is that the named
+//! SCADA sites sit at realistic elevations and surge exposures; tests in
+//! `ct-scada` pin those properties.
+
+use crate::coords::{EnuKm, LatLon, Projection};
+use crate::dem::Dem;
+use crate::grid::Grid;
+use crate::noise::fbm;
+use crate::polygon::Polygon;
+use serde::{Deserialize, Serialize};
+
+/// Projection origin used for all Oahu work: roughly the island centre.
+pub const OAHU_ORIGIN: LatLon = LatLon {
+    lat: 21.45,
+    lon: -158.0,
+};
+
+/// Coastal exposure regions of the island, classified by which stretch
+/// of coastline a point drains to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoastRegion {
+    /// Wai'anae (leeward) coast: steep terrain, narrow shelf.
+    West,
+    /// Honolulu / Ewa plain: low-lying, broad shallow shelf.
+    South,
+    /// North shore: moderate slopes.
+    North,
+    /// Windward (Ko'olau) coast.
+    East,
+}
+
+impl CoastRegion {
+    /// Onshore terrain slope for the region, metres per km inland.
+    pub fn terrain_slope_m_per_km(self) -> f64 {
+        match self {
+            CoastRegion::West => 9.0,
+            CoastRegion::South => 1.1,
+            CoastRegion::North => 4.0,
+            CoastRegion::East => 5.0,
+        }
+    }
+
+    /// Offshore sea-floor slope, metres of depth per km offshore.
+    pub fn shelf_slope_m_per_km(self) -> f64 {
+        match self {
+            CoastRegion::West => 60.0,
+            CoastRegion::South => 10.0,
+            CoastRegion::North => 30.0,
+            CoastRegion::East => 40.0,
+        }
+    }
+}
+
+/// Configuration for [`synthesize_oahu`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OahuTerrainConfig {
+    /// Noise seed; terrain is fully determined by the config.
+    pub seed: u64,
+    /// Raster cell size in km.
+    pub cell_km: f64,
+    /// Small-scale elevation noise amplitude in metres (near coast).
+    pub noise_amp_m: f64,
+}
+
+impl Default for OahuTerrainConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0A44_5EED,
+            cell_km: 0.5,
+            noise_amp_m: 0.8,
+        }
+    }
+}
+
+/// The island outline as a polygon in the local frame.
+pub fn oahu_outline(projection: &Projection) -> Polygon {
+    let pts = [
+        (21.575, -158.281), // Ka'ena Point (west tip)
+        (21.640, -158.120), // Waialua Bay
+        (21.710, -157.980), // Kahuku Point (north tip)
+        (21.610, -157.850), // La'ie
+        (21.510, -157.830), // Ka'a'awa
+        (21.420, -157.740), // Kane'ohe Bay
+        (21.310, -157.650), // Makapu'u (east tip)
+        (21.250, -157.710), // Sandy Beach
+        (21.255, -157.810), // Diamond Head
+        (21.285, -157.860), // Honolulu waterfront
+        (21.300, -157.940), // Ke'ehi / airport
+        (21.308, -157.972), // Pearl Harbor entrance (east)
+        (21.315, -158.010), // 'Ewa Beach
+        (21.300, -158.100), // Barbers Point
+        (21.350, -158.130), // Kahe Point
+        (21.450, -158.190), // Wai'anae
+    ];
+    let verts = pts
+        .iter()
+        .map(|&(lat, lon)| projection.to_enu(LatLon::new(lat, lon)))
+        .collect();
+    Polygon::new(verts).expect("outline has >= 3 vertices")
+}
+
+/// Pearl Harbor water body, cut out of the island as an inland sea.
+pub fn pearl_harbor(projection: &Projection) -> Polygon {
+    let pts = [
+        (21.308, -157.974), // entrance, east side
+        (21.302, -157.992), // entrance, west side
+        (21.330, -158.008),
+        (21.365, -158.018), // West Loch
+        (21.392, -157.998), // Middle Loch
+        (21.400, -157.978), // East Loch, north end
+        (21.384, -157.960), // East Loch, east shore
+        (21.345, -157.955),
+        (21.322, -157.962),
+    ];
+    let verts = pts
+        .iter()
+        .map(|&(lat, lon)| projection.to_enu(LatLon::new(lat, lon)))
+        .collect();
+    Polygon::new(verts).expect("harbor has >= 3 vertices")
+}
+
+/// Classifies a point by the coastal region its nearest shoreline
+/// belongs to.
+pub fn coast_region(outline: &Polygon, p: EnuKm) -> CoastRegion {
+    let q = outline.closest_boundary_point(p);
+    if q.east <= -12.5 && q.north <= 18.0 {
+        CoastRegion::West
+    } else if q.north <= -9.0 {
+        CoastRegion::South
+    } else if q.north >= 20.0 {
+        CoastRegion::North
+    } else {
+        CoastRegion::East
+    }
+}
+
+/// Distance (km) from `p` to the segment `ab`, all in local km.
+fn segment_distance(p: EnuKm, a: EnuKm, b: EnuKm) -> f64 {
+    let abe = b.east - a.east;
+    let abn = b.north - a.north;
+    let len2 = abe * abe + abn * abn;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((p.east - a.east) * abe + (p.north - a.north) * abn) / len2).clamp(0.0, 1.0)
+    };
+    p.distance_km(EnuKm::new(a.east + t * abe, a.north + t * abn))
+}
+
+/// A mountain ridge modelled as a Gaussian profile around a segment.
+struct Ridge {
+    a: EnuKm,
+    b: EnuKm,
+    height_m: f64,
+    width_km: f64,
+}
+
+impl Ridge {
+    fn contribution(&self, p: EnuKm) -> f64 {
+        let d = segment_distance(p, self.a, self.b);
+        self.height_m * (-(d / self.width_km).powi(2)).exp()
+    }
+}
+
+fn ridges(projection: &Projection) -> Vec<Ridge> {
+    let e = |lat: f64, lon: f64| projection.to_enu(LatLon::new(lat, lon));
+    vec![
+        // Wai'anae range along the west side.
+        Ridge {
+            a: e(21.42, -158.16),
+            b: e(21.55, -158.20),
+            height_m: 900.0,
+            width_km: 3.5,
+        },
+        // Ko'olau range along the east side.
+        Ridge {
+            a: e(21.30, -157.72),
+            b: e(21.62, -157.95),
+            height_m: 750.0,
+            width_km: 3.5,
+        },
+    ]
+}
+
+/// Synthesizes the Oahu DEM.
+///
+/// The raster covers the island plus ~15 km of surrounding ocean so the
+/// shallow-water surge solver has room for offshore dynamics.
+pub fn synthesize_oahu(config: &OahuTerrainConfig) -> Dem {
+    let projection = Projection::new(OAHU_ORIGIN);
+    let outline = oahu_outline(&projection);
+    let harbor = pearl_harbor(&projection);
+    let ridge_list = ridges(&projection);
+
+    let origin = EnuKm::new(-46.0, -40.0);
+    let (extent_e, extent_n) = (92.0, 78.0);
+    let cols = (extent_e / config.cell_km).round() as usize;
+    let rows = (extent_n / config.cell_km).round() as usize;
+
+    let grid = Grid::from_fn(cols, rows, origin, config.cell_km, |p| {
+        elevation_at(config, &outline, &harbor, &ridge_list, p)
+    })
+    .expect("non-empty grid");
+    Dem::new(grid, projection)
+}
+
+fn elevation_at(
+    config: &OahuTerrainConfig,
+    outline: &Polygon,
+    harbor: &Polygon,
+    ridge_list: &[Ridge],
+    p: EnuKm,
+) -> f64 {
+    let sdf_out = outline.signed_distance_km(p);
+    let sdf_ph = harbor.signed_distance_km(p);
+    // Land = inside the outline and outside the harbor.
+    let land_sdf = sdf_out.max(-sdf_ph);
+    if land_sdf < 0.0 {
+        let dist_inland = -land_sdf;
+        let region = coast_region(outline, p);
+        let base = 0.5 + region.terrain_slope_m_per_km() * dist_inland;
+        let ridge: f64 = ridge_list
+            .iter()
+            .map(|r| r.contribution(p) * (dist_inland / 3.0).min(1.0))
+            .sum();
+        let amp = config.noise_amp_m + 0.10 * base;
+        let n = amp * fbm(config.seed, p, 0.15, 4);
+        (base + ridge + n).max(0.2)
+    } else if sdf_ph < 0.0 {
+        // Inside Pearl Harbor: shallow, dredged-channel depths.
+        -(4.0 + 6.0 * (-sdf_ph).min(1.5))
+    } else {
+        // Open sea: shelf deepening away from the island.
+        let region = coast_region(outline, p);
+        let depth = 2.0 + region.shelf_slope_m_per_km() * sdf_out;
+        -depth.min(4500.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dem() -> Dem {
+        synthesize_oahu(&OahuTerrainConfig::default())
+    }
+
+    #[test]
+    fn island_has_sensible_land_fraction() {
+        let d = dem();
+        let f = d.land_fraction();
+        // Oahu is ~1545 km² inside a 92x78 km domain ≈ 0.21.
+        assert!((0.12..0.35).contains(&f), "land fraction {f}");
+    }
+
+    #[test]
+    fn named_sites_on_land_ocean_is_sea() {
+        let d = dem();
+        assert!(d.is_land(LatLon::new(21.307, -157.858)), "Honolulu");
+        assert!(d.is_land(LatLon::new(21.354, -158.120)), "Kahe area");
+        assert!(d.is_land(LatLon::new(21.497, -158.030)), "Central plateau");
+        assert!(!d.is_land(LatLon::new(21.10, -158.0)), "open ocean south");
+        assert!(
+            !d.is_land(LatLon::new(21.36, -157.99)),
+            "Pearl Harbor water"
+        );
+    }
+
+    #[test]
+    fn south_shore_is_low_west_coast_is_steep() {
+        let d = dem();
+        let honolulu = d.elevation_at(LatLon::new(21.307, -157.858)).unwrap();
+        assert!(
+            (0.5..8.0).contains(&honolulu),
+            "Honolulu plain elevation {honolulu}"
+        );
+        let kahe = d.elevation_at(LatLon::new(21.356, -158.122)).unwrap();
+        assert!(kahe > 4.0, "Kahe bluffs elevation {kahe}");
+    }
+
+    #[test]
+    fn mountains_exist() {
+        let d = dem();
+        // Ko'olau crest area.
+        let koolau = d.elevation_at(LatLon::new(21.45, -157.84)).unwrap();
+        assert!(koolau > 300.0, "Ko'olau crest {koolau}");
+        // Wai'anae crest area.
+        let waianae = d.elevation_at(LatLon::new(21.46, -158.17)).unwrap();
+        assert!(waianae > 250.0, "Wai'anae crest {waianae}");
+    }
+
+    #[test]
+    fn shelf_profiles_differ_by_region() {
+        let d = dem();
+        let proj = *d.projection();
+        // South shore: shallow shelf.
+        let south_shore = proj.to_enu(LatLon::new(21.29, -157.88));
+        let south = d.mean_offshore_depth(south_shore, 180.0, 4.0).unwrap();
+        // West coast: deep quickly.
+        let west_shore = proj.to_enu(LatLon::new(21.40, -158.17));
+        let west = d.mean_offshore_depth(west_shore, 270.0, 4.0).unwrap();
+        assert!(
+            west > 2.0 * south,
+            "west shelf {west} m should be much deeper than south {south} m"
+        );
+    }
+
+    #[test]
+    fn terrain_is_deterministic() {
+        let a = synthesize_oahu(&OahuTerrainConfig::default());
+        let b = synthesize_oahu(&OahuTerrainConfig::default());
+        assert_eq!(a.elevation_grid().as_slice(), b.elevation_grid().as_slice());
+    }
+
+    #[test]
+    fn seed_perturbs_noise_only() {
+        let mut cfg = OahuTerrainConfig::default();
+        cfg.seed = 999;
+        let a = synthesize_oahu(&cfg);
+        let b = synthesize_oahu(&OahuTerrainConfig::default());
+        // Different noise...
+        assert_ne!(a.elevation_grid().as_slice(), b.elevation_grid().as_slice());
+        // ...but the same macro-structure (land fraction within 2 %).
+        assert!((a.land_fraction() - b.land_fraction()).abs() < 0.02);
+    }
+
+    #[test]
+    fn coast_region_classification() {
+        let proj = Projection::new(OAHU_ORIGIN);
+        let outline = oahu_outline(&proj);
+        let kahe = proj.to_enu(LatLon::new(21.354, -158.125));
+        assert_eq!(coast_region(&outline, kahe), CoastRegion::West);
+        let honolulu = proj.to_enu(LatLon::new(21.30, -157.86));
+        assert_eq!(coast_region(&outline, honolulu), CoastRegion::South);
+        let north = proj.to_enu(LatLon::new(21.68, -158.0));
+        assert_eq!(coast_region(&outline, north), CoastRegion::North);
+        let windward = proj.to_enu(LatLon::new(21.45, -157.80));
+        assert_eq!(coast_region(&outline, windward), CoastRegion::East);
+    }
+
+    #[test]
+    fn pearl_harbor_is_inland_water() {
+        let d = dem();
+        let e = d.elevation_at(LatLon::new(21.36, -157.99)).unwrap();
+        assert!(e < 0.0, "harbor should be water, got {e}");
+        assert!(e > -30.0, "harbor should be shallow, got {e}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the geospatial substrate.
+
+use ct_geo::{EnuKm, Grid, LatLon, Polygon, Projection};
+use proptest::prelude::*;
+
+fn island_latlon() -> impl Strategy<Value = LatLon> {
+    (21.2f64..21.75, -158.3f64..-157.6).prop_map(|(lat, lon)| LatLon::new(lat, lon))
+}
+
+proptest! {
+    /// destination(bearing, d) lands exactly d away (great-circle).
+    #[test]
+    fn destination_distance_round_trip(
+        p in island_latlon(),
+        bearing in 0.0f64..360.0,
+        d in 0.1f64..500.0,
+    ) {
+        let q = p.destination(bearing, d);
+        prop_assert!((p.distance_km(q) - d).abs() < 0.05, "{} vs {}", p.distance_km(q), d);
+    }
+
+    /// The local projection round-trips everywhere in the island
+    /// domain.
+    #[test]
+    fn projection_round_trip(p in island_latlon()) {
+        let proj = Projection::new(LatLon::new(21.45, -158.0));
+        let back = proj.to_latlon(proj.to_enu(p));
+        prop_assert!((back.lat - p.lat).abs() < 1e-9);
+        prop_assert!((back.lon - p.lon).abs() < 1e-9);
+    }
+
+    /// Triangle inequality for the haversine metric.
+    #[test]
+    fn haversine_triangle_inequality(
+        a in island_latlon(),
+        b in island_latlon(),
+        c in island_latlon(),
+    ) {
+        prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-9);
+    }
+
+    /// Signed distance agrees with containment for arbitrary convex
+    /// quadrilaterals.
+    #[test]
+    fn polygon_sdf_sign_matches_containment(
+        cx in -10.0f64..10.0,
+        cy in -10.0f64..10.0,
+        r in 1.0f64..20.0,
+        px in -40.0f64..40.0,
+        py in -40.0f64..40.0,
+    ) {
+        // A square centred at (cx, cy) with half-width r.
+        let poly = Polygon::new(vec![
+            EnuKm::new(cx - r, cy - r),
+            EnuKm::new(cx + r, cy - r),
+            EnuKm::new(cx + r, cy + r),
+            EnuKm::new(cx - r, cy + r),
+        ]).expect("square");
+        let p = EnuKm::new(px, py);
+        let sdf = poly.signed_distance_km(p);
+        // Skip points within numerical reach of the boundary.
+        prop_assume!(sdf.abs() > 1e-6);
+        prop_assert_eq!(sdf < 0.0, poly.contains(p), "sdf {} at {:?}", sdf, p);
+        // And the unsigned distance to the closest boundary point is
+        // consistent.
+        let q = poly.closest_boundary_point(p);
+        prop_assert!((p.distance_km(q) - sdf.abs()).abs() < 1e-9);
+    }
+
+    /// Bilinear sampling at a cell centre returns the stored value.
+    #[test]
+    fn grid_sample_at_centers(
+        cols in 2usize..20,
+        rows in 2usize..20,
+        cell in 0.1f64..5.0,
+        pick_c in 0usize..19,
+        pick_r in 0usize..19,
+    ) {
+        let g = Grid::from_fn(cols, rows, EnuKm::new(-3.0, 4.0), cell, |p| {
+            (p.east * 13.7).sin() + (p.north * 3.1).cos()
+        }).expect("grid");
+        let c = pick_c % cols;
+        let r = pick_r % rows;
+        let center = g.cell_center(c, r);
+        let sampled = g.sample(center).expect("inside");
+        prop_assert!((sampled - *g.get(c, r).unwrap()).abs() < 1e-9);
+    }
+
+    /// Value noise stays in [-1, 1] and is seed-deterministic.
+    #[test]
+    fn noise_bounded_and_deterministic(
+        seed in any::<u64>(),
+        x in -500.0f64..500.0,
+        y in -500.0f64..500.0,
+        freq in 0.01f64..4.0,
+    ) {
+        let p = EnuKm::new(x, y);
+        let v = ct_geo::noise::value_noise(seed, p, freq);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert_eq!(v, ct_geo::noise::value_noise(seed, p, freq));
+    }
+}
+
+#[test]
+fn oahu_terrain_land_iff_positive_elevation() {
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    let dem = synthesize_oahu(&OahuTerrainConfig::default());
+    // is_land and elevation sign agree at a lattice of probes.
+    for lat_i in 0..12 {
+        for lon_i in 0..12 {
+            let p = LatLon::new(21.23 + lat_i as f64 * 0.04, -158.28 + lon_i as f64 * 0.055);
+            if let Ok(e) = dem.elevation_at(p) {
+                assert_eq!(dem.is_land(p), e > 0.0, "at {p}: elevation {e}");
+            }
+        }
+    }
+}

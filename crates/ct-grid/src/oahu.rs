@@ -1,0 +1,164 @@
+//! An Oahu-shaped 138 kV transmission network over the case-study
+//! assets.
+//!
+//! Generation and demand magnitudes are sized to the real island
+//! (peak demand ~1.2 GW; Kahe is the largest plant). The topology is
+//! a stylised version of the HECO system: a southern coastal corridor
+//! from the leeward plants into the Honolulu load pocket, a windward
+//! ring, and a central cross-island tie.
+
+use crate::network::{Bus, BusId, BusKind, GridNetwork, Line};
+use ct_geo::LatLon;
+
+fn gen(name: &str, lat: f64, lon: f64, capacity_mw: f64) -> Bus {
+    Bus {
+        name: name.to_string(),
+        kind: BusKind::Generator { capacity_mw },
+        pos: LatLon::new(lat, lon),
+    }
+}
+
+fn load(name: &str, lat: f64, lon: f64, demand_mw: f64) -> Bus {
+    Bus {
+        name: name.to_string(),
+        kind: BusKind::Load { demand_mw },
+        pos: LatLon::new(lat, lon),
+    }
+}
+
+/// Builds the Oahu grid.
+///
+/// # Panics
+///
+/// Never panics: the static network is valid by construction (checked
+/// by tests).
+pub fn grid() -> GridNetwork {
+    let buses = vec![
+        // 0-4: generation (same ids as the SCADA topology assets).
+        gen("kahe-pp", 21.356, -158.122, 650.0),
+        gen("waiau-pp", 21.388, -157.950, 500.0),
+        gen("campbell-pp", 21.310, -158.085, 180.0),
+        gen("kalaeloa-pp", 21.315, -158.070, 200.0),
+        gen("waialua-pp", 21.570, -158.120, 20.0),
+        // 5-16: substation load pockets.
+        load("sub-archer", 21.310, -157.862, 150.0),
+        load("sub-iwilei", 21.317, -157.870, 120.0),
+        load("sub-school", 21.330, -157.860, 130.0),
+        load("sub-kamoku", 21.280, -157.830, 110.0),
+        load("sub-pukele", 21.300, -157.790, 90.0),
+        load("sub-koolau", 21.380, -157.790, 80.0),
+        load("sub-kahuku", 21.670, -157.970, 30.0),
+        load("sub-wahiawa", 21.500, -158.020, 60.0),
+        load("sub-ewa", 21.340, -158.030, 90.0),
+        load("sub-makalapa", 21.350, -157.940, 100.0),
+        load("sub-halawa", 21.370, -157.920, 90.0),
+        load("sub-waianae", 21.430, -158.170, 50.0),
+    ];
+    let by_name = |n: &str| BusId(buses.iter().position(|b| b.name == n).expect("bus"));
+    let line = |from: &str, to: &str, susceptance: f64, capacity_mw: f64| Line {
+        from: by_name(from),
+        to: by_name(to),
+        susceptance,
+        capacity_mw,
+    };
+    let lines = vec![
+        // Leeward generation pocket.
+        line("kahe-pp", "sub-waianae", 30.0, 200.0),
+        line("kahe-pp", "campbell-pp", 60.0, 700.0),
+        line("campbell-pp", "kalaeloa-pp", 80.0, 700.0),
+        line("kalaeloa-pp", "sub-ewa", 60.0, 700.0),
+        line("kahe-pp", "sub-ewa", 40.0, 700.0),
+        // Southern corridor into the Honolulu pocket.
+        line("sub-ewa", "waiau-pp", 50.0, 800.0),
+        line("waiau-pp", "sub-makalapa", 70.0, 600.0),
+        line("sub-makalapa", "sub-halawa", 70.0, 600.0),
+        line("sub-halawa", "sub-iwilei", 50.0, 500.0),
+        line("waiau-pp", "sub-iwilei", 35.0, 500.0),
+        line("sub-iwilei", "sub-archer", 80.0, 400.0),
+        line("sub-archer", "sub-school", 70.0, 300.0),
+        line("sub-halawa", "sub-school", 45.0, 350.0),
+        line("sub-school", "sub-kamoku", 50.0, 350.0),
+        line("sub-kamoku", "sub-pukele", 50.0, 250.0),
+        // Windward ring.
+        line("sub-pukele", "sub-koolau", 8.0, 200.0),
+        line("sub-koolau", "sub-kahuku", 6.0, 150.0),
+        line("sub-kahuku", "waialua-pp", 6.0, 150.0),
+        line("waialua-pp", "sub-wahiawa", 8.0, 150.0),
+        // Central cross-island ties.
+        line("sub-wahiawa", "waiau-pp", 30.0, 300.0),
+        line("kahe-pp", "sub-wahiawa", 12.0, 300.0),
+    ];
+    GridNetwork::new(buses, lines).expect("static Oahu grid is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::OutageSet;
+    use crate::powerflow::dc_power_flow;
+
+    #[test]
+    fn shape_and_balance() {
+        let g = grid();
+        assert_eq!(g.buses().len(), 17);
+        assert_eq!(g.lines().len(), 21);
+        assert!(g.total_capacity_mw() > g.total_demand_mw());
+        // Oahu peak is ~1.2 GW; stay in that regime.
+        assert!((900.0..1500.0).contains(&g.total_demand_mw()));
+    }
+
+    #[test]
+    fn intact_grid_serves_everything_without_overloads() {
+        let g = grid();
+        let state = dc_power_flow(&g, &OutageSet::none()).unwrap();
+        assert_eq!(state.islands.len(), 1, "grid should be connected");
+        assert!(
+            (state.served_fraction() - 1.0).abs() < 1e-9,
+            "base case sheds load"
+        );
+        let overloaded = state.overloaded_lines(&g);
+        assert!(
+            overloaded.is_empty(),
+            "base case overloads lines {overloaded:?}: flows {:?}",
+            state.flows_mw
+        );
+    }
+
+    #[test]
+    fn losing_kahe_still_serves_most_load() {
+        let g = grid();
+        let mut out = OutageSet::none();
+        out.buses.insert(g.bus_id("kahe-pp").unwrap());
+        let state = dc_power_flow(&g, &out).unwrap();
+        // 900 MW of remaining capacity against 1150 MW demand.
+        let f = state.served_fraction();
+        assert!((0.6..1.0).contains(&f), "served {f}");
+    }
+
+    #[test]
+    fn severing_the_windward_ring_islands_kahuku() {
+        let g = grid();
+        let mut out = OutageSet::none();
+        // koolau--kahuku and kahuku--waialua are lines 16 and 17.
+        let names: Vec<(String, String)> = g
+            .lines()
+            .iter()
+            .map(|l| {
+                (
+                    g.buses()[l.from.0].name.clone(),
+                    g.buses()[l.to.0].name.clone(),
+                )
+            })
+            .collect();
+        for (i, (a, b)) in names.iter().enumerate() {
+            if a.contains("kahuku") || b.contains("kahuku") {
+                out.lines.insert(crate::network::LineId(i));
+            }
+        }
+        let state = dc_power_flow(&g, &out).unwrap();
+        assert!(state.islands.len() >= 2);
+        // The 30 MW Kahuku pocket is dark.
+        let deficit = state.total_demand_mw - state.served_mw();
+        assert!((deficit - 30.0).abs() < 1e-6, "deficit {deficit}");
+    }
+}

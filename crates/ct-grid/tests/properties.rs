@@ -1,0 +1,168 @@
+//! Property-based tests for the power-grid substrate: random radial
+//! networks with arbitrary outages must always satisfy the physical
+//! invariants of the DC power-flow model.
+
+use ct_geo::LatLon;
+use ct_grid::{
+    dc_power_flow, simulate_cascade, Bus, BusId, BusKind, GridNetwork, Line, LineId, OutageSet,
+};
+use proptest::prelude::*;
+
+/// Builds a random tree-plus-chords network: bus 0 is a big generator,
+/// every other bus is a load attached to a random earlier bus, plus a
+/// few extra chord lines for meshing.
+fn random_network(
+    n_buses: usize,
+    attach: &[usize],
+    chords: &[(usize, usize)],
+    demands: &[f64],
+) -> GridNetwork {
+    let mut buses = vec![Bus {
+        name: "gen".to_string(),
+        kind: BusKind::Generator {
+            capacity_mw: 10_000.0,
+        },
+        pos: LatLon::new(21.3, -158.0),
+    }];
+    for (i, &d) in demands.iter().enumerate().take(n_buses - 1) {
+        buses.push(Bus {
+            name: format!("load{i}"),
+            kind: BusKind::Load {
+                demand_mw: d.max(1.0),
+            },
+            pos: LatLon::new(21.3 + 0.01 * i as f64, -158.0),
+        });
+    }
+    let mut lines = Vec::new();
+    for i in 1..n_buses {
+        let parent = attach[i - 1] % i;
+        lines.push(Line {
+            from: BusId(parent),
+            to: BusId(i),
+            susceptance: 20.0,
+            capacity_mw: 20_000.0,
+        });
+    }
+    for &(a, b) in chords {
+        let (a, b) = (a % n_buses, b % n_buses);
+        if a != b {
+            lines.push(Line {
+                from: BusId(a),
+                to: BusId(b),
+                susceptance: 10.0,
+                capacity_mw: 20_000.0,
+            });
+        }
+    }
+    GridNetwork::new(buses, lines).expect("generated network is valid")
+}
+
+fn strategy() -> impl Strategy<Value = (GridNetwork, Vec<usize>)> {
+    (3usize..10).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..10, n - 1),
+            prop::collection::vec((0usize..10, 0usize..10), 0..3),
+            prop::collection::vec(5.0f64..200.0, n - 1),
+            prop::collection::vec(0usize..20, 0..4),
+        )
+            .prop_map(move |(attach, chords, demands, outage_picks)| {
+                (random_network(n, &attach, &chords, &demands), outage_picks)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Physical invariants under arbitrary line outages: served is
+    /// within [0, demand]; islands partition the live buses; flows
+    /// conserve at junction-free accounting level.
+    #[test]
+    fn power_flow_invariants((grid, outage_picks) in strategy()) {
+        let mut outages = OutageSet::none();
+        for pick in outage_picks {
+            outages.lines.insert(LineId(pick % grid.lines().len()));
+        }
+        let state = dc_power_flow(&grid, &outages).expect("solvable");
+        let served = state.served_mw();
+        prop_assert!(served >= -1e-9);
+        prop_assert!(served <= grid.total_demand_mw() + 1e-6);
+        // Islands partition the buses.
+        let mut seen = std::collections::BTreeSet::new();
+        for island in &state.islands {
+            for &b in &island.buses {
+                prop_assert!(seen.insert(b), "bus {b:?} in two islands");
+            }
+        }
+        prop_assert_eq!(seen.len(), grid.buses().len());
+        // With the giant generator connected, served equals the demand
+        // reachable from bus 0.
+        let gen_island = state
+            .islands
+            .iter()
+            .find(|i| i.buses.contains(&BusId(0)))
+            .expect("generator island exists");
+        prop_assert!((gen_island.served_mw - gen_island.demand_mw).abs() < 1e-6);
+    }
+
+    /// Cascades terminate and never increase the served load.
+    #[test]
+    fn cascade_terminates_and_never_helps((grid, outage_picks) in strategy()) {
+        let mut outages = OutageSet::none();
+        for pick in outage_picks {
+            outages.lines.insert(LineId(pick % grid.lines().len()));
+        }
+        let before = dc_power_flow(&grid, &outages).expect("solvable");
+        let outcome = simulate_cascade(&grid, &outages).expect("cascade runs");
+        prop_assert!(outcome.rounds <= grid.lines().len());
+        prop_assert!(
+            outcome.final_state.served_mw() <= before.served_mw() + 1e-6,
+            "cascade increased service"
+        );
+        // Over-generous limits here: nothing should actually trip.
+        prop_assert!(outcome.tripped.is_empty());
+    }
+
+    /// Emergency shedding keeps at least as much load as the cascade,
+    /// for any initial damage.
+    #[test]
+    fn shedding_dominates_cascade((grid, outage_picks) in strategy()) {
+        let mut outages = OutageSet::none();
+        for pick in outage_picks {
+            outages.lines.insert(LineId(pick % grid.lines().len()));
+        }
+        let state = dc_power_flow(&grid, &outages).expect("solvable");
+        let shed = state.served_after_emergency_shedding(&grid);
+        let cascade = simulate_cascade(&grid, &outages).expect("cascade runs");
+        let supervised = shed.max(cascade.final_state.served_mw());
+        prop_assert!(supervised + 1e-6 >= cascade.final_state.served_mw());
+        prop_assert!(shed <= state.served_mw() + 1e-6, "shedding created power");
+    }
+}
+
+#[test]
+fn oahu_grid_invariants_under_every_single_line_outage() {
+    // Exhaustive N-1 sweep of the real case-study network.
+    let grid = ct_grid::oahu::grid();
+    for li in 0..grid.lines().len() {
+        let mut outages = OutageSet::none();
+        outages.lines.insert(LineId(li));
+        let outcome = simulate_cascade(&grid, &outages).expect("solvable");
+        let f = outcome.served_fraction();
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&f),
+            "line {li}: served fraction {f}"
+        );
+        // Losing any single line must never black out more than half
+        // the island in the supervised model (operators pick the
+        // better of island-wide shedding and deliberately opening the
+        // congested line — the same rule `core::grid_impact` uses).
+        let state = dc_power_flow(&grid, &outages).unwrap();
+        let shed = state.served_after_emergency_shedding(&grid) / state.total_demand_mw;
+        let supervised = shed.max(f);
+        assert!(
+            supervised > 0.5,
+            "line {li}: supervised served only {supervised}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Hurricane hazard substrate: parametric cyclone wind fields, storm
+//! tracks, Monte-Carlo track ensembles, storm-surge models and
+//! per-asset inundation — the stand-in for the ADCIRC simulation used
+//! by the paper.
+//!
+//! Two surge models are provided:
+//!
+//! * [`ParametricSurge`] — a fast wind-setup + inverse-barometer +
+//!   tide estimator evaluated at coastal reference [`stations`]. This
+//!   drives the 1000-realization ensembles in the case study.
+//! * [`ShallowWaterSolver`] — a 2-D depth-averaged shallow-water
+//!   solver with wind-stress and pressure forcing on the synthetic
+//!   Oahu DEM (the closest laptop-scale equivalent of ADCIRC). It is
+//!   used to cross-validate the parametric model and for the surge
+//!   benches/examples.
+//!
+//! The pipeline output is a [`RealizationSet`]: for every sampled
+//! hurricane, the peak inundation depth at every point of interest.
+//! An asset *fails* when its peak inundation exceeds the paper's 0.5 m
+//! switch-height threshold ([`FloodThreshold`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+//! use ct_hydro::{EnsembleConfig, Poi, RealizationSet};
+//! use ct_geo::LatLon;
+//!
+//! let dem = synthesize_oahu(&OahuTerrainConfig::default());
+//! let pois = vec![Poi::from_dem("honolulu-cc", LatLon::new(21.307, -157.858), &dem).unwrap()];
+//! let cfg = EnsembleConfig { realizations: 25, ..EnsembleConfig::default() };
+//! let set = RealizationSet::generate(&cfg, &dem, &pois).unwrap();
+//! assert_eq!(set.len(), 25);
+//! ```
+
+pub mod category;
+pub mod ensemble;
+pub mod error;
+pub mod export;
+pub mod inundation;
+pub mod parametric;
+pub mod realization;
+pub mod sampling;
+pub mod shoreline;
+pub mod stations;
+pub mod swe;
+pub mod track;
+pub mod wind;
+
+pub use category::Category;
+pub use ensemble::{EnsembleConfig, StormParams, TrackEnsemble};
+pub use error::HydroError;
+pub use inundation::{FloodThreshold, Poi};
+pub use parametric::{ParametricSurge, SurgeCalibration};
+pub use realization::{Realization, RealizationSet};
+pub use stations::{Station, StationId, Stations};
+pub use swe::{ShallowWaterConfig, ShallowWaterSolver};
+pub use track::{StormTrack, TrackPoint};
+pub use wind::{HollandWindField, WindSample};

@@ -1,0 +1,289 @@
+//! Fast parametric storm-surge model.
+//!
+//! Computes peak surge at each coastal reference station as the sum of
+//! wind setup (proportional to the square of the peak onshore wind,
+//! amplified by the station's shelf factor), wave setup, the inverse
+//! barometer effect, and the sampled tide. This is the model used for
+//! the 1000-realization ensembles; it is cross-validated against the
+//! 2-D shallow-water solver in the integration tests and benches.
+
+use crate::ensemble::StormParams;
+use crate::error::HydroError;
+use crate::stations::{StationId, Stations};
+use serde::{Deserialize, Serialize};
+
+/// Tunable coefficients of the parametric surge model.
+///
+/// Defaults are calibrated so the Category 2 Oahu ensemble reproduces
+/// the paper's ~9.5 % Honolulu control-center flooding probability
+/// (see EXPERIMENTS.md for the calibration record).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurgeCalibration {
+    /// Wind-setup coefficient: metres of setup per (m/s)² of onshore
+    /// wind at `shelf_factor = 1`.
+    pub setup_coefficient: f64,
+    /// Inverse-barometer response, metres per hPa of pressure deficit.
+    pub ib_m_per_hpa: f64,
+    /// E-folding distance (km) of the inverse-barometer contribution
+    /// with storm closest-approach distance.
+    pub ib_decay_km: f64,
+    /// Breaking-wave setup as a fraction of wind setup.
+    pub wave_setup_fraction: f64,
+    /// Overland surge attenuation, metres of head lost per km inland.
+    pub attenuation_m_per_km: f64,
+    /// Time step (hours) used to scan the storm passage for the peak
+    /// onshore wind.
+    pub scan_step_hours: f64,
+}
+
+impl Default for SurgeCalibration {
+    fn default() -> Self {
+        Self {
+            setup_coefficient: 1.36e-3,
+            ib_m_per_hpa: 0.010,
+            ib_decay_km: 150.0,
+            wave_setup_fraction: 0.15,
+            attenuation_m_per_km: 0.20,
+            scan_step_hours: 0.5,
+        }
+    }
+}
+
+/// Peak surge per station for one storm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationSurge {
+    entries: Vec<(StationId, f64)>,
+}
+
+impl StationSurge {
+    /// Peak water-surface elevation (m above MSL) at a station.
+    pub fn get(&self, id: StationId) -> f64 {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == id)
+            .map(|(_, v)| *v)
+            .expect("all stations evaluated")
+    }
+
+    /// Iterates `(station, surge_m)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StationId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The largest surge across stations.
+    pub fn max_surge_m(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The parametric surge model: stations plus calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParametricSurge {
+    stations: Stations,
+    calibration: SurgeCalibration,
+}
+
+impl ParametricSurge {
+    /// Creates the model from a station set and calibration.
+    pub fn new(stations: Stations, calibration: SurgeCalibration) -> Self {
+        Self {
+            stations,
+            calibration,
+        }
+    }
+
+    /// The station set.
+    pub fn stations(&self) -> &Stations {
+        &self.stations
+    }
+
+    /// The calibration constants.
+    pub fn calibration(&self) -> &SurgeCalibration {
+        &self.calibration
+    }
+
+    /// Evaluates peak surge at every station for `storm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the storm parameters are unphysical.
+    pub fn station_surge(&self, storm: &StormParams) -> Result<StationSurge, HydroError> {
+        let mut met: Vec<(StationId, f64)> = Vec::with_capacity(6);
+        for st in self.stations.iter() {
+            if st.id == StationId::PearlHarbor {
+                continue; // derived below
+            }
+            let surge =
+                self.open_coast_met_surge(storm, st.pos, st.onshore_bearing_deg)? * st.shelf_factor;
+            met.push((st.id, surge));
+        }
+        let south = met
+            .iter()
+            .find(|(id, _)| *id == StationId::South)
+            .map(|(_, v)| *v)
+            .expect("south station evaluated");
+        met.push((
+            StationId::PearlHarbor,
+            south * self.stations.harbor_amplification,
+        ));
+        let entries = met
+            .into_iter()
+            .map(|(id, m)| (id, m + storm.tide_m))
+            .collect();
+        Ok(StationSurge { entries })
+    }
+
+    /// Meteorological (wind + wave + pressure) component of surge at
+    /// an open-coast point, before shelf amplification and tide.
+    fn open_coast_met_surge(
+        &self,
+        storm: &StormParams,
+        pos: ct_geo::LatLon,
+        onshore_bearing_deg: f64,
+    ) -> Result<f64, HydroError> {
+        let cal = &self.calibration;
+        let (t0, t1) = storm.track.time_span_hours();
+        let mut peak_onshore: f64 = 0.0;
+        let mut min_dist = f64::INFINITY;
+        let mut t = t0;
+        while t <= t1 {
+            let center = storm.track.position(t);
+            let d = center.distance_km(pos);
+            min_dist = min_dist.min(d);
+            // Beyond 400 km the Cat 1-5 wind contribution is negligible.
+            if d < 400.0 {
+                let field = storm.wind_field(t)?;
+                let w = field.wind_at(center, pos);
+                peak_onshore = peak_onshore.max(w.component_toward(onshore_bearing_deg));
+            }
+            t += cal.scan_step_hours;
+        }
+        let eta_wind = cal.setup_coefficient * peak_onshore * peak_onshore;
+        let ib_weight = (-(min_dist / cal.ib_decay_km).powi(2)).exp();
+        let eta_ib = cal.ib_m_per_hpa * storm.pressure_deficit_hpa() * ib_weight;
+        Ok(eta_wind * (1.0 + cal.wave_setup_fraction) + eta_ib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{EnsembleConfig, TrackEnsemble};
+    use crate::track::StormTrack;
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    use ct_geo::LatLon;
+
+    fn model() -> ParametricSurge {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        ParametricSurge::new(Stations::from_dem(&dem), SurgeCalibration::default())
+    }
+
+    /// A storm passing just west of Oahu heading north: the worst case
+    /// for the south shore (onshore winds on the right of the track).
+    fn direct_hit_storm() -> StormParams {
+        let track = StormTrack::straight(LatLon::new(19.2, -158.35), 5.0, 6.0, 48.0).unwrap();
+        StormParams {
+            track,
+            central_pressure_hpa: 966.0,
+            ambient_pressure_hpa: 1010.0,
+            rmax_km: 35.0,
+            b: 1.6,
+            tide_m: 0.3,
+        }
+    }
+
+    /// A storm passing far to the east.
+    fn miss_storm() -> StormParams {
+        let track = StormTrack::straight(LatLon::new(19.2, -155.0), 0.0, 6.0, 48.0).unwrap();
+        StormParams {
+            tide_m: 0.0,
+            ..{
+                let mut s = direct_hit_storm();
+                s.track = track;
+                s
+            }
+        }
+    }
+
+    #[test]
+    fn direct_hit_floods_south_shore() {
+        let m = model();
+        let s = m.station_surge(&direct_hit_storm()).unwrap();
+        let south = s.get(StationId::South);
+        assert!(
+            (2.0..8.0).contains(&south),
+            "south-shore surge for a direct Cat 2 hit: {south} m"
+        );
+    }
+
+    #[test]
+    fn harbor_exceeds_south_station() {
+        let m = model();
+        let s = m.station_surge(&direct_hit_storm()).unwrap();
+        assert!(s.get(StationId::PearlHarbor) > s.get(StationId::South));
+    }
+
+    #[test]
+    fn west_coast_sees_less_than_south() {
+        let m = model();
+        let s = m.station_surge(&direct_hit_storm()).unwrap();
+        assert!(
+            s.get(StationId::West) < 0.6 * s.get(StationId::South),
+            "west {} vs south {}",
+            s.get(StationId::West),
+            s.get(StationId::South)
+        );
+    }
+
+    #[test]
+    fn distant_storm_produces_little_surge() {
+        let m = model();
+        let s = m.station_surge(&miss_storm()).unwrap();
+        assert!(
+            s.max_surge_m() < 0.6,
+            "distant storm surge {}",
+            s.max_surge_m()
+        );
+    }
+
+    #[test]
+    fn tide_shifts_all_stations_equally() {
+        let m = model();
+        let mut storm = direct_hit_storm();
+        let a = m.station_surge(&storm).unwrap();
+        storm.tide_m += 0.2;
+        let b = m.station_surge(&storm).unwrap();
+        for (id, v) in a.iter() {
+            assert!((b.get(id) - v - 0.2).abs() < 1e-9, "{id}");
+        }
+    }
+
+    #[test]
+    fn stronger_storm_higher_surge() {
+        let m = model();
+        let mut storm = direct_hit_storm();
+        let weak = m.station_surge(&storm).unwrap().get(StationId::South);
+        storm.central_pressure_hpa = 940.0; // Cat 4 deficit
+        let strong = m.station_surge(&storm).unwrap().get(StationId::South);
+        assert!(strong > weak + 1.0, "weak {weak} strong {strong}");
+    }
+
+    #[test]
+    fn ensemble_surges_all_finite() {
+        let m = model();
+        let cfg = EnsembleConfig {
+            realizations: 40,
+            ..EnsembleConfig::default()
+        };
+        for storm in TrackEnsemble::new(cfg).unwrap().generate() {
+            let s = m.station_surge(&storm).unwrap();
+            for (id, v) in s.iter() {
+                assert!(v.is_finite(), "{id} produced {v}");
+                assert!(v > -1.0 && v < 15.0, "{id} produced implausible {v}");
+            }
+        }
+    }
+}

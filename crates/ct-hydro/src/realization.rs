@@ -1,0 +1,338 @@
+//! Hurricane realizations: per-asset peak inundation outcomes.
+//!
+//! A [`RealizationSet`] is the hazard input the analysis framework
+//! consumes — the direct analogue of the paper's 1000 ADCIRC
+//! realizations tracked at the power-asset locations.
+
+use crate::ensemble::{EnsembleConfig, StormParams, TrackEnsemble};
+use crate::error::HydroError;
+use crate::inundation::{FloodThreshold, Poi};
+use crate::parametric::{ParametricSurge, SurgeCalibration};
+use crate::stations::{StationId, Stations};
+use ct_geo::Dem;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one sampled hurricane: peak inundation depth (m) at
+/// every point of interest, in POI order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Realization {
+    /// Index within the ensemble.
+    pub index: usize,
+    /// Tide anomaly sampled for this storm (m).
+    pub tide_m: f64,
+    /// Largest station surge produced by this storm (diagnostics).
+    pub max_station_surge_m: f64,
+    /// Peak inundation depth per POI (m), parallel to the POI list.
+    pub inundation_m: Vec<f64>,
+}
+
+impl Realization {
+    /// Whether the POI at `poi_idx` fails under `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poi_idx` is out of range.
+    pub fn flooded(&self, poi_idx: usize, threshold: FloodThreshold) -> bool {
+        threshold.is_flooded(self.inundation_m[poi_idx])
+    }
+}
+
+/// A full hazard ensemble: POIs plus one [`Realization`] per storm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealizationSet {
+    pois: Vec<Poi>,
+    realizations: Vec<Realization>,
+    threshold: FloodThreshold,
+}
+
+impl RealizationSet {
+    /// Generates the ensemble using the default parametric surge model
+    /// built from `dem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ensemble-configuration and storm-parameter errors.
+    pub fn generate(config: &EnsembleConfig, dem: &Dem, pois: &[Poi]) -> Result<Self, HydroError> {
+        let model = ParametricSurge::new(Stations::from_dem(dem), SurgeCalibration::default());
+        Self::generate_with(config, &model, pois)
+    }
+
+    /// Generates the ensemble with an explicit surge model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ensemble-configuration and storm-parameter errors.
+    pub fn generate_with(
+        config: &EnsembleConfig,
+        model: &ParametricSurge,
+        pois: &[Poi],
+    ) -> Result<Self, HydroError> {
+        let storms = TrackEnsemble::new(config.clone())?.generate();
+        Self::from_storms(&storms, model, pois)
+    }
+
+    /// Evaluates an explicit storm list (used by tests and by the
+    /// shallow-water cross-validation, which swaps the surge model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storm-parameter errors.
+    pub fn from_storms(
+        storms: &[StormParams],
+        model: &ParametricSurge,
+        pois: &[Poi],
+    ) -> Result<Self, HydroError> {
+        let assignments: Vec<StationId> = pois
+            .iter()
+            .map(|p| {
+                p.station_override
+                    .unwrap_or_else(|| model.stations().nearest(p.pos).id)
+            })
+            .collect();
+        let cal = model.calibration();
+        let mut realizations = Vec::with_capacity(storms.len());
+        for (index, storm) in storms.iter().enumerate() {
+            let surge = model.station_surge(storm)?;
+            let inundation_m: Vec<f64> = pois
+                .iter()
+                .zip(&assignments)
+                .map(|(poi, st)| poi.inundation_m(surge.get(*st), cal))
+                .collect();
+            realizations.push(Realization {
+                index,
+                tide_m: storm.tide_m,
+                max_station_surge_m: surge.max_surge_m(),
+                inundation_m,
+            });
+        }
+        Ok(Self {
+            pois: pois.to_vec(),
+            realizations,
+            threshold: FloodThreshold::default(),
+        })
+    }
+
+    /// Assembles a set from pre-computed parts (used by parallel
+    /// evaluators that compute [`Realization`]s on worker threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any realization's inundation vector length differs
+    /// from the POI count.
+    pub fn from_parts(pois: Vec<Poi>, realizations: Vec<Realization>) -> Self {
+        for r in &realizations {
+            assert_eq!(
+                r.inundation_m.len(),
+                pois.len(),
+                "realization/POI arity mismatch"
+            );
+        }
+        Self {
+            pois,
+            realizations,
+            threshold: FloodThreshold::default(),
+        }
+    }
+
+    /// Evaluates a single storm against the POIs (the per-storm step
+    /// of [`RealizationSet::from_storms`], exposed for parallel use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storm-parameter errors.
+    pub fn evaluate_storm(
+        index: usize,
+        storm: &StormParams,
+        model: &ParametricSurge,
+        pois: &[Poi],
+    ) -> Result<Realization, HydroError> {
+        let surge = model.station_surge(storm)?;
+        let cal = model.calibration();
+        let inundation_m = pois
+            .iter()
+            .map(|poi| {
+                let st = poi
+                    .station_override
+                    .unwrap_or_else(|| model.stations().nearest(poi.pos).id);
+                poi.inundation_m(surge.get(st), cal)
+            })
+            .collect();
+        Ok(Realization {
+            index,
+            tide_m: storm.tide_m,
+            max_station_surge_m: surge.max_surge_m(),
+            inundation_m,
+        })
+    }
+
+    /// Number of realizations.
+    pub fn len(&self) -> usize {
+        self.realizations.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.realizations.is_empty()
+    }
+
+    /// The tracked points of interest, in column order.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// The realizations.
+    pub fn realizations(&self) -> &[Realization] {
+        &self.realizations
+    }
+
+    /// The flood threshold used by the failure queries.
+    pub fn threshold(&self) -> FloodThreshold {
+        self.threshold
+    }
+
+    /// Overrides the flood threshold.
+    pub fn set_threshold(&mut self, threshold: FloodThreshold) {
+        self.threshold = threshold;
+    }
+
+    /// Column index of a POI by id.
+    pub fn poi_index(&self, id: &str) -> Option<usize> {
+        self.pois.iter().position(|p| p.id == id)
+    }
+
+    /// Fraction of realizations in which the POI floods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poi_idx` is out of range.
+    pub fn flood_fraction(&self, poi_idx: usize) -> f64 {
+        assert!(poi_idx < self.pois.len(), "poi index out of range");
+        if self.realizations.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .realizations
+            .iter()
+            .filter(|r| r.flooded(poi_idx, self.threshold))
+            .count();
+        n as f64 / self.realizations.len() as f64
+    }
+
+    /// Per-POI failure mask for one realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `realization_idx` is out of range.
+    pub fn flooded_mask(&self, realization_idx: usize) -> Vec<bool> {
+        let r = &self.realizations[realization_idx];
+        (0..self.pois.len())
+            .map(|i| r.flooded(i, self.threshold))
+            .collect()
+    }
+
+    /// Fraction of realizations in which POI `a` floods but POI `b`
+    /// does not — zero means `b` always fails together with `a`
+    /// (the correlation structure the paper's siting analysis hinges
+    /// on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn exclusive_flood_fraction(&self, a: usize, b: usize) -> f64 {
+        if self.realizations.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .realizations
+            .iter()
+            .filter(|r| r.flooded(a, self.threshold) && !r.flooded(b, self.threshold))
+            .count();
+        n as f64 / self.realizations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    use ct_geo::LatLon;
+
+    fn small_set() -> RealizationSet {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let pois = vec![
+            Poi::from_dem("honolulu-cc", LatLon::new(21.307, -157.858), &dem).unwrap(),
+            Poi::from_dem("kahe", LatLon::new(21.356, -158.122), &dem).unwrap(),
+        ];
+        let cfg = EnsembleConfig {
+            realizations: 60,
+            ..EnsembleConfig::default()
+        };
+        RealizationSet::generate(&cfg, &dem, &pois).unwrap()
+    }
+
+    #[test]
+    fn shapes_and_lookup() {
+        let set = small_set();
+        assert_eq!(set.len(), 60);
+        assert!(!set.is_empty());
+        assert_eq!(set.pois().len(), 2);
+        assert_eq!(set.poi_index("honolulu-cc"), Some(0));
+        assert_eq!(set.poi_index("nope"), None);
+        for r in set.realizations() {
+            assert_eq!(r.inundation_m.len(), 2);
+            for &d in &r.inundation_m {
+                assert!(d >= 0.0 && d.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_set();
+        let b = small_set();
+        assert_eq!(a.realizations(), b.realizations());
+    }
+
+    #[test]
+    fn kahe_floods_less_than_honolulu() {
+        let set = small_set();
+        let h = set.flood_fraction(0);
+        let k = set.flood_fraction(1);
+        assert!(
+            k <= h,
+            "kahe {k} should flood no more often than honolulu {h}"
+        );
+        assert_eq!(k, 0.0, "elevated Kahe should never flood, got {k}");
+    }
+
+    #[test]
+    fn mask_matches_flood_fraction() {
+        let set = small_set();
+        let mut count = 0;
+        for i in 0..set.len() {
+            if set.flooded_mask(i)[0] {
+                count += 1;
+            }
+        }
+        assert!((set.flood_fraction(0) - count as f64 / set.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_override_changes_fractions() {
+        let mut set = small_set();
+        let base = set.flood_fraction(0);
+        set.set_threshold(FloodThreshold::new(0.0).unwrap());
+        let generous = set.flood_fraction(0);
+        assert!(generous >= base);
+    }
+
+    #[test]
+    fn exclusive_flood_fraction_bounds() {
+        let set = small_set();
+        let x = set.exclusive_flood_fraction(0, 1);
+        assert!((0.0..=1.0).contains(&x));
+        // Kahe never floods, so "honolulu floods and kahe doesn't" is
+        // exactly honolulu's flood fraction.
+        assert!((x - set.flood_fraction(0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Small sampling utilities built on `rand`.
+//!
+//! The allowed dependency set does not include `rand_distr`, so the
+//! normal sampler is implemented directly via the Box-Muller
+//! transform.
+
+use rand::{Rng, RngExt};
+
+/// Samples a standard normal via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, sd)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples `N(mean, sd)` truncated to `[lo, hi]` by rejection, falling
+/// back to clamping after 64 rejections (only reachable for extreme
+/// truncation bounds).
+///
+/// # Panics
+///
+/// Panics in debug builds if `lo > hi` or `sd < 0`.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi, "truncation bounds inverted");
+    debug_assert!(sd >= 0.0, "negative standard deviation");
+    for _ in 0..64 {
+        let x = normal(rng, mean, sd);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Samples uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if lo == hi {
+        return lo;
+    }
+    rng.random_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn truncated_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            let x = truncated_normal(&mut rng, 0.0, 5.0, -1.0, 2.0);
+            assert!((-1.0..=2.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn truncated_extreme_bounds_clamp() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // Bounds 20 sigma away: rejection will fail, clamp must kick in.
+        let x = truncated_normal(&mut rng, 0.0, 1.0, 20.0, 21.0);
+        assert!((20.0..=21.0).contains(&x));
+    }
+
+    #[test]
+    fn uniform_bounds_and_degenerate() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..1_000 {
+            let x = uniform(&mut rng, -2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut rng, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

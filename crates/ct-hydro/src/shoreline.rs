@@ -1,0 +1,197 @@
+//! Shoreline post-processing of solver output.
+//!
+//! The paper (Sec. V-A) notes that the ADCIRC mesh was coarse near the
+//! Oahu shoreline, producing artifacts such as a 1.5 m water-surface
+//! elevation adjacent to 0 m. Their remedy — which we reproduce — is
+//! to *average* the water-surface elevations near the shoreline and
+//! then *extend* the averaged surface onto the shore to obtain the
+//! inundation estimate.
+
+use crate::swe::SurgeOutcome;
+use ct_geo::{EnuKm, Grid};
+
+/// Averages the wet water-surface envelope within `radius_km` of each
+/// wet cell, removing cell-scale mesh artifacts. Dry cells stay `NAN`.
+pub fn smooth_water_surface(outcome: &SurgeOutcome, radius_km: f64) -> Grid<f64> {
+    let eta = &outcome.max_eta;
+    let reach = (radius_km / eta.cell_km()).ceil() as isize;
+    let (cols, rows) = (eta.cols() as isize, eta.rows() as isize);
+    let mut smoothed = eta.clone();
+    for r in 0..rows {
+        for c in 0..cols {
+            let center = *eta.get(c as usize, r as usize).expect("in range");
+            if center.is_nan() {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for dr in -reach..=reach {
+                for dc in -reach..=reach {
+                    let (nc, nr) = (c + dc, r + dr);
+                    if nc < 0 || nr < 0 || nc >= cols || nr >= rows {
+                        continue;
+                    }
+                    let v = *eta.get(nc as usize, nr as usize).expect("in range");
+                    if !v.is_nan() {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                *smoothed.get_mut(c as usize, r as usize).expect("in range") = sum / count as f64;
+            }
+        }
+    }
+    smoothed
+}
+
+/// Extends a (smoothed) water surface onto dry shoreline cells: every
+/// dry cell within `extend_km` of a wet cell receives the mean surface
+/// elevation of the wet cells in that neighbourhood. Returns the
+/// extended water-surface grid (`NAN` for cells that stay dry).
+pub fn extend_onto_shore(surface: &Grid<f64>, extend_km: f64) -> Grid<f64> {
+    let reach = (extend_km / surface.cell_km()).ceil() as isize;
+    let (cols, rows) = (surface.cols() as isize, surface.rows() as isize);
+    let mut extended = surface.clone();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = *surface.get(c as usize, r as usize).expect("in range");
+            if !v.is_nan() {
+                continue; // already wet
+            }
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for dr in -reach..=reach {
+                for dc in -reach..=reach {
+                    let (nc, nr) = (c + dc, r + dr);
+                    if nc < 0 || nr < 0 || nc >= cols || nr >= rows {
+                        continue;
+                    }
+                    let w = *surface.get(nc as usize, nr as usize).expect("in range");
+                    if !w.is_nan() {
+                        sum += w;
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                *extended.get_mut(c as usize, r as usize).expect("in range") = sum / count as f64;
+            }
+        }
+    }
+    extended
+}
+
+/// Full post-processing pipeline: smooth then extend, mirroring the
+/// paper's treatment of the coarse-mesh ADCIRC output.
+pub fn postprocess(outcome: &SurgeOutcome, radius_km: f64, extend_km: f64) -> Grid<f64> {
+    extend_onto_shore(&smooth_water_surface(outcome, radius_km), extend_km)
+}
+
+/// Inundation depth (m) at a local point given an extended
+/// water-surface grid and the bed: `max(0, surface - ground)`.
+/// Returns 0 where the surface never reached.
+pub fn inundation_depth(surface: &Grid<f64>, bed: &Grid<f64>, p: EnuKm) -> f64 {
+    let Some((c, r)) = surface.cell_of(p) else {
+        return 0.0;
+    };
+    let s = *surface.get(c, r).expect("in range");
+    if s.is_nan() {
+        return 0.0;
+    }
+    let ground = *bed.get(c, r).expect("in range");
+    (s - ground).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swe::SurgeOutcome;
+    use ct_geo::Grid;
+
+    /// Builds a toy outcome: a 1-D shore. Cells 0..5 wet with a noisy
+    /// surface, cells 5..10 dry land.
+    fn toy_outcome() -> SurgeOutcome {
+        let bed = Grid::from_fn(10, 3, EnuKm::new(0.0, 0.0), 1.0, |p| {
+            if p.east < 5.0 {
+                -10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        let max_eta = Grid::from_fn(10, 3, EnuKm::new(0.0, 0.0), 1.0, |p| {
+            if p.east < 5.0 {
+                // Mesh artifact: alternating 1.5 / 0.3 m.
+                if (p.east as usize) % 2 == 0 {
+                    1.5
+                } else {
+                    0.3
+                }
+            } else {
+                f64::NAN
+            }
+        })
+        .unwrap();
+        SurgeOutcome {
+            max_eta,
+            bed,
+            steps: 1,
+            dt_s: 1.0,
+            max_speed_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_artifacts() {
+        let out = toy_outcome();
+        let smoothed = smooth_water_surface(&out, 2.0);
+        // Spread between adjacent wet cells shrinks.
+        let a = smoothed.get(1, 1).unwrap();
+        let b = smoothed.get(2, 1).unwrap();
+        assert!((a - b).abs() < 0.6, "still rough: {a} vs {b}");
+        // Dry cells untouched.
+        assert!(smoothed.get(8, 1).unwrap().is_nan());
+    }
+
+    #[test]
+    fn extension_wets_the_shoreline_band() {
+        let out = toy_outcome();
+        let extended = postprocess(&out, 2.0, 2.0);
+        // The first land cells (east = 5.5, 6.5) now carry a surface.
+        assert!(!extended.get(5, 1).unwrap().is_nan());
+        assert!(!extended.get(6, 1).unwrap().is_nan());
+        // Far inland stays dry.
+        assert!(extended.get(9, 1).unwrap().is_nan());
+    }
+
+    #[test]
+    fn extended_surface_is_plausible_average() {
+        let out = toy_outcome();
+        let extended = postprocess(&out, 2.0, 2.0);
+        let v = *extended.get(5, 1).unwrap();
+        // The wet field averages to ~0.9 m.
+        assert!((0.3..1.5).contains(&v), "extended value {v}");
+    }
+
+    #[test]
+    fn inundation_depth_semantics() {
+        let out = toy_outcome();
+        let extended = postprocess(&out, 2.0, 2.0);
+        // On the shoreline band (ground 1.0): depth = surface - 1.0,
+        // floored at zero.
+        let d = inundation_depth(&extended, &out.bed, EnuKm::new(5.5, 1.5));
+        assert!(d >= 0.0 && d < 1.0);
+        // Outside the domain: zero.
+        assert_eq!(
+            inundation_depth(&extended, &out.bed, EnuKm::new(99.0, 1.0)),
+            0.0
+        );
+        // Far inland (never wetted): zero.
+        assert_eq!(
+            inundation_depth(&extended, &out.bed, EnuKm::new(9.5, 1.5)),
+            0.0
+        );
+    }
+}

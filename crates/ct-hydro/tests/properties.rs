@@ -1,0 +1,124 @@
+//! Property-based tests for the hurricane hazard substrate.
+
+use ct_geo::LatLon;
+use ct_hydro::{
+    Category, EnsembleConfig, FloodThreshold, HollandWindField, Poi, StormTrack, SurgeCalibration,
+    TrackEnsemble,
+};
+use proptest::prelude::*;
+
+fn field_strategy() -> impl Strategy<Value = HollandWindField> {
+    (20.0f64..90.0, 18.0f64..55.0, 1.0f64..2.2).prop_map(|(deficit, rmax, b)| {
+        HollandWindField::new(1010.0 - deficit, 1010.0, rmax, b, 21.4).expect("parameters in range")
+    })
+}
+
+proptest! {
+    /// Wind speed is non-negative everywhere and the radial profile
+    /// peaks at the radius of maximum winds — up to the small inward
+    /// shift the Coriolis correction introduces (the cyclostrophic
+    /// term is stationary at R_max while the Coriolis penalty keeps
+    /// growing with r, so the true maximum sits slightly inside).
+    #[test]
+    fn holland_profile_shape(field in field_strategy(), r in 0.1f64..600.0) {
+        let v = field.gradient_wind_ms(r);
+        prop_assert!(v >= 0.0, "negative wind {v}");
+        let at_rmax = field.gradient_wind_ms(field.rmax_km);
+        prop_assert!(v <= at_rmax + 0.35, "profile exceeds peak at r={r}: {v} vs {at_rmax}");
+        // Far field decays well below the peak.
+        if r > 4.0 * field.rmax_km {
+            prop_assert!(v < 0.8 * at_rmax, "no far-field decay at r={r}");
+        }
+    }
+
+    /// Surface pressure lies between central and ambient pressure.
+    #[test]
+    fn holland_pressure_bounded(field in field_strategy(), r in 0.0f64..2000.0) {
+        let p = field.pressure_hpa(r);
+        prop_assert!(p >= field.central_pressure_hpa - 1e-9);
+        prop_assert!(p <= field.ambient_pressure_hpa + 1e-9);
+    }
+
+    /// Wind speed at a geographic point never exceeds the gradient
+    /// peak plus the full translation contribution.
+    #[test]
+    fn wind_at_bounded(field in field_strategy(), bearing in 0.0f64..360.0, d in 1.0f64..300.0) {
+        let moving = field.with_motion(15.0, 7.0);
+        let center = LatLon::new(21.0, -158.0);
+        let sample = moving.wind_at(center, center.destination(bearing, d));
+        let cap = moving.max_gradient_wind_ms() + 0.6 * 7.0 + 1e-6;
+        prop_assert!(sample.speed_ms <= cap, "{} > {}", sample.speed_ms, cap);
+    }
+
+    /// Track interpolation stays within the segment's bounding box.
+    #[test]
+    fn track_position_bounded(
+        heading in 0.0f64..360.0,
+        speed in 3.5f64..9.0,
+        hours in 6.0f64..48.0,
+        t in 0.0f64..48.0,
+    ) {
+        let start = LatLon::new(19.0, -158.0);
+        let track = StormTrack::straight(start, heading, speed, hours).expect("valid");
+        let end = track.position(hours);
+        let p = track.position(t.min(hours));
+        let (lo_lat, hi_lat) = (start.lat.min(end.lat), start.lat.max(end.lat));
+        prop_assert!(p.lat >= lo_lat - 1e-9 && p.lat <= hi_lat + 1e-9);
+    }
+
+    /// Inundation is monotone in surge and antitone in elevation.
+    #[test]
+    fn inundation_monotonicity(
+        surge_a in 0.0f64..8.0,
+        delta in 0.0f64..3.0,
+        elev in 0.2f64..12.0,
+        dist in 0.0f64..6.0,
+    ) {
+        let cal = SurgeCalibration::default();
+        let low = Poi::with_site_profile("p", LatLon::new(21.3, -157.9), elev, dist);
+        let a = low.inundation_m(surge_a, &cal);
+        let b = low.inundation_m(surge_a + delta, &cal);
+        prop_assert!(b >= a, "more surge produced less water");
+        let higher = Poi::with_site_profile("q", LatLon::new(21.3, -157.9), elev + 1.0, dist);
+        prop_assert!(higher.inundation_m(surge_a, &cal) <= a);
+    }
+
+    /// Flood threshold classification is a threshold function.
+    #[test]
+    fn flood_threshold_is_monotone(t in 0.0f64..3.0, d1 in 0.0f64..5.0, d2 in 0.0f64..5.0) {
+        let thr = FloodThreshold::new(t).expect("valid");
+        if d1 <= d2 && thr.is_flooded(d1) {
+            prop_assert!(thr.is_flooded(d2));
+        }
+    }
+
+    /// Ensembles are deterministic per seed and differ across seeds.
+    #[test]
+    fn ensemble_seed_determinism(seed in any::<u64>()) {
+        let cfg = EnsembleConfig {
+            realizations: 5,
+            seed,
+            ..EnsembleConfig::default()
+        };
+        let a = TrackEnsemble::new(cfg.clone()).expect("cfg").generate();
+        let b = TrackEnsemble::new(cfg).expect("cfg").generate();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Sampled pressure deficits always match the requested category.
+    #[test]
+    fn ensemble_respects_category(cat_idx in 0usize..5, seed in any::<u64>()) {
+        let category = Category::ALL[cat_idx];
+        let cfg = EnsembleConfig {
+            realizations: 8,
+            seed,
+            category,
+            ..EnsembleConfig::default()
+        };
+        let (lo, hi) = category.pressure_deficit_range_hpa();
+        for storm in TrackEnsemble::new(cfg).expect("cfg").generate() {
+            let d = storm.pressure_deficit_hpa();
+            prop_assert!((lo..=hi).contains(&d), "{category}: deficit {d}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Plain-text export of topologies (CSV; no extra dependencies).
+
+use crate::topology::Topology;
+use std::fmt::Write as _;
+
+/// Renders the topology as CSV with header
+/// `id,name,kind,lat,lon`.
+pub fn to_csv(topology: &Topology) -> String {
+    let mut out = String::from("id,name,kind,lat,lon\n");
+    for a in topology.assets() {
+        let name = a.name.replace(',', ";");
+        writeln!(
+            out,
+            "{},{},{},{:.6},{:.6}",
+            a.id, name, a.kind, a.pos.lat, a.pos.lon
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::{Asset, AssetKind};
+    use ct_geo::LatLon;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = Topology::builder("t")
+            .asset(Asset::new(
+                "cc",
+                "Control, Center",
+                AssetKind::ControlCenter,
+                LatLon::new(21.3, -157.8),
+            ))
+            .build()
+            .unwrap();
+        let csv = to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "id,name,kind,lat,lon");
+        // Embedded comma sanitized.
+        assert!(lines[1].starts_with("cc,Control; Center,control center,"));
+    }
+
+    #[test]
+    fn oahu_export_is_complete() {
+        let t = crate::oahu::topology();
+        let csv = to_csv(&t);
+        assert_eq!(csv.lines().count(), t.assets().len() + 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Scheduled fault injection.
+
+use crate::actor::{NodeId, SiteId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A fault (or repair) applied to the simulation at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Crash a single node: it stops receiving messages and timers.
+    CrashNode(NodeId),
+    /// Crash every node in a site (the natural-disaster outcome for a
+    /// flooded control site).
+    CrashSite(SiteId),
+    /// Sever a site's WAN links while leaving its LAN intact (the
+    /// paper's *site isolation* attack).
+    IsolateSite(SiteId),
+    /// Undo a site isolation.
+    HealSite(SiteId),
+}
+
+/// A time-ordered schedule of fault actions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an action at `at`, keeping the plan sorted by time.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.entries.push((at, action));
+        self.entries.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The scheduled actions in time order.
+    pub fn entries(&self) -> &[(SimTime, FaultAction)] {
+        &self.entries
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_stays_sorted() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(5.0), FaultAction::CrashNode(NodeId(1)))
+            .at(SimTime::from_secs(1.0), FaultAction::IsolateSite(SiteId(0)))
+            .at(SimTime::from_secs(3.0), FaultAction::HealSite(SiteId(0)));
+        let times: Vec<f64> = plan.entries().iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.entries(), &[]);
+    }
+}

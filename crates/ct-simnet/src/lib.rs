@@ -1,0 +1,53 @@
+//! Deterministic discrete-event simulation of distributed systems.
+//!
+//! This crate is the substrate under `ct-replication`: it provides a
+//! virtual-time event kernel ([`Sim`]), a wide-area network model with
+//! per-link latency and site-granular partitions ([`NetConfig`]), and
+//! scheduled fault injection ([`FaultAction`]) — node crashes, site
+//! isolation (the paper's network-level attack), and repair.
+//!
+//! Everything is deterministic: given the same actors, configuration
+//! and seed, a simulation replays identically. That property is what
+//! lets the compound-threat framework cross-validate its rule-based
+//! operational-state classifier against actual protocol executions.
+//!
+//! # Example
+//!
+//! ```
+//! use ct_simnet::{Actor, Ctx, NetConfig, NodeId, Sim, SimTime};
+//!
+//! /// A node that pings its peer once and counts replies.
+//! struct Ping { peer: NodeId, replies: u32 }
+//! impl Actor for Ping {
+//!     type Msg = &'static str;
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+//!         ctx.send(self.peer, "ping");
+//!     }
+//!     fn on_message(&mut self, _from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+//!         match msg {
+//!             "ping" => { let from = ctx.self_id(); ctx.send(self.peer, "pong"); let _ = from; }
+//!             _ => self.replies += 1,
+//!         }
+//!     }
+//! }
+//!
+//! let net = NetConfig::single_site(2);
+//! let mut sim = Sim::new(net, 7, vec![
+//!     Ping { peer: NodeId(1), replies: 0 },
+//!     Ping { peer: NodeId(0), replies: 0 },
+//! ]);
+//! sim.run_until(SimTime::from_secs(1.0));
+//! assert_eq!(sim.node(NodeId(0)).replies, 1);
+//! ```
+
+pub mod actor;
+pub mod fault;
+pub mod net;
+pub mod sim;
+pub mod time;
+
+pub use actor::{Actor, CommandBuffer, Ctx, NodeId, SiteId};
+pub use fault::{FaultAction, FaultPlan};
+pub use net::NetConfig;
+pub use sim::{Sim, SimStats};
+pub use time::SimTime;

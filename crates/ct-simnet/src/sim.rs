@@ -1,0 +1,442 @@
+//! The discrete-event kernel.
+
+use crate::actor::{Actor, Command, Ctx, NodeId, SiteId};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::net::{NetConfig, NetState};
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires.
+#[derive(Debug, Clone)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: u64 },
+    Fault(FaultAction),
+}
+
+/// A scheduled event; ordered by `(time, seq)` so execution is total
+/// and deterministic.
+#[derive(Debug, Clone)]
+struct Event<M> {
+    at: SimTime,
+    kind: EventKind<M>,
+}
+
+/// Key used for heap ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey(SimTime, u64);
+
+/// Counters describing a finished (or paused) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Messages handed to `on_message`.
+    pub delivered: u64,
+    /// Messages dropped by crashes or partitions.
+    pub dropped: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Fault actions applied.
+    pub faults_applied: u64,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// Owns the actors, the event queue, and the network state. Use
+/// [`Sim::run_until`] to advance virtual time.
+#[derive(Debug)]
+pub struct Sim<A: Actor> {
+    nodes: Vec<A>,
+    net: NetState,
+    queue: BinaryHeap<Reverse<(EventKey, usize)>>,
+    events: Vec<Option<Event<A::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    stats: SimStats,
+    started: bool,
+}
+
+impl<A: Actor> Sim<A> {
+    /// Creates a simulation over `nodes`, whose index is their
+    /// [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the network config's
+    /// node count.
+    pub fn new(net: NetConfig, seed: u64, nodes: Vec<A>) -> Self {
+        assert_eq!(
+            net.node_count(),
+            nodes.len(),
+            "network config and node list disagree"
+        );
+        Self {
+            nodes,
+            net: NetState::new(net),
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            started: false,
+        }
+    }
+
+    /// Schedules every action in `plan`.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for &(at, action) in plan.entries() {
+            self.push_event(at, EventKind::Fault(action));
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node's actor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &A {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node's actor state (fault/behaviour
+    /// injection between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.nodes[id.0]
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[A] {
+        &self.nodes
+    }
+
+    /// Whether a node is currently crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.net.crashed_nodes.contains(&id)
+    }
+
+    /// Whether a site is currently isolated.
+    pub fn is_isolated(&self, site: SiteId) -> bool {
+        self.net.isolated_sites.contains(&site)
+    }
+
+    /// The network configuration.
+    pub fn net_config(&self) -> &NetConfig {
+        &self.net.config
+    }
+
+    /// Crashes a node immediately.
+    pub fn crash_node(&mut self, id: NodeId) {
+        self.net.crashed_nodes.insert(id);
+    }
+
+    /// Crashes all nodes in a site immediately.
+    pub fn crash_site(&mut self, site: SiteId) {
+        for n in self.net.config.nodes_in_site(site) {
+            self.net.crashed_nodes.insert(n);
+        }
+    }
+
+    /// Isolates a site immediately.
+    pub fn isolate_site(&mut self, site: SiteId) {
+        self.net.isolated_sites.insert(site);
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<A::Msg>) {
+        let idx = self.events.len();
+        self.events.push(Some(Event { at, kind }));
+        self.queue.push(Reverse((EventKey(at, self.seq), idx)));
+        self.seq += 1;
+    }
+
+    fn dispatch_commands(&mut self, origin: NodeId, commands: Vec<Command<A::Msg>>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, msg } => {
+                    if to.0 >= self.nodes.len() || !self.net.deliverable(origin, to) {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    let latency = if to == origin {
+                        SimTime::from_millis(0.05)
+                    } else {
+                        self.net.latency(origin, to, &mut self.rng)
+                    };
+                    self.push_event(
+                        self.now + latency,
+                        EventKind::Deliver {
+                            from: origin,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                Command::Timer { delay, id } => {
+                    self.push_event(self.now + delay, EventKind::Timer { node: origin, id });
+                }
+            }
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i);
+            if self.net.crashed_nodes.contains(&node) {
+                continue;
+            }
+            let mut commands = Vec::new();
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: node,
+                    commands: &mut commands,
+                };
+                self.nodes[i].on_start(&mut ctx);
+            }
+            self.dispatch_commands(node, commands);
+        }
+    }
+
+    /// Runs until the queue is exhausted or virtual time reaches
+    /// `deadline`, whichever comes first. Returns the stats.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
+        self.start_if_needed();
+        while let Some(&Reverse((EventKey(at, _), idx))) = self.queue.peek() {
+            if at > deadline {
+                break;
+            }
+            self.queue.pop();
+            let Some(event) = self.events[idx].take() else {
+                continue;
+            };
+            self.now = event.at;
+            match event.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    if !self.net.deliverable(from, to) {
+                        // State changed since the send (crash mid-flight).
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    let mut commands = Vec::new();
+                    {
+                        let mut ctx = Ctx {
+                            now: self.now,
+                            self_id: to,
+                            commands: &mut commands,
+                        };
+                        self.nodes[to.0].on_message(from, msg, &mut ctx);
+                    }
+                    self.dispatch_commands(to, commands);
+                }
+                EventKind::Timer { node, id } => {
+                    if self.net.crashed_nodes.contains(&node) {
+                        continue;
+                    }
+                    self.stats.timers_fired += 1;
+                    let mut commands = Vec::new();
+                    {
+                        let mut ctx = Ctx {
+                            now: self.now,
+                            self_id: node,
+                            commands: &mut commands,
+                        };
+                        self.nodes[node.0].on_timer(id, &mut ctx);
+                    }
+                    self.dispatch_commands(node, commands);
+                }
+                EventKind::Fault(action) => {
+                    self.stats.faults_applied += 1;
+                    match action {
+                        FaultAction::CrashNode(n) => {
+                            self.net.crashed_nodes.insert(n);
+                        }
+                        FaultAction::CrashSite(s) => {
+                            for n in self.net.config.nodes_in_site(s) {
+                                self.net.crashed_nodes.insert(n);
+                            }
+                        }
+                        FaultAction::IsolateSite(s) => {
+                            self.net.isolated_sites.insert(s);
+                        }
+                        FaultAction::HealSite(s) => {
+                            self.net.isolated_sites.remove(&s);
+                        }
+                    }
+                }
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gossip counter: each node forwards the token once, appending
+    /// its id, and remembers everything it saw.
+    #[derive(Debug, Default)]
+    struct Relay {
+        next: Option<NodeId>,
+        seen: Vec<u64>,
+        kick_off: bool,
+    }
+
+    impl Actor for Relay {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.kick_off {
+                if let Some(next) = self.next {
+                    ctx.send(next, 1);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.seen.push(msg);
+            if msg < 10 {
+                if let Some(next) = self.next {
+                    ctx.send(next, msg + 1);
+                }
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Vec<Relay> {
+        (0..n)
+            .map(|i| Relay {
+                next: Some(NodeId((i + 1) % n)),
+                seen: Vec::new(),
+                kick_off: i == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn messages_circulate_a_ring() {
+        let mut sim = Sim::new(NetConfig::single_site(3), 1, ring(3));
+        let stats = sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(stats.delivered, 10);
+        // Token values 1..=10 distributed around the ring.
+        let all: Vec<u64> = sim.nodes().iter().flat_map(|n| n.seen.clone()).collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = Sim::new(NetConfig::multi_site(&[2, 1]), 9, ring(3));
+            sim.run_until(SimTime::from_secs(10.0));
+            (
+                sim.stats(),
+                sim.now(),
+                sim.nodes()
+                    .iter()
+                    .map(|n| n.seen.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashed_node_breaks_the_ring() {
+        let mut sim = Sim::new(NetConfig::single_site(3), 1, ring(3));
+        sim.crash_node(NodeId(2));
+        let stats = sim.run_until(SimTime::from_secs(10.0));
+        // n0 -> n1 delivered; n1 -> n2 dropped.
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn scheduled_fault_takes_effect_at_its_time() {
+        let mut sim = Sim::new(NetConfig::single_site(3), 1, ring(3));
+        // Crash node 2 at t=0: the ring dies quickly.
+        let plan = FaultPlan::new().at(SimTime::ZERO, FaultAction::CrashNode(NodeId(2)));
+        sim.apply_fault_plan(&plan);
+        let stats = sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(stats.faults_applied, 1);
+        assert!(stats.delivered <= 2);
+    }
+
+    #[test]
+    fn site_isolation_blocks_cross_site_hops() {
+        // Ring across two sites: 0,1 in site 0; 2 in site 1.
+        let mut sim = Sim::new(NetConfig::multi_site(&[2, 1]), 1, ring(3));
+        sim.isolate_site(SiteId(1));
+        let stats = sim.run_until(SimTime::from_secs(10.0));
+        // n0 -> n1 ok (same site), n1 -> n2 dropped (cross-site).
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn heal_restores_connectivity() {
+        let mut sim = Sim::new(NetConfig::multi_site(&[2, 1]), 1, ring(3));
+        let plan = FaultPlan::new()
+            .at(SimTime::ZERO, FaultAction::IsolateSite(SiteId(1)))
+            .at(SimTime::from_secs(1.0), FaultAction::HealSite(SiteId(1)));
+        sim.apply_fault_plan(&plan);
+        sim.run_until(SimTime::from_millis(500.0));
+        assert!(sim.is_isolated(SiteId(1)));
+        sim.run_until(SimTime::from_secs(2.0));
+        assert!(!sim.is_isolated(SiteId(1)));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Debug, Default)]
+        struct TimerBox {
+            fired: Vec<u64>,
+        }
+        impl Actor for TimerBox {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime::from_millis(30.0), 3);
+                ctx.set_timer(SimTime::from_millis(10.0), 1);
+                ctx.set_timer(SimTime::from_millis(20.0), 2);
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, id: u64, _: &mut Ctx<'_, ()>) {
+                self.fired.push(id);
+            }
+        }
+        let mut sim = Sim::new(NetConfig::single_site(1), 1, vec![TimerBox::default()]);
+        sim.run_until(SimTime::from_secs(1.0));
+        assert_eq!(sim.node(NodeId(0)).fired, vec![1, 2, 3]);
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    #[test]
+    fn deadline_pauses_and_resumes() {
+        let mut sim = Sim::new(NetConfig::single_site(3), 1, ring(3));
+        let early = sim.run_until(SimTime::from_millis(1.5));
+        assert!(early.delivered < 10);
+        let late = sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(late.delivered, 10);
+    }
+}

@@ -1,0 +1,82 @@
+//! Applying hurricane realizations to a sited architecture
+//! (the "Apply Natural Disaster Impact" stage of Fig. 5).
+
+use crate::state::PostDisasterState;
+use ct_hydro::RealizationSet;
+use ct_scada::{ScadaError, SitePlan};
+
+/// Derives the post-disaster state for every realization in the set:
+/// a control site is knocked out when its asset's peak inundation
+/// exceeds the flood threshold.
+///
+/// # Errors
+///
+/// Returns [`ScadaError::UnknownAsset`] if a control-site asset has no
+/// matching POI column in the realization set.
+pub fn post_disaster_states(
+    plan: &SitePlan,
+    set: &RealizationSet,
+) -> Result<Vec<PostDisasterState>, ScadaError> {
+    let columns: Vec<usize> = plan
+        .site_asset_ids()
+        .iter()
+        .map(|id| {
+            set.poi_index(id)
+                .ok_or_else(|| ScadaError::UnknownAsset { id: id.clone() })
+        })
+        .collect::<Result<_, _>>()?;
+    let threshold = set.threshold();
+    Ok(set
+        .realizations()
+        .iter()
+        .map(|r| {
+            let flooded = columns.iter().map(|&c| r.flooded(c, threshold)).collect();
+            PostDisasterState::new(plan.architecture(), flooded)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    use ct_hydro::EnsembleConfig;
+    use ct_scada::{oahu, Architecture};
+
+    #[test]
+    fn states_follow_flood_columns() {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let topo = oahu::topology();
+        let pois = topo.to_pois(&dem).unwrap();
+        let cfg = EnsembleConfig {
+            realizations: 80,
+            ..EnsembleConfig::default()
+        };
+        let set = RealizationSet::generate(&cfg, &dem, &pois).unwrap();
+        let plan = oahu::site_plan(Architecture::C2_2, oahu::SiteChoice::Waiau).unwrap();
+        let states = post_disaster_states(&plan, &set).unwrap();
+        assert_eq!(states.len(), 80);
+        // Cross-check one column against the set's own flood mask.
+        let h = set.poi_index(oahu::HONOLULU_CC).unwrap();
+        for (r, s) in states.iter().enumerate() {
+            assert_eq!(s.flooded()[0], set.flooded_mask(r)[h]);
+        }
+    }
+
+    #[test]
+    fn unknown_asset_errors() {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let topo = oahu::topology();
+        // POIs missing the control sites entirely.
+        let pois = vec![];
+        let cfg = EnsembleConfig {
+            realizations: 3,
+            ..EnsembleConfig::default()
+        };
+        let set = RealizationSet::generate(&cfg, &dem, &pois).unwrap();
+        let plan = oahu::site_plan(Architecture::C2, oahu::SiteChoice::Waiau).unwrap();
+        let err = post_disaster_states(&plan, &set).unwrap_err();
+        assert!(matches!(err, ScadaError::UnknownAsset { .. }));
+        let _ = topo;
+    }
+}

@@ -1,0 +1,145 @@
+//! The four compound-threat scenarios (paper Sec. III-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How many of each attack the cyberattacker can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AttackBudget {
+    /// Servers the attacker can compromise.
+    pub intrusions: usize,
+    /// Control sites the attacker can isolate from the network.
+    pub isolations: usize,
+}
+
+impl AttackBudget {
+    /// No attack at all.
+    pub const NONE: AttackBudget = AttackBudget {
+        intrusions: 0,
+        isolations: 0,
+    };
+
+    /// Whether the attacker has nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.intrusions == 0 && self.isolations == 0
+    }
+}
+
+impl fmt::Display for AttackBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} intrusion(s) + {} isolation(s)",
+            self.intrusions, self.isolations
+        )
+    }
+}
+
+/// The paper's four threat scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreatScenario {
+    /// Natural disaster only (the baseline of Fig. 6/10).
+    Hurricane,
+    /// Hurricane followed by one server intrusion (Fig. 7/11).
+    HurricaneIntrusion,
+    /// Hurricane followed by one site isolation (Fig. 8).
+    HurricaneIsolation,
+    /// Hurricane followed by a server intrusion *and* a site
+    /// isolation (Fig. 9).
+    HurricaneIntrusionIsolation,
+}
+
+impl ThreatScenario {
+    /// All four scenarios, in the paper's order.
+    pub const ALL: [ThreatScenario; 4] = [
+        ThreatScenario::Hurricane,
+        ThreatScenario::HurricaneIntrusion,
+        ThreatScenario::HurricaneIsolation,
+        ThreatScenario::HurricaneIntrusionIsolation,
+    ];
+
+    /// The attacker's budget in this scenario.
+    pub fn budget(self) -> AttackBudget {
+        match self {
+            ThreatScenario::Hurricane => AttackBudget::NONE,
+            ThreatScenario::HurricaneIntrusion => AttackBudget {
+                intrusions: 1,
+                isolations: 0,
+            },
+            ThreatScenario::HurricaneIsolation => AttackBudget {
+                intrusions: 0,
+                isolations: 1,
+            },
+            ThreatScenario::HurricaneIntrusionIsolation => AttackBudget {
+                intrusions: 1,
+                isolations: 1,
+            },
+        }
+    }
+
+    /// Human-readable name matching the paper's figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreatScenario::Hurricane => "Hurricane",
+            ThreatScenario::HurricaneIntrusion => "Hurricane + Server Intrusion",
+            ThreatScenario::HurricaneIsolation => "Hurricane + Site Isolation",
+            ThreatScenario::HurricaneIntrusionIsolation => {
+                "Hurricane + Server Intrusion + Site Isolation"
+            }
+        }
+    }
+}
+
+impl fmt::Display for ThreatScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_the_paper() {
+        assert_eq!(ThreatScenario::Hurricane.budget(), AttackBudget::NONE);
+        assert_eq!(
+            ThreatScenario::HurricaneIntrusion.budget(),
+            AttackBudget {
+                intrusions: 1,
+                isolations: 0
+            }
+        );
+        assert_eq!(
+            ThreatScenario::HurricaneIsolation.budget(),
+            AttackBudget {
+                intrusions: 0,
+                isolations: 1
+            }
+        );
+        assert_eq!(
+            ThreatScenario::HurricaneIntrusionIsolation.budget(),
+            AttackBudget {
+                intrusions: 1,
+                isolations: 1
+            }
+        );
+    }
+
+    #[test]
+    fn labels_and_empty() {
+        assert!(ThreatScenario::Hurricane.budget().is_empty());
+        assert!(!ThreatScenario::HurricaneIntrusion.budget().is_empty());
+        for s in ThreatScenario::ALL {
+            assert!(!s.label().is_empty());
+        }
+        assert_eq!(
+            AttackBudget {
+                intrusions: 1,
+                isolations: 2
+            }
+            .to_string(),
+            "1 intrusion(s) + 2 isolation(s)"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Deployment-planning view: expected downtime per threat event and
+//! hazard-intensity sensitivity.
+//!
+//! Attaches explicit durations to the paper's qualitative states
+//! (orange = cold-backup activation, red = repair, gray = intrusion
+//! recovery) and sweeps the hurricane category, turning the color
+//! profiles into the numbers a utility would plan with.
+//!
+//! ```text
+//! cargo run --release --example downtime_planning
+//! ```
+
+use compound_threats::availability::{downtime_report, DowntimeModel};
+use compound_threats::sensitivity::category_sweep;
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use ct_hydro::Category;
+use ct_scada::{oahu::SiteChoice, Architecture};
+use ct_threat::ThreatScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = CaseStudy::build(&CaseStudyConfig::default())?;
+    let model = DowntimeModel::default();
+
+    println!(
+        "Durations assumed: orange {:.1} h (cold-backup activation), red {:.0} h\n\
+         (site repair / attack duration), gray {:.0} h (intrusion recovery).\n",
+        model.orange_hours, model.red_hours, model.gray_hours
+    );
+
+    for choice in [SiteChoice::Waiau, SiteChoice::Kahe] {
+        println!("=== Backup sited at {:?} ===", choice);
+        for scenario in ThreatScenario::ALL {
+            let report = downtime_report(&study, scenario, choice, &model)?;
+            print!("{report}");
+        }
+        println!();
+    }
+
+    println!("=== Hazard-intensity sensitivity (hurricane-only, Waiau backup) ===");
+    let sweep = category_sweep(
+        &CaseStudyConfig::default(),
+        &Category::ALL[..4],
+        ThreatScenario::Hurricane,
+        SiteChoice::Waiau,
+    )?;
+    println!(
+        "{:<12} {:>14} {:>22}",
+        "category", "P(CC floods)", "expected downtime \"6+6+6\""
+    );
+    for point in &sweep {
+        let p666 = point
+            .profile(Architecture::C6P6P6)
+            .expect("architecture present");
+        println!(
+            "{:<12} {:>13.1}% {:>20.1} h",
+            point.category.to_string(),
+            100.0 * point.p_honolulu_flood,
+            model.expected_hours(p666)
+        );
+    }
+    println!(
+        "\nThe architecture ranking is stable across categories; what grows with\n\
+         intensity is the shared hazard floor that no SCADA architecture can\n\
+         remove — only siting (and hardening) can."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Full reproduction of the paper's Oahu case study: regenerates
+//! Figures 6-11 as probability tables with ASCII profile bars.
+//!
+//! ```text
+//! cargo run --release --example oahu_case_study
+//! ```
+//!
+//! Uses the paper's parameters: 1000 hurricane realizations of a
+//! Category 2 storm, five SCADA configurations, four threat
+//! scenarios, and both control-site choices (Waiau and Kahe backups).
+
+use compound_threats::figures::{reproduce_all, Figure};
+use compound_threats::report::{figure_table, profile_bar};
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use ct_scada::oahu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Building the Oahu case study (synthetic terrain + 1000-realization");
+    println!("Category 2 hurricane ensemble at every power asset)...\n");
+
+    let config = CaseStudyConfig::default();
+    let study = CaseStudy::build(&config)?;
+
+    // The headline hazard statistic the whole case study pivots on.
+    let honolulu = study.flood_probability(oahu::HONOLULU_CC)?;
+    let waiau = study.flood_probability(oahu::WAIAU)?;
+    let kahe = study.flood_probability(oahu::KAHE)?;
+    println!("Control-site flood probabilities over the ensemble:");
+    println!("  Honolulu CC : {:5.1} %  (paper: 9.5 %)", 100.0 * honolulu);
+    println!(
+        "  Waiau       : {:5.1} %  (floods whenever Honolulu does)",
+        100.0 * waiau
+    );
+    println!(
+        "  Kahe        : {:5.1} %  (the least-impacted site)\n",
+        100.0 * kahe
+    );
+
+    for data in reproduce_all(&study)? {
+        print!("{}", figure_table(&data));
+        for (arch, p) in &data.rows {
+            println!(
+                "  {:<8} |{}|",
+                format!("\"{}\"", arch.label()),
+                profile_bar(p)
+            );
+        }
+        println!();
+    }
+
+    println!("Legend: G green (operational), O orange (disrupted until cold-backup");
+    println!("activation), R red (non-operational), X gray (safety compromised).");
+    println!();
+    println!(
+        "Key takeaway (paper Sec. VII): no configuration is fully green under the\n\
+         complete compound threat with the Waiau backup ({}), while moving the\n\
+         backup to Kahe ({}) makes \"6+6+6\" fully green under hurricane + intrusion.",
+        Figure::Fig9,
+        Figure::Fig11
+    );
+    Ok(())
+}

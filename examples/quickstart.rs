@@ -1,0 +1,36 @@
+//! Quickstart: evaluate one SCADA configuration against one compound
+//! threat in a dozen lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use ct_scada::{oahu::SiteChoice, Architecture};
+use ct_threat::ThreatScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced ensemble (200 realizations) keeps the quickstart fast;
+    // use `CaseStudyConfig::default()` for the paper's full 1000.
+    let study = CaseStudy::build(&CaseStudyConfig::with_realizations(200))?;
+
+    let profile = study.profile(
+        Architecture::C6P6P6,
+        ThreatScenario::HurricaneIntrusionIsolation,
+        SiteChoice::Waiau,
+    )?;
+
+    println!(
+        "\"6+6+6\" under a Category 2 hurricane followed by a server\n\
+         intrusion + site isolation attack (Honolulu + Waiau + DRFortress):"
+    );
+    println!("  {profile}");
+    println!();
+    println!(
+        "Even the strongest architecture is red {:.0}% of the time — the\n\
+         compound threat model exceeds what any existing configuration\n\
+         was designed for (paper Sec. VI-D).",
+        100.0 * profile.red()
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Runs the 2-D shallow-water surge solver (the ADCIRC stand-in) on a
+//! single worst-case Category 2 storm, prints an ASCII inundation map
+//! of Oahu, and compares the solver's coastal peaks against the fast
+//! parametric model used for the 1000-realization ensembles.
+//!
+//! ```text
+//! cargo run --release --example surge_explorer
+//! ```
+
+use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+use ct_geo::LatLon;
+use ct_hydro::shoreline::postprocess;
+use ct_hydro::{
+    ParametricSurge, ShallowWaterConfig, ShallowWaterSolver, StationId, Stations, StormParams,
+    StormTrack, SurgeCalibration,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dem = synthesize_oahu(&OahuTerrainConfig::default());
+
+    // A direct-hit Category 2 storm: passing just west of the island
+    // heading north, strongest (right-side) winds onshore at the south
+    // shore, at high tide.
+    let storm = StormParams {
+        track: StormTrack::straight(LatLon::new(19.2, -158.35), 5.0, 6.0, 48.0)?,
+        central_pressure_hpa: 966.0,
+        ambient_pressure_hpa: 1010.0,
+        rmax_km: 35.0,
+        b: 1.6,
+        tide_m: 0.3,
+    };
+
+    println!("Running the shallow-water solver (this is the expensive model)...");
+    let solver = ShallowWaterSolver::new(&dem, ShallowWaterConfig::default());
+    let outcome = solver.run(&storm)?;
+    println!(
+        "  {} steps at dt = {:.2} s; peak water speed {:.1} m/s\n",
+        outcome.steps, outcome.dt_s, outcome.max_speed_ms
+    );
+
+    // Paper Sec. V-A: smooth the coarse-mesh water surface and extend
+    // it onto the shoreline before reading off inundation.
+    let surface = postprocess(&outcome, 3.0, 3.0);
+
+    // ASCII map: '.' sea, '#' dry land, digits = inundation depth (m).
+    let bed = &outcome.bed;
+    println!(
+        "Inundation map (rows north to south; ~{:.1} km/char):",
+        bed.cell_km() * 2.0
+    );
+    for r in (0..bed.rows()).rev().step_by(2) {
+        let mut line = String::new();
+        for c in (0..bed.cols()).step_by(2) {
+            let ground = *bed.get(c, r).unwrap();
+            if ground <= 0.0 {
+                line.push('.');
+                continue;
+            }
+            let s = *surface.get(c, r).unwrap();
+            let depth = if s.is_nan() {
+                0.0
+            } else {
+                (s - ground).max(0.0)
+            };
+            line.push(if depth < 0.25 {
+                '#'
+            } else {
+                std::char::from_digit((depth.min(9.0)) as u32, 10).unwrap_or('9')
+            });
+        }
+        if line.contains('#') || line.contains('.') {
+            println!("  {line}");
+        }
+    }
+
+    // Compare coastal peaks against the parametric model.
+    let stations = Stations::from_dem(&dem);
+    let parametric = ParametricSurge::new(stations, SurgeCalibration::default());
+    let fast = parametric.station_surge(&storm)?;
+    println!("\nPeak coastal water level, solver vs parametric (m):");
+    for id in [
+        StationId::South,
+        StationId::Ewa,
+        StationId::West,
+        StationId::North,
+        StationId::East,
+    ] {
+        let st = parametric.stations().get(id);
+        let enu = dem.projection().to_enu(st.pos);
+        let solver_level = outcome.coastal_peak_near(enu, 6.0).unwrap_or(f64::NAN);
+        println!(
+            "  {:<18} solver {:5.2}   parametric {:5.2}",
+            id.to_string(),
+            solver_level,
+            fast.get(id)
+        );
+    }
+    println!(
+        "\nThe ensembles use the parametric model (ms per storm). The solver\n\
+         validates the spatial pattern (the shallow-shelf Ewa/south shore\n\
+         leads; the windward and north shores are suppressed); its absolute\n\
+         values sit below the parametric model, which is calibrated as an\n\
+         *effective* flood level including wave setup and runup."
+    );
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! `ct` — command-line interface to the compound-threats framework.
+//!
+//! ```text
+//! ct figures [--realizations N] [--csv]     reproduce Figs. 6-11
+//! ct figure <6|7|8|9|10|11> [--csv]         one figure
+//! ct placement <config> <scenario>          rank backup sites
+//! ct downtime [waiau|kahe]                  expected downtime report
+//! ct grid                                   grid-impact summary
+//! ct crossval                               Table I vs protocol execution
+//! ct topology                               export the Oahu assets as CSV
+//! ct hazard [--realizations N] [--full]     flood probabilities (or the
+//!                                           full inundation matrix) as CSV
+//! ct report [--realizations N]              full case-study report (markdown)
+//! ```
+//!
+//! Scenarios: `hurricane`, `intrusion`, `isolation`, `compound`.
+//! Configs: `2`, `2-2`, `6`, `6-6`, `6+6+6`.
+
+use compound_threats::availability::{downtime_report, DowntimeModel};
+use compound_threats::crossval::{cross_validate, reachable_states};
+use compound_threats::figures::{reproduce, reproduce_all, Figure};
+use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
+use compound_threats::placement::rank_backup_sites;
+use compound_threats::report::{figure_csv, figure_table, profile_bar};
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use ct_replication::VerdictConfig;
+use ct_scada::{export, oahu, Architecture};
+use ct_simnet::SimTime;
+use ct_threat::ThreatScenario;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ct <command>\n\
+         \n\
+         commands:\n\
+         \x20 figures [--realizations N] [--csv]   reproduce Figs. 6-11\n\
+         \x20 figure <6..11> [--csv]               one figure\n\
+         \x20 placement <config> <scenario>        rank backup control sites\n\
+         \x20 downtime [waiau|kahe]                expected downtime per event\n\
+         \x20 grid                                 grid-impact summary\n\
+         \x20 crossval                             Table I vs protocol execution\n\
+         \x20 topology                             Oahu assets as CSV\n\
+         \x20 hazard [--full]                      hazard ensemble as CSV\n\
+         \x20 report                               full case-study markdown report\n\
+         \n\
+         scenarios: hurricane | intrusion | isolation | compound\n\
+         configs:   2 | 2-2 | 6 | 6-6 | 6+6+6"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_scenario(s: &str) -> Option<ThreatScenario> {
+    match s {
+        "hurricane" => Some(ThreatScenario::Hurricane),
+        "intrusion" => Some(ThreatScenario::HurricaneIntrusion),
+        "isolation" => Some(ThreatScenario::HurricaneIsolation),
+        "compound" => Some(ThreatScenario::HurricaneIntrusionIsolation),
+        _ => None,
+    }
+}
+
+fn build_study(realizations: Option<usize>) -> Result<CaseStudy, Box<dyn std::error::Error>> {
+    let config = match realizations {
+        Some(n) => CaseStudyConfig::with_realizations(n),
+        None => CaseStudyConfig::default(),
+    };
+    Ok(CaseStudy::build(&config)?)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = run(&args);
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    let csv = args.iter().any(|a| a == "--csv");
+    let realizations = args
+        .iter()
+        .position(|a| a == "--realizations")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+
+    match command.as_str() {
+        "figures" => {
+            let study = build_study(realizations)?;
+            for data in reproduce_all(&study)? {
+                if csv {
+                    print!("{}", figure_csv(&data));
+                } else {
+                    print!("{}", figure_table(&data));
+                    for (arch, p) in &data.rows {
+                        println!(
+                            "  {:<8} |{}|",
+                            format!("\"{}\"", arch.label()),
+                            profile_bar(p)
+                        );
+                    }
+                    println!();
+                }
+            }
+        }
+        "figure" => {
+            let Some(n) = args.get(1).and_then(|v| v.parse::<u32>().ok()) else {
+                return Ok(usage());
+            };
+            let Some(fig) = Figure::ALL.into_iter().find(|f| f.number() == n) else {
+                eprintln!("no figure {n}; the paper has figures 6-11");
+                return Ok(ExitCode::FAILURE);
+            };
+            let study = build_study(realizations)?;
+            let data = reproduce(&study, fig)?;
+            if csv {
+                print!("{}", figure_csv(&data));
+            } else {
+                print!("{}", figure_table(&data));
+            }
+        }
+        "placement" => {
+            let (Some(arch_s), Some(scen_s)) = (args.get(1), args.get(2)) else {
+                return Ok(usage());
+            };
+            let Some(arch) = Architecture::from_label(arch_s) else {
+                eprintln!("unknown config '{arch_s}'");
+                return Ok(ExitCode::FAILURE);
+            };
+            let Some(scenario) = parse_scenario(scen_s) else {
+                eprintln!("unknown scenario '{scen_s}'");
+                return Ok(ExitCode::FAILURE);
+            };
+            let study = build_study(realizations)?;
+            let ranking = rank_backup_sites(&study, arch, scenario)?;
+            if ranking.is_empty() {
+                println!("configuration {arch} has no backup site to place");
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!("Backup-site ranking for {arch} under {scenario}:");
+            for (i, r) in ranking.iter().enumerate() {
+                println!(
+                    "  {:>2}. {:<16} green {:5.1}%  orange {:5.1}%  red {:5.1}%  gray {:5.1}%",
+                    i + 1,
+                    r.backup_asset_id,
+                    100.0 * r.profile.green(),
+                    100.0 * r.profile.orange(),
+                    100.0 * r.profile.red(),
+                    100.0 * r.profile.gray()
+                );
+            }
+        }
+        "downtime" => {
+            let choice = match args.get(1).map(String::as_str) {
+                Some("kahe") => oahu::SiteChoice::Kahe,
+                _ => oahu::SiteChoice::Waiau,
+            };
+            let study = build_study(realizations)?;
+            let model = DowntimeModel::default();
+            for scenario in ThreatScenario::ALL {
+                print!("{}", downtime_report(&study, scenario, choice, &model)?);
+            }
+        }
+        "grid" => {
+            let study = build_study(realizations)?;
+            let summary = grid_impact(&study, &GridImpactConfig::default())?;
+            println!(
+                "mean served, SCADA operational : {:5.1} %",
+                100.0 * summary.mean_served_supervised()
+            );
+            println!(
+                "mean served, SCADA down        : {:5.1} %",
+                100.0 * summary.mean_served_blind()
+            );
+            println!(
+                "P(blind served < 90%)          : {:5.1} %",
+                100.0 * summary.p_loss_below(0.9)
+            );
+        }
+        "crossval" => {
+            let config = VerdictConfig {
+                run_duration: SimTime::from_secs(60.0),
+                ..VerdictConfig::default()
+            };
+            let mut total = 0;
+            let mut agreed = 0;
+            for arch in Architecture::ALL {
+                for state in reachable_states(arch) {
+                    let cv = cross_validate(&state, &config);
+                    total += 1;
+                    agreed += usize::from(cv.agrees());
+                    if !cv.agrees() {
+                        println!(
+                            "DISAGREE {state}: rule {} vs executed {}",
+                            cv.rule, cv.observed
+                        );
+                    }
+                }
+            }
+            println!("{agreed}/{total} states agree between Table I and execution");
+            if agreed != total {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        "topology" => {
+            print!("{}", export::to_csv(&oahu::topology()));
+        }
+        "report" => {
+            let study = build_study(realizations)?;
+            let report = compound_threats::summary::write_report(
+                &study,
+                &compound_threats::summary::ReportOptions::default(),
+            )?;
+            print!("{report}");
+        }
+        "hazard" => {
+            let study = build_study(realizations)?;
+            if args.iter().any(|a| a == "--full") {
+                print!(
+                    "{}",
+                    ct_hydro::export::realizations_to_csv(study.realizations())
+                );
+            } else {
+                print!(
+                    "{}",
+                    ct_hydro::export::flood_probabilities_to_csv(study.realizations())
+                );
+            }
+        }
+        _ => return Ok(usage()),
+    }
+    Ok(ExitCode::SUCCESS)
+}

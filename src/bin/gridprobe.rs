@@ -1,0 +1,16 @@
+fn main() {
+    let g = ct_grid::oahu::grid();
+    let s = ct_grid::dc_power_flow(&g, &ct_grid::OutageSet::none()).unwrap();
+    for (lid, flow) in &s.flows_mw {
+        let l = &g.lines()[lid.0];
+        println!(
+            "{:>2} {:<14}->{:<14} flow {:8.1} cap {:6.0} util {:4.0}%",
+            lid.0,
+            g.buses()[l.from.0].name,
+            g.buses()[l.to.0].name,
+            flow,
+            l.capacity_mw,
+            100.0 * flow.abs() / l.capacity_mw
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper claims its three-rule greedy attacker "guarantees the
+//! worst-case damage" (Sec. V-B). The unit-level property test checks
+//! random states; here we check every post-disaster state that
+//! actually occurs in the full case-study ensemble, for every
+//! architecture, siting, and scenario.
+
+use compound_threats::{CaseStudy, CaseStudyConfig};
+use ct_scada::{oahu, Architecture};
+use ct_threat::{
+    classify, post_disaster_states, Attacker, ExhaustiveAttacker, ThreatScenario, WorstCaseAttacker,
+};
+use std::sync::OnceLock;
+
+fn study() -> &'static CaseStudy {
+    static STUDY: OnceLock<CaseStudy> = OnceLock::new();
+    STUDY.get_or_init(|| CaseStudy::build(&CaseStudyConfig::default()).expect("case study builds"))
+}
+
+#[test]
+fn greedy_attacker_achieves_exhaustive_damage_on_the_real_ensemble() {
+    let set = study().realizations();
+    for arch in Architecture::ALL {
+        for choice in [oahu::SiteChoice::Waiau, oahu::SiteChoice::Kahe] {
+            let plan = oahu::site_plan(arch, choice).unwrap();
+            let posts = post_disaster_states(&plan, set).unwrap();
+            // The distinct post-disaster states are few; dedupe to
+            // keep the exhaustive search cheap.
+            let mut distinct = posts.clone();
+            distinct.sort_by_key(|p| p.flooded().to_vec());
+            distinct.dedup();
+            for scenario in ThreatScenario::ALL {
+                let budget = scenario.budget();
+                for post in &distinct {
+                    let greedy = classify(&WorstCaseAttacker.attack(arch, post, budget));
+                    let exhaustive = classify(&ExhaustiveAttacker.attack(arch, post, budget));
+                    assert_eq!(
+                        greedy, exhaustive,
+                        "{arch:?}/{choice:?}/{scenario}: post {post:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn attacker_rule_priorities_visible_in_chosen_targets() {
+    // With one isolation and everything up, the greedy attacker
+    // always isolates the *primary* control center (rule 2 priority).
+    use ct_threat::{PostDisasterState, SiteStatus};
+    for arch in [Architecture::C2_2, Architecture::C6_6, Architecture::C6P6P6] {
+        let post = PostDisasterState::all_up(arch);
+        let state =
+            WorstCaseAttacker.attack(arch, &post, ThreatScenario::HurricaneIsolation.budget());
+        assert_eq!(
+            state.sites[0].status,
+            SiteStatus::Isolated,
+            "{arch:?} should have its primary isolated"
+        );
+        for s in &state.sites[1..] {
+            assert_eq!(s.status, SiteStatus::Up, "{arch:?}");
+        }
+    }
+}
+
+#[test]
+fn rule_one_preempts_isolation() {
+    // If safety can be compromised the attacker does that instead of
+    // isolating (rule 1): with budget {1,1} against "2-2" the final
+    // state has an intrusion and no isolation.
+    use ct_threat::PostDisasterState;
+    let post = PostDisasterState::all_up(Architecture::C2_2);
+    let state = WorstCaseAttacker.attack(
+        Architecture::C2_2,
+        &post,
+        ThreatScenario::HurricaneIntrusionIsolation.budget(),
+    );
+    assert_eq!(state.effective_intrusions(), 1);
+    assert!(state
+        .sites
+        .iter()
+        .all(|s| s.status == ct_threat::SiteStatus::Up));
+}

@@ -1,0 +1,221 @@
+//! Fault-injection integration tests for the executable SCADA
+//! architectures: recovery after healed attacks, hot takeover, view
+//! changes under repeated leader loss, and attack timings the
+//! verdict-level tests do not cover.
+
+use ct_replication::{
+    build_deployment, run_scenario, DeploymentSpec, FaultScenario, ObservedState, ProtocolMsg,
+    Role, VerdictConfig,
+};
+use ct_simnet::{FaultAction, FaultPlan, NodeId, Sim, SimTime, SiteId};
+
+fn cfg() -> VerdictConfig {
+    VerdictConfig {
+        run_duration: SimTime::from_secs(60.0),
+        ..VerdictConfig::default()
+    }
+}
+
+/// Builds and runs a deployment manually so tests can inject faults
+/// the scenario struct does not expose.
+fn manual_sim(spec: &DeploymentSpec) -> (Sim<Role>, NodeId) {
+    let built = build_deployment(spec);
+    let client = built.client;
+    let sim = Sim::new(built.net, 7, built.nodes);
+    (sim, client)
+}
+
+#[test]
+fn healed_isolation_resumes_service_in_place() {
+    // Isolate the only control center of config "6" for 15 virtual
+    // seconds, then heal the partition: the system must resume
+    // without any cold backup.
+    let (mut sim, client) = manual_sim(&DeploymentSpec::config_6());
+    let plan = FaultPlan::new()
+        .at(
+            SimTime::from_secs(10.0),
+            FaultAction::IsolateSite(SiteId(0)),
+        )
+        .at(SimTime::from_secs(25.0), FaultAction::HealSite(SiteId(0)));
+    sim.apply_fault_plan(&plan);
+    sim.run_until(SimTime::from_secs(60.0));
+    let rtu = sim.node(client).as_rtu().expect("client");
+    let times = rtu.accept_times();
+    assert!(
+        times.iter().any(|&t| t < SimTime::from_secs(10.0)),
+        "no service before the attack"
+    );
+    let during = times
+        .iter()
+        .filter(|&&t| t > SimTime::from_secs(13.0) && t < SimTime::from_secs(25.0))
+        .count();
+    assert_eq!(during, 0, "service should stop while isolated");
+    assert!(
+        times.iter().any(|&t| t > SimTime::from_secs(30.0)),
+        "service should resume after healing"
+    );
+    assert_eq!(rtu.bad_accepts, 0);
+}
+
+#[test]
+fn primary_master_crash_is_absorbed_by_hot_standby() {
+    // Config "2": crash the acting master only. The hot standby must
+    // take over within seconds — the one fault this architecture is
+    // designed for.
+    let (mut sim, client) = manual_sim(&DeploymentSpec::config_2());
+    let plan = FaultPlan::new().at(SimTime::from_secs(10.0), FaultAction::CrashNode(NodeId(0)));
+    sim.apply_fault_plan(&plan);
+    sim.run_until(SimTime::from_secs(40.0));
+    let rtu = sim.node(client).as_rtu().expect("client");
+    let times = rtu.accept_times();
+    assert!(
+        times.iter().any(|&t| t > SimTime::from_secs(35.0)),
+        "hot standby did not take over"
+    );
+    // The takeover gap must be small (hot, not cold).
+    let mut prev = SimTime::from_secs(5.0);
+    let mut max_gap = SimTime::ZERO;
+    for &t in times.iter().filter(|&&t| t >= SimTime::from_secs(5.0)) {
+        let gap = t.saturating_sub(prev);
+        if gap > max_gap {
+            max_gap = gap;
+        }
+        prev = t;
+    }
+    assert!(
+        max_gap < SimTime::from_secs(6.0),
+        "hot takeover too slow: {max_gap}"
+    );
+}
+
+#[test]
+fn two_leader_crashes_keep_quorum_replication_live() {
+    // Config "6" commits on quorums of 4, so it rides out two crashed
+    // leaders: view changes walk past them and commits continue.
+    let (mut sim, client) = manual_sim(&DeploymentSpec::config_6());
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(8.0), FaultAction::CrashNode(NodeId(0)))
+        .at(SimTime::from_secs(16.0), FaultAction::CrashNode(NodeId(1)));
+    sim.apply_fault_plan(&plan);
+    sim.run_until(SimTime::from_secs(60.0));
+    let rtu = sim.node(client).as_rtu().expect("client");
+    assert!(
+        rtu.accept_times()
+            .iter()
+            .any(|&t| t > SimTime::from_secs(55.0)),
+        "replication died after two leader crashes"
+    );
+    assert_eq!(rtu.bad_accepts, 0);
+}
+
+#[test]
+fn a_third_crash_exceeds_the_quorum_bound_and_stalls() {
+    // With 3 of 6 replicas gone only 3 remain — below the commit
+    // quorum of 4. The protocol must stall (lose liveness) but never
+    // accept bad data: exactly the quorum arithmetic Table I encodes.
+    let (mut sim, client) = manual_sim(&DeploymentSpec::config_6());
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(8.0), FaultAction::CrashNode(NodeId(0)))
+        .at(SimTime::from_secs(8.0), FaultAction::CrashNode(NodeId(1)))
+        .at(SimTime::from_secs(8.0), FaultAction::CrashNode(NodeId(2)));
+    sim.apply_fault_plan(&plan);
+    sim.run_until(SimTime::from_secs(60.0));
+    let rtu = sim.node(client).as_rtu().expect("client");
+    let after = rtu
+        .accept_times()
+        .iter()
+        .filter(|&&t| t > SimTime::from_secs(12.0))
+        .count();
+    assert_eq!(after, 0, "commits below quorum");
+    assert_eq!(rtu.bad_accepts, 0, "stalling must not corrupt safety");
+}
+
+#[test]
+fn six_six_survives_primary_flood_plus_backup_intrusion() {
+    // Fig. 9's "minimum survivable configuration" corner: the
+    // hurricane floods the primary site AND the attacker has
+    // compromised a replica in the backup site that takes over.
+    let v = run_scenario(
+        &DeploymentSpec::config_6_6(),
+        &FaultScenario {
+            flooded_sites: vec![0],
+            intrusions: vec![(1, 0)],
+            ..FaultScenario::default()
+        },
+        &cfg(),
+    );
+    assert_eq!(v.state, ObservedState::Orange, "{v:?}");
+    assert!(v.safe);
+}
+
+#[test]
+fn two_two_backup_intrusion_after_failover_is_gray() {
+    let v = run_scenario(
+        &DeploymentSpec::config_2_2(),
+        &FaultScenario {
+            flooded_sites: vec![0],
+            intrusions: vec![(1, 0)],
+            ..FaultScenario::default()
+        },
+        &cfg(),
+    );
+    assert_eq!(v.state, ObservedState::Gray, "{v:?}");
+    assert!(v.bad_accepts > 0);
+}
+
+#[test]
+fn isolating_the_backup_site_changes_nothing() {
+    // The attacker targeting the *backup* instead of the primary is
+    // strictly weaker — the paper's attacker never does it; verify
+    // the system stays green.
+    for spec in [DeploymentSpec::config_2_2(), DeploymentSpec::config_6_6()] {
+        let v = run_scenario(
+            &spec,
+            &FaultScenario {
+                isolated_sites: vec![1],
+                ..FaultScenario::default()
+            },
+            &cfg(),
+        );
+        assert_eq!(v.state, ObservedState::Green, "{}: {v:?}", spec.name);
+    }
+}
+
+#[test]
+fn deterministic_verdicts() {
+    let scenario = FaultScenario {
+        flooded_sites: vec![0],
+        intrusions: vec![(1, 0)],
+        ..FaultScenario::default()
+    };
+    let a = run_scenario(&DeploymentSpec::config_6_6(), &scenario, &cfg());
+    let b = run_scenario(&DeploymentSpec::config_6_6(), &scenario, &cfg());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn client_sees_progress_through_proactive_recovery_of_the_leader() {
+    // The recovery rotation takes the view-0 leader offline around
+    // t=10s for 3s; a view change should bridge it without an
+    // orange-scale gap.
+    let v = run_scenario(
+        &DeploymentSpec::config_6(),
+        &FaultScenario::benign(),
+        &cfg(),
+    );
+    assert_eq!(v.state, ObservedState::Green, "{v:?}");
+    assert!(v.max_gap < SimTime::from_secs(8.0), "{v:?}");
+}
+
+/// The protocol message type is part of the public API; make sure the
+/// enum stays exhaustively matchable for downstream users.
+#[test]
+fn protocol_messages_are_cloneable_and_comparable() {
+    let m = ProtocolMsg::Propose {
+        view: 1,
+        seq: 2,
+        req: 3,
+        digest: 4,
+    };
+    assert_eq!(m, m.clone());
+}

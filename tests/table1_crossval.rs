@@ -1,0 +1,55 @@
+//! Cross-validation of Table I against protocol executions: for every
+//! system state the worst-case attacker can reach in the case study,
+//! the rule-based operational state must match what the discrete-event
+//! replication simulation actually observes.
+
+use compound_threats::crossval::{cross_validate, reachable_states};
+use ct_replication::VerdictConfig;
+use ct_scada::Architecture;
+use ct_simnet::SimTime;
+
+fn config() -> VerdictConfig {
+    VerdictConfig {
+        run_duration: SimTime::from_secs(60.0),
+        ..VerdictConfig::default()
+    }
+}
+
+fn assert_architecture_agrees(arch: Architecture) {
+    let cfg = config();
+    for state in reachable_states(arch) {
+        let cv = cross_validate(&state, &cfg);
+        assert!(
+            cv.agrees(),
+            "{state}: Table I says {}, execution observed {} ({:?})",
+            cv.rule,
+            cv.observed,
+            cv.verdict
+        );
+    }
+}
+
+#[test]
+fn config_2_matches_execution() {
+    assert_architecture_agrees(Architecture::C2);
+}
+
+#[test]
+fn config_2_2_matches_execution() {
+    assert_architecture_agrees(Architecture::C2_2);
+}
+
+#[test]
+fn config_6_matches_execution() {
+    assert_architecture_agrees(Architecture::C6);
+}
+
+#[test]
+fn config_6_6_matches_execution() {
+    assert_architecture_agrees(Architecture::C6_6);
+}
+
+#[test]
+fn config_6p6p6_matches_execution() {
+    assert_architecture_agrees(Architecture::C6P6P6);
+}
