@@ -2,8 +2,9 @@
 //! generation (serial vs crossbeam-parallel) and per-scenario
 //! profiling throughput.
 
+use compound_threats::parallel::{par_map, par_map_dynamic};
 use compound_threats::{CaseStudy, CaseStudyConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ct_scada::{oahu::SiteChoice, Architecture};
 use ct_threat::ThreatScenario;
 
@@ -23,6 +24,25 @@ fn bench_generation(c: &mut Criterion) {
             },
         );
     }
+    // Skewed-cost scheduling: every eighth item is ~40x heavier, so
+    // static chunking strands the heavy items on a few workers while
+    // the work-stealing cursor keeps all of them busy.
+    let items: Vec<u64> = (0..64)
+        .map(|i| if i % 8 == 0 { 400_000 } else { 10_000 })
+        .collect();
+    let spin = |&n: &u64| -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i));
+        }
+        acc
+    };
+    group.bench_function("skewed/static_chunks", |b| {
+        b.iter(|| par_map(&items, 8, spin))
+    });
+    group.bench_function("skewed/work_stealing", |b| {
+        b.iter(|| par_map_dynamic(&items, 8, spin))
+    });
     group.finish();
 }
 

@@ -1,0 +1,39 @@
+//! Profiling-path microbenchmark: the naive per-realization attacker
+//! evaluation vs the histogram-memoized path, with the histogram cache
+//! cold (first profile call for a plan) and warm (every later call).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ct_scada::oahu::{self, SiteChoice};
+use ct_scada::Architecture;
+use ct_threat::ThreatScenario;
+
+fn bench_profile_memo(c: &mut Criterion) {
+    let study = ct_bench::study();
+    let plan = oahu::site_plan(Architecture::C2_2, SiteChoice::Waiau).expect("site plan");
+    let scenario = ThreatScenario::HurricaneIntrusionIsolation;
+    let mut group = c.benchmark_group("profile_memoization");
+    group.throughput(Throughput::Elements(study.realizations().len() as u64));
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            study
+                .profile_with_plan_naive(&plan, scenario)
+                .expect("profiles")
+        })
+    });
+    group.bench_function("memoized_cold", |b| {
+        // Cloning resets the histogram cache, so every iteration pays
+        // the full histogram build plus the per-pattern evaluations.
+        b.iter_batched(
+            || study.clone(),
+            |cold| cold.profile_with_plan(&plan, scenario).expect("profiles"),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("memoized_warm", |b| {
+        b.iter(|| study.profile_with_plan(&plan, scenario).expect("profiles"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_memo);
+criterion_main!(benches);

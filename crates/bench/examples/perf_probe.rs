@@ -1,0 +1,203 @@
+//! Offline timing probe behind `BENCH_pipeline.json`: measures the
+//! single-threaded speedups of the optimised SWE kernel and the
+//! histogram-memoized profiling path with plain wall clocks, so the
+//! numbers can be regenerated without the criterion harness
+//! (`cargo run --release -p ct-bench --example perf_probe`).
+//! Reports best-of-N to suppress scheduler noise.
+
+use ct_geo::grid::Grid;
+use ct_geo::{EnuKm, LatLon, Projection};
+use ct_hydro::swe::Forcing;
+use ct_hydro::{Realization, RealizationSet, ShallowWaterConfig, ShallowWaterSolver, SweWorkspace};
+use ct_scada::{oahu, Architecture};
+use ct_threat::{
+    classify, post_disaster_histogram, post_disaster_states, Attacker, ThreatScenario,
+    WorstCaseAttacker,
+};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct SteadyWind;
+
+impl Forcing for SteadyWind {
+    fn wind_stress(&self, _: f64, _: EnuKm) -> (f64, f64) {
+        (1.2, 0.4)
+    }
+    fn window_s(&self) -> (f64, f64) {
+        (0.0, 3.0 * 3600.0)
+    }
+}
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    // Warm-up once, then best-of-reps wall time in seconds.
+    let _ = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        std::mem::drop(out);
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn swe_probe_domain(label: &str, wet_cols: f64) {
+    // Sloping coastal strip: open sea on the west, beach rising inland.
+    // `wet_cols` sets how much of the 80-col domain starts wet — the
+    // active set pays off on dry-dominated (realistic island) domains.
+    let cols = 80usize;
+    let rows = 50usize;
+    let bed = Grid::from_fn(cols, rows, EnuKm::new(0.0, 0.0), 1.0, |p| {
+        -12.0 + 12.0 * (p.east / wet_cols)
+    })
+    .unwrap();
+    let proj = Projection::new(LatLon::new(21.45, -158.0));
+    let cfg = ShallowWaterConfig {
+        cell_km: 1.0,
+        ..ShallowWaterConfig::default()
+    };
+    let solver = ShallowWaterSolver::from_bed(bed, proj, cfg);
+
+    let reps = 8;
+    let fast = time(reps, || {
+        let mut ws = SweWorkspace::new();
+        solver
+            .run_forced_with_workspace(&mut ws, &SteadyWind)
+            .unwrap()
+    });
+    let reference = time(reps, || solver.run_forced_reference(&SteadyWind).unwrap());
+    let mut ws = SweWorkspace::new();
+    let reused = time(reps, || {
+        solver
+            .run_forced_with_workspace(&mut ws, &SteadyWind)
+            .unwrap()
+    });
+    println!(
+        "swe {cols}x{rows} {label} 3h: reference {:.3}s fast {:.3}s ({:.2}x) reused-ws {:.3}s ({:.2}x)",
+        reference,
+        fast,
+        reference / fast,
+        reused,
+        reference / reused,
+    );
+}
+
+fn profile_probe() {
+    let dem = ct_geo::terrain::synthesize_oahu(&ct_geo::terrain::OahuTerrainConfig::default());
+    let topo = oahu::topology();
+    let pois = topo.to_pois(&dem).unwrap();
+    let plan = oahu::site_plan(Architecture::C2_2, oahu::SiteChoice::Waiau).unwrap();
+    let h = pois.iter().position(|p| p.id == oahu::HONOLULU_CC).unwrap();
+    let w = pois.iter().position(|p| p.id == oahu::WAIAU).unwrap();
+    let n = 1000usize;
+    let mut realizations = Vec::new();
+    for i in 0..n {
+        let mut inundation_m = vec![0.0; pois.len()];
+        if i % 3 != 0 {
+            inundation_m[h] = 2.0;
+        }
+        if i % 7 == 0 {
+            inundation_m[w] = 1.5;
+        }
+        realizations.push(Realization {
+            index: i,
+            tide_m: 0.0,
+            max_station_surge_m: 0.0,
+            inundation_m,
+        });
+    }
+    let set = RealizationSet::from_parts(pois, realizations);
+    let budget = ThreatScenario::HurricaneIntrusionIsolation.budget();
+    let arch = plan.architecture();
+    let attacker = WorstCaseAttacker;
+
+    let reps = 20;
+    let naive = time(reps, || {
+        let posts = post_disaster_states(&plan, &set).unwrap();
+        posts
+            .iter()
+            .map(|post| classify(&attacker.attack(arch, post, budget)) as usize)
+            .sum::<usize>()
+    });
+    let memo = time(reps, || {
+        let hist = post_disaster_histogram(&plan, &set).unwrap();
+        hist.iter()
+            .map(|(post, n)| classify(&attacker.attack(arch, post, budget)) as usize * n)
+            .sum::<usize>()
+    });
+    let hist = post_disaster_histogram(&plan, &set).unwrap();
+    let warm = time(reps, || {
+        hist.iter()
+            .map(|(post, n)| classify(&attacker.attack(arch, post, budget)) as usize * n)
+            .sum::<usize>()
+    });
+    println!(
+        "profile n={n}: naive {:.6}s histogram {:.6}s ({:.1}x) warm-cache {:.9}s ({:.0}x)",
+        naive,
+        memo,
+        naive / memo,
+        warm,
+        naive / warm,
+    );
+}
+
+fn swe_probe_oahu() {
+    // The production case: the ablation benchmark's direct-hit storm
+    // over the synthetic Oahu DEM at the coarse solver resolution.
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    use ct_hydro::swe::StormForcing;
+    use ct_hydro::{StormParams, StormTrack};
+
+    let dem = synthesize_oahu(&OahuTerrainConfig::default());
+    let storm = StormParams {
+        track: StormTrack::straight(LatLon::new(19.2, -158.35), 5.0, 6.0, 48.0)
+            .expect("valid track"),
+        central_pressure_hpa: 966.0,
+        ambient_pressure_hpa: 1010.0,
+        rmax_km: 35.0,
+        b: 1.6,
+        tide_m: 0.3,
+    };
+    let coarse = ct_hydro::ShallowWaterConfig {
+        cell_km: 3.0,
+        window_before_hours: 8.0,
+        window_after_hours: 4.0,
+        ..ct_hydro::ShallowWaterConfig::default()
+    };
+    let solver = ShallowWaterSolver::new(&dem, coarse);
+    let bed = solver.bed().as_slice();
+    let wet = bed.iter().filter(|&&z| z < storm.tide_m).count();
+    let n = bed.len();
+
+    let (ext_e, ext_n) = solver.bed().extent_km();
+    let center = EnuKm::new(
+        solver.bed().origin().east + ext_e / 2.0,
+        solver.bed().origin().north + ext_n / 2.0,
+    );
+    let forcing = StormForcing::new(&storm, *dem.projection(), center, 8.0, 4.0);
+
+    let reps = 5;
+    let fast = time(reps, || solver.run(&storm).unwrap());
+    let reference = time(reps, || solver.run_forced_reference(&forcing).unwrap());
+    let mut ws = SweWorkspace::new();
+    let reused = time(reps, || solver.run_with_workspace(&mut ws, &storm).unwrap());
+    println!(
+        "swe oahu {n} cells ({:.0}% wet) direct hit: reference {:.3}s fast {:.3}s ({:.2}x) reused-ws {:.3}s ({:.2}x)",
+        100.0 * wet as f64 / n as f64,
+        reference,
+        fast,
+        reference / fast,
+        reused,
+        reference / reused,
+    );
+}
+
+fn main() {
+    swe_probe_domain("wet20pct", 16.0);
+    swe_probe_domain("wet75pct", 60.0);
+    swe_probe_oahu();
+    profile_probe();
+}

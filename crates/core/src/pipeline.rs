@@ -1,7 +1,7 @@
 //! The analysis pipeline (Fig. 5) specialised to the Oahu case study.
 
 use crate::error::CoreError;
-use crate::parallel::{default_threads, par_map};
+use crate::parallel::{default_threads, par_map_dynamic};
 use crate::profile::OutcomeProfile;
 use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
 use ct_geo::Dem;
@@ -9,11 +9,21 @@ use ct_hydro::{
     EnsembleConfig, ParametricSurge, RealizationSet, Stations, SurgeCalibration, TrackEnsemble,
 };
 use ct_scada::{oahu, Architecture, SitePlan, Topology};
-use ct_threat::{classify, post_disaster_states, Attacker, ThreatScenario, WorstCaseAttacker};
+use ct_threat::{
+    classify, post_disaster_histogram, post_disaster_states, Attacker, PostDisasterState,
+    ThreatScenario, WorstCaseAttacker,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key for a site plan: its architecture and ordered site ids.
+type PlanKey = (Architecture, Vec<String>);
+/// A shared flood-pattern histogram (distinct pattern, multiplicity).
+type PlanHistogram = Arc<Vec<(PostDisasterState, usize)>>;
 
 /// Configuration of a full case-study run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CaseStudyConfig {
     /// Terrain synthesis parameters.
     pub terrain: OahuTerrainConfig,
@@ -24,17 +34,6 @@ pub struct CaseStudyConfig {
     pub calibration: SurgeCalibration,
     /// Worker threads for ensemble evaluation (0 = auto).
     pub threads: usize,
-}
-
-impl Default for CaseStudyConfig {
-    fn default() -> Self {
-        Self {
-            terrain: OahuTerrainConfig::default(),
-            ensemble: EnsembleConfig::default(),
-            calibration: SurgeCalibration::default(),
-            threads: 0,
-        }
-    }
 }
 
 impl CaseStudyConfig {
@@ -52,12 +51,32 @@ impl CaseStudyConfig {
 
 /// A fully-prepared case study: terrain, topology, and the hazard
 /// ensemble, ready to evaluate architectures under threat scenarios.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CaseStudy {
     config: CaseStudyConfig,
     dem: Dem,
     topology: Topology,
     set: RealizationSet,
+    /// Memoized flood-pattern histograms per site plan. A plan's
+    /// histogram is scenario-independent, so one entry serves every
+    /// threat scenario and repeated figure/sweep evaluations.
+    histograms: Mutex<HashMap<PlanKey, PlanHistogram>>,
+}
+
+impl Clone for CaseStudy {
+    fn clone(&self) -> Self {
+        // Cached histograms depend on the set's flood threshold, and a
+        // clone is exactly the mutation point for
+        // `with_flood_threshold` — so a clone starts with an empty
+        // cache rather than inheriting entries that may go stale.
+        Self {
+            config: self.config.clone(),
+            dem: self.dem.clone(),
+            topology: self.topology.clone(),
+            set: self.set.clone(),
+            histograms: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl CaseStudy {
@@ -80,7 +99,9 @@ impl CaseStudy {
             config.threads
         };
         let indexed: Vec<(usize, ct_hydro::StormParams)> = storms.into_iter().enumerate().collect();
-        let realizations = par_map(&indexed, threads, |(i, storm)| {
+        // Dynamic scheduling: storm cost varies with track/intensity,
+        // so work-stealing keeps all workers busy to the end.
+        let realizations = par_map_dynamic(&indexed, threads, |(i, storm)| {
             RealizationSet::evaluate_storm(*i, storm, &model, &pois)
         })
         .into_iter()
@@ -91,12 +112,23 @@ impl CaseStudy {
             dem,
             topology,
             set,
+            histograms: Mutex::new(HashMap::new()),
         })
     }
 
     /// The configuration the study was built from.
     pub fn config(&self) -> &CaseStudyConfig {
         &self.config
+    }
+
+    /// Effective worker-thread count for parallel sweeps over this
+    /// study (resolves the config's `0 = auto`).
+    pub fn threads(&self) -> usize {
+        if self.config.threads == 0 {
+            default_threads()
+        } else {
+            self.config.threads
+        }
     }
 
     /// The synthetic terrain.
@@ -134,11 +166,43 @@ impl CaseStudy {
     /// hurricane realization, then the worst-case attacker, then
     /// Table I.
     ///
+    /// The attacker and classification are deterministic functions of
+    /// the post-disaster flood pattern, so they are evaluated once per
+    /// *distinct* pattern (at most eight for three sites) and weighted
+    /// by the pattern's multiplicity; the histogram itself is memoized
+    /// per plan. Produces exactly the same profile as
+    /// [`CaseStudy::profile_with_plan_naive`] (asserted by tests).
+    ///
     /// # Errors
     ///
     /// Returns an error when the plan references assets missing from
     /// the ensemble's POI set.
     pub fn profile_with_plan(
+        &self,
+        plan: &SitePlan,
+        scenario: ThreatScenario,
+    ) -> Result<OutcomeProfile, CoreError> {
+        let hist = self.plan_histogram(plan)?;
+        let budget = scenario.budget();
+        let arch = plan.architecture();
+        let attacker = WorstCaseAttacker;
+        let mut profile = OutcomeProfile::new();
+        for (post, n) in hist.iter() {
+            profile.record_n(classify(&attacker.attack(arch, post, budget)), *n);
+        }
+        Ok(profile)
+    }
+
+    /// The pre-memoization profiling path: attacker and classification
+    /// run once per realization instead of once per distinct flood
+    /// pattern. Kept as ground truth for the equivalence tests and the
+    /// profiling benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the plan references assets missing from
+    /// the ensemble's POI set.
+    pub fn profile_with_plan_naive(
         &self,
         plan: &SitePlan,
         scenario: ThreatScenario,
@@ -150,6 +214,24 @@ impl CaseStudy {
         Ok(OutcomeProfile::from_outcomes(posts.iter().map(|post| {
             classify(&attacker.attack(arch, post, budget))
         })))
+    }
+
+    /// The plan's flood-pattern histogram, computed on first use and
+    /// cached. Concurrent first calls may compute it redundantly; the
+    /// first insert wins and the result is identical either way.
+    fn plan_histogram(&self, plan: &SitePlan) -> Result<PlanHistogram, CoreError> {
+        let key: PlanKey = (plan.architecture(), plan.site_asset_ids().to_vec());
+        if let Some(hist) = self
+            .histograms
+            .lock()
+            .expect("histogram cache lock")
+            .get(&key)
+        {
+            return Ok(Arc::clone(hist));
+        }
+        let hist = Arc::new(post_disaster_histogram(plan, &self.set)?);
+        let mut cache = self.histograms.lock().expect("histogram cache lock");
+        Ok(Arc::clone(cache.entry(key).or_insert(hist)))
     }
 
     /// A copy of this study with a different asset-failure flood
@@ -186,10 +268,83 @@ impl CaseStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ct_hydro::Realization;
     use ct_threat::OperationalState;
+    use proptest::prelude::*;
 
     fn small_study() -> CaseStudy {
         CaseStudy::build(&CaseStudyConfig::with_realizations(120)).unwrap()
+    }
+
+    /// A study over a hand-built, RNG-free ensemble: realization `i`
+    /// floods the POIs selected by bit `j % 8` of `masks[i]`. Gives
+    /// the profiling paths correlated, repeating flood patterns
+    /// without going through ensemble sampling.
+    fn synthetic_study(masks: &[u8]) -> CaseStudy {
+        let config = CaseStudyConfig::default();
+        let dem = synthesize_oahu(&config.terrain);
+        let topology = oahu::topology();
+        let pois = oahu::case_study_pois(&dem).unwrap();
+        let realizations = masks
+            .iter()
+            .enumerate()
+            .map(|(index, &m)| {
+                let inundation_m = (0..pois.len())
+                    .map(|j| if m & (1 << (j % 8)) != 0 { 2.0 } else { 0.0 })
+                    .collect();
+                Realization {
+                    index,
+                    tide_m: 0.0,
+                    max_station_surge_m: 0.0,
+                    inundation_m,
+                }
+            })
+            .collect();
+        let set = RealizationSet::from_parts(pois, realizations);
+        CaseStudy {
+            config,
+            dem,
+            topology,
+            set,
+            histograms: Mutex::new(HashMap::new()),
+        }
+    }
+
+    #[test]
+    fn memoized_profile_matches_naive_everywhere() {
+        let masks: Vec<u8> = (0..200u32).map(|i| (i * 37 % 251) as u8).collect();
+        let study = synthetic_study(&masks);
+        for arch in Architecture::ALL {
+            for scenario in ThreatScenario::ALL {
+                for choice in [oahu::SiteChoice::Waiau, oahu::SiteChoice::Kahe] {
+                    let plan = oahu::site_plan(arch, choice).unwrap();
+                    let memo = study.profile_with_plan(&plan, scenario).unwrap();
+                    let naive = study.profile_with_plan_naive(&plan, scenario).unwrap();
+                    assert_eq!(memo, naive, "{arch} / {scenario} / {choice:?}");
+                    // Second (cached) call must be stable too.
+                    let again = study.profile_with_plan(&plan, scenario).unwrap();
+                    assert_eq!(again, memo, "cache changed the answer");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn memoized_profile_matches_naive_prop(
+            masks in prop::collection::vec(any::<u8>(), 1..120),
+        ) {
+            let study = synthetic_study(&masks);
+            for arch in Architecture::ALL {
+                for scenario in ThreatScenario::ALL {
+                    let plan = oahu::site_plan(arch, oahu::SiteChoice::Waiau).unwrap();
+                    let memo = study.profile_with_plan(&plan, scenario).unwrap();
+                    let naive = study.profile_with_plan_naive(&plan, scenario).unwrap();
+                    prop_assert_eq!(memo, naive, "{} / {}", arch, scenario);
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! of candidate backup sites.
 
 use crate::error::CoreError;
+use crate::parallel::par_map_dynamic;
 use crate::pipeline::CaseStudy;
 use crate::profile::OutcomeProfile;
 use ct_scada::{oahu, Architecture, SitePlan};
@@ -39,7 +40,7 @@ pub fn rank_backup_sites(
         return Ok(Vec::new());
     }
     let topology = study.topology();
-    let mut results = Vec::new();
+    let mut candidates = Vec::new();
     for asset in topology.control_candidates() {
         if asset.id == oahu::HONOLULU_CC {
             continue;
@@ -53,13 +54,23 @@ pub fn rank_backup_sites(
             }
             ids.push(oahu::DRFORTRESS.to_string());
         }
-        let plan = SitePlan::new(architecture, topology, ids)?;
-        let profile = study.profile_with_plan(&plan, scenario)?;
-        results.push(PlacementResult {
-            backup_asset_id: asset.id.clone(),
-            profile,
-        });
+        candidates.push((
+            asset.id.clone(),
+            SitePlan::new(architecture, topology, ids)?,
+        ));
     }
+    // Candidate cost is skewed (coastal plans flood in many more
+    // realizations than inland ones), so steal work dynamically.
+    let mut results = par_map_dynamic(&candidates, study.threads(), |(id, plan)| {
+        study
+            .profile_with_plan(plan, scenario)
+            .map(|profile| PlacementResult {
+                backup_asset_id: id.clone(),
+                profile,
+            })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     results.sort_by(|a, b| {
         b.profile
             .green()

@@ -28,7 +28,14 @@ impl OutcomeProfile {
 
     /// Records one realization outcome.
     pub fn record(&mut self, outcome: OperationalState) {
-        self.counts[Self::slot(outcome)] += 1;
+        self.record_n(outcome, 1);
+    }
+
+    /// Records `n` realizations with the same outcome — the weighted
+    /// form used when outcomes are evaluated per distinct flood
+    /// pattern rather than per realization.
+    pub fn record_n(&mut self, outcome: OperationalState, n: usize) {
+        self.counts[Self::slot(outcome)] += n;
     }
 
     fn slot(state: OperationalState) -> usize {
@@ -149,6 +156,15 @@ mod tests {
         let p = OutcomeProfile::new();
         assert_eq!(p.total(), 0);
         assert_eq!(p.green(), 0.0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut weighted = OutcomeProfile::new();
+        weighted.record_n(Green, 3);
+        weighted.record_n(Gray, 2);
+        let repeated = OutcomeProfile::from_outcomes([Green, Green, Green, Gray, Gray]);
+        assert_eq!(weighted, repeated);
     }
 
     #[test]

@@ -110,7 +110,7 @@ mod tests {
             rows: vec![
                 (
                     Architecture::C2,
-                    OutcomeProfile::from_outcomes(std::iter::repeat(Green).take(9).chain([Red])),
+                    OutcomeProfile::from_outcomes(std::iter::repeat_n(Green, 9).chain([Red])),
                 ),
                 (Architecture::C6P6P6, OutcomeProfile::from_outcomes([Green])),
             ],
@@ -145,9 +145,7 @@ mod tests {
     #[test]
     fn bar_width_fixed_and_composition_sane() {
         let p = OutcomeProfile::from_outcomes(
-            std::iter::repeat(Green)
-                .take(20)
-                .chain(std::iter::repeat(Red).take(20)),
+            std::iter::repeat_n(Green, 20).chain(std::iter::repeat_n(Red, 20)),
         );
         let bar = profile_bar(&p);
         assert_eq!(bar.chars().count(), 40);

@@ -8,6 +8,7 @@
 //! for.
 
 use crate::error::CoreError;
+use crate::parallel::par_map_dynamic;
 use crate::pipeline::{CaseStudy, CaseStudyConfig};
 use crate::profile::OutcomeProfile;
 use ct_hydro::{Category, EnsembleConfig};
@@ -97,22 +98,25 @@ pub fn threshold_sweep(
     scenario: ThreatScenario,
     choice: SiteChoice,
 ) -> Result<Vec<ThresholdPoint>, CoreError> {
-    thresholds_m
-        .iter()
-        .map(|&threshold_m| {
-            let variant = study.with_flood_threshold(threshold_m)?;
-            let p_honolulu_flood = variant.flood_probability(ct_scada::oahu::HONOLULU_CC)?;
-            let rows = Architecture::ALL
-                .iter()
-                .map(|&arch| variant.profile(arch, scenario, choice).map(|p| (arch, p)))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(ThresholdPoint {
-                threshold_m,
-                p_honolulu_flood,
-                rows,
-            })
+    // Each threshold re-tests exceedance over the whole ensemble;
+    // points are independent, so evaluate them work-stealing in
+    // parallel (the category sweep stays serial because each of its
+    // points already parallelises its own ensemble build).
+    par_map_dynamic(thresholds_m, study.threads(), |&threshold_m| {
+        let variant = study.with_flood_threshold(threshold_m)?;
+        let p_honolulu_flood = variant.flood_probability(ct_scada::oahu::HONOLULU_CC)?;
+        let rows = Architecture::ALL
+            .iter()
+            .map(|&arch| variant.profile(arch, scenario, choice).map(|p| (arch, p)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThresholdPoint {
+            threshold_m,
+            p_honolulu_flood,
+            rows,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

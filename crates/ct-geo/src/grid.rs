@@ -33,7 +33,7 @@ impl<T: Clone> Grid<T> {
         cell_km: f64,
         fill: T,
     ) -> Result<Self, GeoError> {
-        if cols == 0 || rows == 0 || !(cell_km > 0.0) {
+        if cols == 0 || rows == 0 || cell_km.is_nan() || cell_km <= 0.0 {
             return Err(GeoError::EmptyGrid);
         }
         Ok(Self {
@@ -58,7 +58,7 @@ impl<T: Clone> Grid<T> {
         cell_km: f64,
         mut f: impl FnMut(EnuKm) -> T,
     ) -> Result<Self, GeoError> {
-        if cols == 0 || rows == 0 || !(cell_km > 0.0) {
+        if cols == 0 || rows == 0 || cell_km.is_nan() || cell_km <= 0.0 {
             return Err(GeoError::EmptyGrid);
         }
         let mut data = Vec::with_capacity(cols * rows);

@@ -321,8 +321,10 @@ mod tests {
 
     #[test]
     fn seed_perturbs_noise_only() {
-        let mut cfg = OahuTerrainConfig::default();
-        cfg.seed = 999;
+        let cfg = OahuTerrainConfig {
+            seed: 999,
+            ..OahuTerrainConfig::default()
+        };
         let a = synthesize_oahu(&cfg);
         let b = synthesize_oahu(&OahuTerrainConfig::default());
         // Different noise...

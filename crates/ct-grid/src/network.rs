@@ -145,13 +145,13 @@ impl GridNetwork {
             if l.from.0 >= buses.len() || l.to.0 >= buses.len() || l.from == l.to {
                 return Err(GridError::DanglingLine { line: i });
             }
-            if !(l.susceptance > 0.0) || !l.susceptance.is_finite() {
+            if l.susceptance <= 0.0 || !l.susceptance.is_finite() {
                 return Err(GridError::InvalidParameter {
                     name: "susceptance",
                     value: l.susceptance,
                 });
             }
-            if !(l.capacity_mw > 0.0) || !l.capacity_mw.is_finite() {
+            if l.capacity_mw <= 0.0 || !l.capacity_mw.is_finite() {
                 return Err(GridError::InvalidParameter {
                     name: "capacity_mw",
                     value: l.capacity_mw,
@@ -164,7 +164,7 @@ impl GridNetwork {
                 BusKind::Load { demand_mw } => demand_mw,
                 BusKind::Junction => 1.0,
             };
-            if !(v > 0.0) || !v.is_finite() {
+            if v <= 0.0 || !v.is_finite() {
                 return Err(GridError::InvalidParameter {
                     name: "bus power",
                     value: v,

@@ -54,6 +54,6 @@ pub use inundation::{FloodThreshold, Poi};
 pub use parametric::{ParametricSurge, SurgeCalibration};
 pub use realization::{Realization, RealizationSet};
 pub use stations::{Station, StationId, Stations};
-pub use swe::{ShallowWaterConfig, ShallowWaterSolver};
+pub use swe::{ShallowWaterConfig, ShallowWaterSolver, SweWorkspace};
 pub use track::{StormTrack, TrackPoint};
 pub use wind::{HollandWindField, WindSample};

@@ -124,7 +124,7 @@ mod tests {
         let max_eta = Grid::from_fn(10, 3, EnuKm::new(0.0, 0.0), 1.0, |p| {
             if p.east < 5.0 {
                 // Mesh artifact: alternating 1.5 / 0.3 m.
-                if (p.east as usize) % 2 == 0 {
+                if (p.east as usize).is_multiple_of(2) {
                     1.5
                 } else {
                     0.3
@@ -182,7 +182,7 @@ mod tests {
         // On the shoreline band (ground 1.0): depth = surface - 1.0,
         // floored at zero.
         let d = inundation_depth(&extended, &out.bed, EnuKm::new(5.5, 1.5));
-        assert!(d >= 0.0 && d < 1.0);
+        assert!((0.0..1.0).contains(&d));
         // Outside the domain: zero.
         assert_eq!(
             inundation_depth(&extended, &out.bed, EnuKm::new(99.0, 1.0)),

@@ -52,13 +52,13 @@ impl StormTrack {
         speed_ms: f64,
         duration_hours: f64,
     ) -> Result<Self, HydroError> {
-        if !(duration_hours > 0.0) {
+        if duration_hours.is_nan() || duration_hours <= 0.0 {
             return Err(HydroError::InvalidParameter {
                 name: "duration_hours",
                 value: duration_hours,
             });
         }
-        if !(speed_ms > 0.0) {
+        if speed_ms.is_nan() || speed_ms <= 0.0 {
             return Err(HydroError::InvalidParameter {
                 name: "speed_ms",
                 value: speed_ms,
@@ -194,7 +194,7 @@ mod tests {
     fn motion_reports_heading_and_speed() {
         let track = StormTrack::straight(LatLon::new(19.0, -158.0), 0.0, 6.0, 24.0).unwrap();
         let (heading, speed) = track.motion(12.0);
-        assert!(heading < 1.0 || heading > 359.0, "heading {heading}");
+        assert!(!(1.0..=359.0).contains(&heading), "heading {heading}");
         assert!((speed - 6.0).abs() < 0.1, "speed {speed}");
     }
 

@@ -68,13 +68,14 @@ impl HollandWindField {
         b: f64,
         latitude_deg: f64,
     ) -> Result<Self, HydroError> {
-        if !(ambient_pressure_hpa > central_pressure_hpa) {
+        let deficit_hpa = ambient_pressure_hpa - central_pressure_hpa;
+        if deficit_hpa.is_nan() || deficit_hpa <= 0.0 {
             return Err(HydroError::InvalidParameter {
                 name: "pressure deficit",
-                value: ambient_pressure_hpa - central_pressure_hpa,
+                value: deficit_hpa,
             });
         }
-        if !(rmax_km > 0.0) {
+        if rmax_km.is_nan() || rmax_km <= 0.0 {
             return Err(HydroError::InvalidParameter {
                 name: "rmax_km",
                 value: rmax_km,

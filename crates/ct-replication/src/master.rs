@@ -114,10 +114,8 @@ impl Actor for Master {
 
     fn on_message(&mut self, from: NodeId, msg: ProtocolMsg, ctx: &mut Ctx<'_, ProtocolMsg>) {
         match msg {
-            ProtocolMsg::Request { id } => {
-                if self.acting {
-                    self.reply(from, id, ctx);
-                }
+            ProtocolMsg::Request { id } if self.acting => {
+                self.reply(from, id, ctx);
             }
             ProtocolMsg::Heartbeat => {
                 // Another acting master exists; stand down takeover

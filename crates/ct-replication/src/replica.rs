@@ -250,8 +250,8 @@ impl Replica {
         votes.insert(voter);
         if votes.len() >= self.quorum() && !self.committed_slots.contains_key(&(view, seq)) {
             self.committed_slots.insert((view, seq), req);
-            if !self.committed_reqs.contains_key(&req) {
-                self.committed_reqs.insert(req, ctx.now());
+            if let std::collections::btree_map::Entry::Vacant(e) = self.committed_reqs.entry(req) {
+                e.insert(ctx.now());
                 if let Some(p) = self.pending.remove(&req) {
                     if let Some(client) = p.client {
                         ctx.send(
@@ -291,13 +291,13 @@ impl Replica {
         }
         if !self.active {
             // Cold-backup site: watch for active-site death.
-            if self.cold.is_some()
-                && !self.activation_scheduled
-                && now.saturating_sub(self.last_primary_heard) > COLD_DETECT
-            {
-                self.activation_scheduled = true;
-                let delay = self.cold.as_ref().expect("checked").activation_delay;
-                ctx.set_timer(delay, TIMER_ACTIVATE);
+            if let Some(cold) = &self.cold {
+                if !self.activation_scheduled
+                    && now.saturating_sub(self.last_primary_heard) > COLD_DETECT
+                {
+                    self.activation_scheduled = true;
+                    ctx.set_timer(cold.activation_delay, TIMER_ACTIVATE);
+                }
             }
             return;
         }
@@ -333,7 +333,7 @@ impl Replica {
                 self.peers.iter().copied(),
                 ProtocolMsg::ViewChange { view: next },
             );
-            if self.vc_votes[&next].len() >= self.f + 1 {
+            if self.vc_votes[&next].len() > self.f {
                 self.adopt_view(next, ctx);
             }
         }
@@ -474,7 +474,7 @@ impl Actor for Replica {
                 }
                 let votes = self.vc_votes.entry(view).or_default();
                 votes.insert(sender);
-                if votes.len() >= self.f + 1 {
+                if votes.len() > self.f {
                     self.adopt_view(view, ctx);
                 }
             }

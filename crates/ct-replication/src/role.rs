@@ -9,6 +9,9 @@ use ct_simnet::{Actor, Ctx, NodeId};
 /// A node in a SCADA deployment: a quorum replica, a hot/cold SCADA
 /// master, or a field client.
 #[derive(Debug, Clone)]
+// A `Replica` dwarfs the other variants, but only a handful of roles
+// exist per simulation, so boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
 pub enum Role {
     /// Intrusion-tolerant quorum replica.
     Replica(Replica),

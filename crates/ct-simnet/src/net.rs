@@ -37,7 +37,7 @@ impl NetConfig {
     pub fn multi_site(sites: &[usize]) -> Self {
         let mut site_of = Vec::new();
         for (k, &count) in sites.iter().enumerate() {
-            site_of.extend(std::iter::repeat(SiteId(k)).take(count));
+            site_of.extend(std::iter::repeat_n(SiteId(k), count));
         }
         Self {
             site_of,

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::ZERO,
             SimTime::from_millis(1.0),

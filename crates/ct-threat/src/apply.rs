@@ -17,14 +17,7 @@ pub fn post_disaster_states(
     plan: &SitePlan,
     set: &RealizationSet,
 ) -> Result<Vec<PostDisasterState>, ScadaError> {
-    let columns: Vec<usize> = plan
-        .site_asset_ids()
-        .iter()
-        .map(|id| {
-            set.poi_index(id)
-                .ok_or_else(|| ScadaError::UnknownAsset { id: id.clone() })
-        })
-        .collect::<Result<_, _>>()?;
+    let columns = site_columns(plan, set)?;
     let threshold = set.threshold();
     Ok(set
         .realizations()
@@ -34,6 +27,61 @@ pub fn post_disaster_states(
             PostDisasterState::new(plan.architecture(), flooded)
         })
         .collect())
+}
+
+/// Collapses the per-realization post-disaster states into a
+/// histogram: each distinct flood pattern with its multiplicity,
+/// ordered by ascending flood bitmask (site 0, the primary, in the
+/// least-significant bit).
+///
+/// An architecture has at most three control sites, so at most eight
+/// distinct states exist while ensembles run to thousands of
+/// realizations. Downstream per-state work (attacker search,
+/// classification) can therefore be evaluated once per distinct state
+/// and weighted by count — the multiset of expanded entries is
+/// exactly the output of [`post_disaster_states`].
+///
+/// # Errors
+///
+/// Returns [`ScadaError::UnknownAsset`] if a control-site asset has no
+/// matching POI column in the realization set.
+pub fn post_disaster_histogram(
+    plan: &SitePlan,
+    set: &RealizationSet,
+) -> Result<Vec<(PostDisasterState, usize)>, ScadaError> {
+    let columns = site_columns(plan, set)?;
+    let threshold = set.threshold();
+    let sites = columns.len();
+    let mut counts = vec![0usize; 1 << sites];
+    for r in set.realizations() {
+        let mut mask = 0usize;
+        for (s, &c) in columns.iter().enumerate() {
+            if r.flooded(c, threshold) {
+                mask |= 1 << s;
+            }
+        }
+        counts[mask] += 1;
+    }
+    Ok(counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .map(|(mask, n)| {
+            let flooded = (0..sites).map(|s| mask & (1 << s) != 0).collect();
+            (PostDisasterState::new(plan.architecture(), flooded), n)
+        })
+        .collect())
+}
+
+/// Resolves each control-site asset to its POI column in the set.
+fn site_columns(plan: &SitePlan, set: &RealizationSet) -> Result<Vec<usize>, ScadaError> {
+    plan.site_asset_ids()
+        .iter()
+        .map(|id| {
+            set.poi_index(id)
+                .ok_or_else(|| ScadaError::UnknownAsset { id: id.clone() })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -61,6 +109,61 @@ mod tests {
         for (r, s) in states.iter().enumerate() {
             assert_eq!(s.flooded()[0], set.flooded_mask(r)[h]);
         }
+    }
+
+    #[test]
+    fn histogram_matches_states_multiset() {
+        use ct_hydro::Realization;
+
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let topo = oahu::topology();
+        let pois = topo.to_pois(&dem).unwrap();
+        let plan = oahu::site_plan(Architecture::C2_2, oahu::SiteChoice::Waiau).unwrap();
+        let h = pois.iter().position(|p| p.id == oahu::HONOLULU_CC).unwrap();
+        let w = pois.iter().position(|p| p.id == oahu::WAIAU).unwrap();
+        // Hand-crafted rows with skewed multiplicities: neither site
+        // (10), primary only (35), both (5).
+        let mut realizations = Vec::new();
+        for i in 0..50 {
+            let mut inundation_m = vec![0.0; pois.len()];
+            if i % 5 != 0 {
+                inundation_m[h] = 2.0;
+            }
+            if i % 10 == 3 {
+                inundation_m[w] = 1.5;
+            }
+            realizations.push(Realization {
+                index: i,
+                tide_m: 0.0,
+                max_station_surge_m: 0.0,
+                inundation_m,
+            });
+        }
+        let set = RealizationSet::from_parts(pois, realizations);
+
+        let states = post_disaster_states(&plan, &set).unwrap();
+        let hist = post_disaster_histogram(&plan, &set).unwrap();
+        assert_eq!(hist.iter().map(|(_, n)| n).sum::<usize>(), states.len());
+        for (state, n) in &hist {
+            assert_eq!(
+                states.iter().filter(|s| *s == state).count(),
+                *n,
+                "multiplicity mismatch for {state:?}"
+            );
+        }
+        assert!(hist.len() >= 3, "several distinct patterns expected");
+        // Deterministic ascending-bitmask order, no duplicates.
+        let masks: Vec<usize> = hist
+            .iter()
+            .map(|(s, _)| {
+                s.flooded()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| usize::from(f) << i)
+                    .sum()
+            })
+            .collect();
+        assert!(masks.windows(2).all(|m| m[0] < m[1]), "order: {masks:?}");
     }
 
     #[test]

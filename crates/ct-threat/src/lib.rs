@@ -31,7 +31,7 @@ pub mod classify;
 pub mod scenario;
 pub mod state;
 
-pub use apply::post_disaster_states;
+pub use apply::{post_disaster_histogram, post_disaster_states};
 pub use attacker::{Attacker, ExhaustiveAttacker, WorstCaseAttacker};
 pub use classify::{classify, OperationalState};
 pub use scenario::{AttackBudget, ThreatScenario};

@@ -106,7 +106,7 @@ fn tide_and_surge_diagnostics_in_physical_range() {
             r.max_station_surge_m
         );
         for &d in &r.inundation_m {
-            assert!(d >= 0.0 && d < 10.0, "implausible inundation {d}");
+            assert!((0.0..10.0).contains(&d), "implausible inundation {d}");
         }
     }
 }
