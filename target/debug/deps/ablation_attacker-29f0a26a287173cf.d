@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_attacker-29f0a26a287173cf.d: crates/bench/benches/ablation_attacker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_attacker-29f0a26a287173cf.rmeta: crates/bench/benches/ablation_attacker.rs Cargo.toml
+
+crates/bench/benches/ablation_attacker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

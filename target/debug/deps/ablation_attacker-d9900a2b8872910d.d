@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_attacker-d9900a2b8872910d.d: crates/bench/benches/ablation_attacker.rs
+
+/root/repo/target/debug/deps/libablation_attacker-d9900a2b8872910d.rmeta: crates/bench/benches/ablation_attacker.rs
+
+crates/bench/benches/ablation_attacker.rs:

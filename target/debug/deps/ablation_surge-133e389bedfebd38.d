@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_surge-133e389bedfebd38.d: crates/bench/benches/ablation_surge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_surge-133e389bedfebd38.rmeta: crates/bench/benches/ablation_surge.rs Cargo.toml
+
+crates/bench/benches/ablation_surge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_surge-e2ff510f777531da.d: crates/bench/benches/ablation_surge.rs
+
+/root/repo/target/debug/deps/libablation_surge-e2ff510f777531da.rmeta: crates/bench/benches/ablation_surge.rs
+
+crates/bench/benches/ablation_surge.rs:

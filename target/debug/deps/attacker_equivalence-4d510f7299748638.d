@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacker_equivalence-4d510f7299748638.d: tests/attacker_equivalence.rs
+
+/root/repo/target/debug/deps/attacker_equivalence-4d510f7299748638: tests/attacker_equivalence.rs
+
+tests/attacker_equivalence.rs:

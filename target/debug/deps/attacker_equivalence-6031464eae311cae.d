@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacker_equivalence-6031464eae311cae.d: tests/attacker_equivalence.rs
+
+/root/repo/target/debug/deps/libattacker_equivalence-6031464eae311cae.rmeta: tests/attacker_equivalence.rs
+
+tests/attacker_equivalence.rs:

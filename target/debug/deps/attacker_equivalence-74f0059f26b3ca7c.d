@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacker_equivalence-74f0059f26b3ca7c.d: tests/attacker_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacker_equivalence-74f0059f26b3ca7c.rmeta: tests/attacker_equivalence.rs Cargo.toml
+
+tests/attacker_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

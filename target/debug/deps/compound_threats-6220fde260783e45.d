@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/compound_threats-6220fde260783e45.d: crates/core/src/lib.rs crates/core/src/attacker_power.rs crates/core/src/availability.rs crates/core/src/crossval.rs crates/core/src/error.rs crates/core/src/figures.rs crates/core/src/grid_impact.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/placement.rs crates/core/src/profile.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/summary.rs
+
+/root/repo/target/debug/deps/libcompound_threats-6220fde260783e45.rmeta: crates/core/src/lib.rs crates/core/src/attacker_power.rs crates/core/src/availability.rs crates/core/src/crossval.rs crates/core/src/error.rs crates/core/src/figures.rs crates/core/src/grid_impact.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/placement.rs crates/core/src/profile.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/summary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attacker_power.rs:
+crates/core/src/availability.rs:
+crates/core/src/crossval.rs:
+crates/core/src/error.rs:
+crates/core/src/figures.rs:
+crates/core/src/grid_impact.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/placement.rs:
+crates/core/src/profile.rs:
+crates/core/src/report.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/summary.rs:

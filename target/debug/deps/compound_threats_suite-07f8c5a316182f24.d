@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compound_threats_suite-07f8c5a316182f24.d: src/lib.rs
+
+/root/repo/target/debug/deps/compound_threats_suite-07f8c5a316182f24: src/lib.rs
+
+src/lib.rs:

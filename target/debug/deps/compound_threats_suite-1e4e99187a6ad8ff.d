@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compound_threats_suite-1e4e99187a6ad8ff.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompound_threats_suite-1e4e99187a6ad8ff.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compound_threats_suite-33c3b7afee8235bd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompound_threats_suite-33c3b7afee8235bd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/compound_threats_suite-de4ddd26a565e955.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcompound_threats_suite-de4ddd26a565e955.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcompound_threats_suite-de4ddd26a565e955.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compound_threats_suite-e3dd9580e727eccd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcompound_threats_suite-e3dd9580e727eccd.rmeta: src/lib.rs
+
+src/lib.rs:

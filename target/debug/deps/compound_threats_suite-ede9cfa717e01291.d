@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compound_threats_suite-ede9cfa717e01291.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcompound_threats_suite-ede9cfa717e01291.rmeta: src/lib.rs
+
+src/lib.rs:

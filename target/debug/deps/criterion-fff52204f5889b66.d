@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-fff52204f5889b66.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fff52204f5889b66.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

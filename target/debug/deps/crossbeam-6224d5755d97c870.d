@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-6224d5755d97c870.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-6224d5755d97c870.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

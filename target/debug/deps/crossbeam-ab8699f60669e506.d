@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-ab8699f60669e506.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ab8699f60669e506.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ab8699f60669e506.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

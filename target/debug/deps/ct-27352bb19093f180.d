@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct-27352bb19093f180.d: src/bin/ct.rs
+
+/root/repo/target/debug/deps/libct-27352bb19093f180.rmeta: src/bin/ct.rs
+
+src/bin/ct.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ct-30ad4dca4c21ee22.d: src/bin/ct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct-30ad4dca4c21ee22.rmeta: src/bin/ct.rs Cargo.toml
+
+src/bin/ct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

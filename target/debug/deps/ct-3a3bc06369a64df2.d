@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct-3a3bc06369a64df2.d: src/bin/ct.rs
+
+/root/repo/target/debug/deps/libct-3a3bc06369a64df2.rmeta: src/bin/ct.rs
+
+src/bin/ct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct-5e0b490a9c06157e.d: src/bin/ct.rs
+
+/root/repo/target/debug/deps/ct-5e0b490a9c06157e: src/bin/ct.rs
+
+src/bin/ct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct-b9a0b88421ea12f6.d: src/bin/ct.rs
+
+/root/repo/target/debug/deps/ct-b9a0b88421ea12f6: src/bin/ct.rs
+
+src/bin/ct.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ct-f995caa6987b3297.d: src/bin/ct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct-f995caa6987b3297.rmeta: src/bin/ct.rs Cargo.toml
+
+src/bin/ct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

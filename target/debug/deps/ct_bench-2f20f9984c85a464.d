@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ct_bench-2f20f9984c85a464.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_bench-2f20f9984c85a464.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct_bench-76f06ff0869a4237.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libct_bench-76f06ff0869a4237.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

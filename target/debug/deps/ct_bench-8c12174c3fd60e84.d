@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ct_bench-8c12174c3fd60e84.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_bench-8c12174c3fd60e84.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

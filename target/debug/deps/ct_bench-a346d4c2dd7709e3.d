@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct_bench-a346d4c2dd7709e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libct_bench-a346d4c2dd7709e3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

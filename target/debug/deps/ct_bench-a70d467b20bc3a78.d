@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ct_bench-a70d467b20bc3a78.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ct_bench-a70d467b20bc3a78: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ct_bench-bba6ac63f2d508ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libct_bench-bba6ac63f2d508ff.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libct_bench-bba6ac63f2d508ff.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

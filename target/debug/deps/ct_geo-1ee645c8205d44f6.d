@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ct_geo-1ee645c8205d44f6.d: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_geo-1ee645c8205d44f6.rmeta: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs Cargo.toml
+
+crates/ct-geo/src/lib.rs:
+crates/ct-geo/src/coords.rs:
+crates/ct-geo/src/dem.rs:
+crates/ct-geo/src/error.rs:
+crates/ct-geo/src/grid.rs:
+crates/ct-geo/src/noise.rs:
+crates/ct-geo/src/polygon.rs:
+crates/ct-geo/src/terrain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

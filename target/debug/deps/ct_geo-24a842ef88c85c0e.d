@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ct_geo-24a842ef88c85c0e.d: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+/root/repo/target/debug/deps/libct_geo-24a842ef88c85c0e.rlib: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+/root/repo/target/debug/deps/libct_geo-24a842ef88c85c0e.rmeta: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+crates/ct-geo/src/lib.rs:
+crates/ct-geo/src/coords.rs:
+crates/ct-geo/src/dem.rs:
+crates/ct-geo/src/error.rs:
+crates/ct-geo/src/grid.rs:
+crates/ct-geo/src/noise.rs:
+crates/ct-geo/src/polygon.rs:
+crates/ct-geo/src/terrain.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ct_geo-d4b721e293a7923d.d: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+/root/repo/target/debug/deps/ct_geo-d4b721e293a7923d: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+crates/ct-geo/src/lib.rs:
+crates/ct-geo/src/coords.rs:
+crates/ct-geo/src/dem.rs:
+crates/ct-geo/src/error.rs:
+crates/ct-geo/src/grid.rs:
+crates/ct-geo/src/noise.rs:
+crates/ct-geo/src/polygon.rs:
+crates/ct-geo/src/terrain.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ct_geo-e8499974abe25b36.d: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+/root/repo/target/debug/deps/libct_geo-e8499974abe25b36.rmeta: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+crates/ct-geo/src/lib.rs:
+crates/ct-geo/src/coords.rs:
+crates/ct-geo/src/dem.rs:
+crates/ct-geo/src/error.rs:
+crates/ct-geo/src/grid.rs:
+crates/ct-geo/src/noise.rs:
+crates/ct-geo/src/polygon.rs:
+crates/ct-geo/src/terrain.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ct_grid-5678e93c7d717b48.d: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_grid-5678e93c7d717b48.rmeta: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs Cargo.toml
+
+crates/ct-grid/src/lib.rs:
+crates/ct-grid/src/cascade.rs:
+crates/ct-grid/src/fragility.rs:
+crates/ct-grid/src/linalg.rs:
+crates/ct-grid/src/network.rs:
+crates/ct-grid/src/oahu.rs:
+crates/ct-grid/src/powerflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ct_grid-9d318dd640f94340.d: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+/root/repo/target/debug/deps/libct_grid-9d318dd640f94340.rmeta: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+crates/ct-grid/src/lib.rs:
+crates/ct-grid/src/cascade.rs:
+crates/ct-grid/src/fragility.rs:
+crates/ct-grid/src/linalg.rs:
+crates/ct-grid/src/network.rs:
+crates/ct-grid/src/oahu.rs:
+crates/ct-grid/src/powerflow.rs:

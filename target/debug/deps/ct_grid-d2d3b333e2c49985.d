@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ct_grid-d2d3b333e2c49985.d: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+/root/repo/target/debug/deps/libct_grid-d2d3b333e2c49985.rlib: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+/root/repo/target/debug/deps/libct_grid-d2d3b333e2c49985.rmeta: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+crates/ct-grid/src/lib.rs:
+crates/ct-grid/src/cascade.rs:
+crates/ct-grid/src/fragility.rs:
+crates/ct-grid/src/linalg.rs:
+crates/ct-grid/src/network.rs:
+crates/ct-grid/src/oahu.rs:
+crates/ct-grid/src/powerflow.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ct_hydro-7e9cd087b2361827.d: crates/ct-hydro/src/lib.rs crates/ct-hydro/src/category.rs crates/ct-hydro/src/ensemble.rs crates/ct-hydro/src/error.rs crates/ct-hydro/src/export.rs crates/ct-hydro/src/inundation.rs crates/ct-hydro/src/parametric.rs crates/ct-hydro/src/realization.rs crates/ct-hydro/src/sampling.rs crates/ct-hydro/src/shoreline.rs crates/ct-hydro/src/stations.rs crates/ct-hydro/src/swe.rs crates/ct-hydro/src/track.rs crates/ct-hydro/src/wind.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_hydro-7e9cd087b2361827.rmeta: crates/ct-hydro/src/lib.rs crates/ct-hydro/src/category.rs crates/ct-hydro/src/ensemble.rs crates/ct-hydro/src/error.rs crates/ct-hydro/src/export.rs crates/ct-hydro/src/inundation.rs crates/ct-hydro/src/parametric.rs crates/ct-hydro/src/realization.rs crates/ct-hydro/src/sampling.rs crates/ct-hydro/src/shoreline.rs crates/ct-hydro/src/stations.rs crates/ct-hydro/src/swe.rs crates/ct-hydro/src/track.rs crates/ct-hydro/src/wind.rs Cargo.toml
+
+crates/ct-hydro/src/lib.rs:
+crates/ct-hydro/src/category.rs:
+crates/ct-hydro/src/ensemble.rs:
+crates/ct-hydro/src/error.rs:
+crates/ct-hydro/src/export.rs:
+crates/ct-hydro/src/inundation.rs:
+crates/ct-hydro/src/parametric.rs:
+crates/ct-hydro/src/realization.rs:
+crates/ct-hydro/src/sampling.rs:
+crates/ct-hydro/src/shoreline.rs:
+crates/ct-hydro/src/stations.rs:
+crates/ct-hydro/src/swe.rs:
+crates/ct-hydro/src/track.rs:
+crates/ct-hydro/src/wind.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ct_hydro-88e7cfbbeddf0ef2.d: crates/ct-hydro/src/lib.rs crates/ct-hydro/src/category.rs crates/ct-hydro/src/ensemble.rs crates/ct-hydro/src/error.rs crates/ct-hydro/src/export.rs crates/ct-hydro/src/inundation.rs crates/ct-hydro/src/parametric.rs crates/ct-hydro/src/realization.rs crates/ct-hydro/src/sampling.rs crates/ct-hydro/src/shoreline.rs crates/ct-hydro/src/stations.rs crates/ct-hydro/src/swe.rs crates/ct-hydro/src/track.rs crates/ct-hydro/src/wind.rs
+
+/root/repo/target/debug/deps/libct_hydro-88e7cfbbeddf0ef2.rmeta: crates/ct-hydro/src/lib.rs crates/ct-hydro/src/category.rs crates/ct-hydro/src/ensemble.rs crates/ct-hydro/src/error.rs crates/ct-hydro/src/export.rs crates/ct-hydro/src/inundation.rs crates/ct-hydro/src/parametric.rs crates/ct-hydro/src/realization.rs crates/ct-hydro/src/sampling.rs crates/ct-hydro/src/shoreline.rs crates/ct-hydro/src/stations.rs crates/ct-hydro/src/swe.rs crates/ct-hydro/src/track.rs crates/ct-hydro/src/wind.rs
+
+crates/ct-hydro/src/lib.rs:
+crates/ct-hydro/src/category.rs:
+crates/ct-hydro/src/ensemble.rs:
+crates/ct-hydro/src/error.rs:
+crates/ct-hydro/src/export.rs:
+crates/ct-hydro/src/inundation.rs:
+crates/ct-hydro/src/parametric.rs:
+crates/ct-hydro/src/realization.rs:
+crates/ct-hydro/src/sampling.rs:
+crates/ct-hydro/src/shoreline.rs:
+crates/ct-hydro/src/stations.rs:
+crates/ct-hydro/src/swe.rs:
+crates/ct-hydro/src/track.rs:
+crates/ct-hydro/src/wind.rs:

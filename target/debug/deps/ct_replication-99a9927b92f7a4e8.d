@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ct_replication-99a9927b92f7a4e8.d: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+/root/repo/target/debug/deps/ct_replication-99a9927b92f7a4e8: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+crates/ct-replication/src/lib.rs:
+crates/ct-replication/src/client.rs:
+crates/ct-replication/src/deployment.rs:
+crates/ct-replication/src/master.rs:
+crates/ct-replication/src/msg.rs:
+crates/ct-replication/src/replica.rs:
+crates/ct-replication/src/role.rs:
+crates/ct-replication/src/verdict.rs:

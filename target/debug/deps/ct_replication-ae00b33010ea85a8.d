@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ct_replication-ae00b33010ea85a8.d: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_replication-ae00b33010ea85a8.rmeta: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs Cargo.toml
+
+crates/ct-replication/src/lib.rs:
+crates/ct-replication/src/client.rs:
+crates/ct-replication/src/deployment.rs:
+crates/ct-replication/src/master.rs:
+crates/ct-replication/src/msg.rs:
+crates/ct-replication/src/replica.rs:
+crates/ct-replication/src/role.rs:
+crates/ct-replication/src/verdict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ct_replication-af6bc8d612fa0e49.d: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+/root/repo/target/debug/deps/libct_replication-af6bc8d612fa0e49.rmeta: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+crates/ct-replication/src/lib.rs:
+crates/ct-replication/src/client.rs:
+crates/ct-replication/src/deployment.rs:
+crates/ct-replication/src/master.rs:
+crates/ct-replication/src/msg.rs:
+crates/ct-replication/src/replica.rs:
+crates/ct-replication/src/role.rs:
+crates/ct-replication/src/verdict.rs:

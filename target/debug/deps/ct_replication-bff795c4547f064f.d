@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ct_replication-bff795c4547f064f.d: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+/root/repo/target/debug/deps/libct_replication-bff795c4547f064f.rlib: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+/root/repo/target/debug/deps/libct_replication-bff795c4547f064f.rmeta: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+crates/ct-replication/src/lib.rs:
+crates/ct-replication/src/client.rs:
+crates/ct-replication/src/deployment.rs:
+crates/ct-replication/src/master.rs:
+crates/ct-replication/src/msg.rs:
+crates/ct-replication/src/replica.rs:
+crates/ct-replication/src/role.rs:
+crates/ct-replication/src/verdict.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ct_scada-6f024062b7774d7e.d: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_scada-6f024062b7774d7e.rmeta: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs Cargo.toml
+
+crates/ct-scada/src/lib.rs:
+crates/ct-scada/src/architecture.rs:
+crates/ct-scada/src/asset.rs:
+crates/ct-scada/src/error.rs:
+crates/ct-scada/src/export.rs:
+crates/ct-scada/src/oahu.rs:
+crates/ct-scada/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

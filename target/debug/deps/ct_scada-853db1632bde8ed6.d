@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ct_scada-853db1632bde8ed6.d: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs
+
+/root/repo/target/debug/deps/libct_scada-853db1632bde8ed6.rmeta: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs
+
+crates/ct-scada/src/lib.rs:
+crates/ct-scada/src/architecture.rs:
+crates/ct-scada/src/asset.rs:
+crates/ct-scada/src/error.rs:
+crates/ct-scada/src/export.rs:
+crates/ct-scada/src/oahu.rs:
+crates/ct-scada/src/topology.rs:

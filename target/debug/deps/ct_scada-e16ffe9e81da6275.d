@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ct_scada-e16ffe9e81da6275.d: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_scada-e16ffe9e81da6275.rmeta: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs Cargo.toml
+
+crates/ct-scada/src/lib.rs:
+crates/ct-scada/src/architecture.rs:
+crates/ct-scada/src/asset.rs:
+crates/ct-scada/src/error.rs:
+crates/ct-scada/src/export.rs:
+crates/ct-scada/src/oahu.rs:
+crates/ct-scada/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

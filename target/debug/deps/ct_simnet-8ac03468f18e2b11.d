@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ct_simnet-8ac03468f18e2b11.d: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_simnet-8ac03468f18e2b11.rmeta: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs Cargo.toml
+
+crates/ct-simnet/src/lib.rs:
+crates/ct-simnet/src/actor.rs:
+crates/ct-simnet/src/fault.rs:
+crates/ct-simnet/src/net.rs:
+crates/ct-simnet/src/sim.rs:
+crates/ct-simnet/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ct_simnet-b25588b2d7016eab.d: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+/root/repo/target/debug/deps/libct_simnet-b25588b2d7016eab.rlib: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+/root/repo/target/debug/deps/libct_simnet-b25588b2d7016eab.rmeta: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+crates/ct-simnet/src/lib.rs:
+crates/ct-simnet/src/actor.rs:
+crates/ct-simnet/src/fault.rs:
+crates/ct-simnet/src/net.rs:
+crates/ct-simnet/src/sim.rs:
+crates/ct-simnet/src/time.rs:

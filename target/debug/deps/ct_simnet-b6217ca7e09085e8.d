@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ct_simnet-b6217ca7e09085e8.d: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_simnet-b6217ca7e09085e8.rmeta: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs Cargo.toml
+
+crates/ct-simnet/src/lib.rs:
+crates/ct-simnet/src/actor.rs:
+crates/ct-simnet/src/fault.rs:
+crates/ct-simnet/src/net.rs:
+crates/ct-simnet/src/sim.rs:
+crates/ct-simnet/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ct_simnet-c4e005ea3f2bee05.d: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+/root/repo/target/debug/deps/libct_simnet-c4e005ea3f2bee05.rmeta: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+crates/ct-simnet/src/lib.rs:
+crates/ct-simnet/src/actor.rs:
+crates/ct-simnet/src/fault.rs:
+crates/ct-simnet/src/net.rs:
+crates/ct-simnet/src/sim.rs:
+crates/ct-simnet/src/time.rs:

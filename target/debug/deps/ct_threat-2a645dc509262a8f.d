@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ct_threat-2a645dc509262a8f.d: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+/root/repo/target/debug/deps/libct_threat-2a645dc509262a8f.rmeta: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+crates/ct-threat/src/lib.rs:
+crates/ct-threat/src/apply.rs:
+crates/ct-threat/src/attacker.rs:
+crates/ct-threat/src/classify.rs:
+crates/ct-threat/src/scenario.rs:
+crates/ct-threat/src/state.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ct_threat-8dcba4592313fc3b.d: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+/root/repo/target/debug/deps/libct_threat-8dcba4592313fc3b.rlib: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+/root/repo/target/debug/deps/libct_threat-8dcba4592313fc3b.rmeta: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+crates/ct-threat/src/lib.rs:
+crates/ct-threat/src/apply.rs:
+crates/ct-threat/src/attacker.rs:
+crates/ct-threat/src/classify.rs:
+crates/ct-threat/src/scenario.rs:
+crates/ct-threat/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ct_threat-91504f869f3b6ee7.d: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+/root/repo/target/debug/deps/ct_threat-91504f869f3b6ee7: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+crates/ct-threat/src/lib.rs:
+crates/ct-threat/src/apply.rs:
+crates/ct-threat/src/attacker.rs:
+crates/ct-threat/src/classify.rs:
+crates/ct-threat/src/scenario.rs:
+crates/ct-threat/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ct_threat-9b467c18cb06460c.d: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+/root/repo/target/debug/deps/libct_threat-9b467c18cb06460c.rmeta: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs
+
+crates/ct-threat/src/lib.rs:
+crates/ct-threat/src/apply.rs:
+crates/ct-threat/src/attacker.rs:
+crates/ct-threat/src/classify.rs:
+crates/ct-threat/src/scenario.rs:
+crates/ct-threat/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ct_threat-f9a9366732e1703b.d: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libct_threat-f9a9366732e1703b.rmeta: crates/ct-threat/src/lib.rs crates/ct-threat/src/apply.rs crates/ct-threat/src/attacker.rs crates/ct-threat/src/classify.rs crates/ct-threat/src/scenario.rs crates/ct-threat/src/state.rs Cargo.toml
+
+crates/ct-threat/src/lib.rs:
+crates/ct-threat/src/apply.rs:
+crates/ct-threat/src/attacker.rs:
+crates/ct-threat/src/classify.rs:
+crates/ct-threat/src/scenario.rs:
+crates/ct-threat/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

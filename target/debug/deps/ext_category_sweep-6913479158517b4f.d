@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_category_sweep-6913479158517b4f.d: crates/bench/benches/ext_category_sweep.rs
+
+/root/repo/target/debug/deps/libext_category_sweep-6913479158517b4f.rmeta: crates/bench/benches/ext_category_sweep.rs
+
+crates/bench/benches/ext_category_sweep.rs:

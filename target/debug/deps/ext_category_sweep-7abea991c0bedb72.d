@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_category_sweep-7abea991c0bedb72.d: crates/bench/benches/ext_category_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_category_sweep-7abea991c0bedb72.rmeta: crates/bench/benches/ext_category_sweep.rs Cargo.toml
+
+crates/bench/benches/ext_category_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_grid_impact-d3f14dfc9139fab9.d: crates/bench/benches/ext_grid_impact.rs
+
+/root/repo/target/debug/deps/libext_grid_impact-d3f14dfc9139fab9.rmeta: crates/bench/benches/ext_grid_impact.rs
+
+crates/bench/benches/ext_grid_impact.rs:

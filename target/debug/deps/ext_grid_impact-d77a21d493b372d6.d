@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_grid_impact-d77a21d493b372d6.d: crates/bench/benches/ext_grid_impact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_grid_impact-d77a21d493b372d6.rmeta: crates/bench/benches/ext_grid_impact.rs Cargo.toml
+
+crates/bench/benches/ext_grid_impact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-5da94d7ae5cecfb0.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-5da94d7ae5cecfb0: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-620bc287eb4c366e.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-620bc287eb4c366e.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-908bb69a787e65bd.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-908bb69a787e65bd.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_kahe_hurricane-0a27bddf5af31027.d: crates/bench/benches/fig10_kahe_hurricane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_kahe_hurricane-0a27bddf5af31027.rmeta: crates/bench/benches/fig10_kahe_hurricane.rs Cargo.toml
+
+crates/bench/benches/fig10_kahe_hurricane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_kahe_hurricane-2c5d059c7203a3c4.d: crates/bench/benches/fig10_kahe_hurricane.rs
+
+/root/repo/target/debug/deps/libfig10_kahe_hurricane-2c5d059c7203a3c4.rmeta: crates/bench/benches/fig10_kahe_hurricane.rs
+
+crates/bench/benches/fig10_kahe_hurricane.rs:

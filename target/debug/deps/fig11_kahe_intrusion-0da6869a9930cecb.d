@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_kahe_intrusion-0da6869a9930cecb.d: crates/bench/benches/fig11_kahe_intrusion.rs
+
+/root/repo/target/debug/deps/libfig11_kahe_intrusion-0da6869a9930cecb.rmeta: crates/bench/benches/fig11_kahe_intrusion.rs
+
+crates/bench/benches/fig11_kahe_intrusion.rs:

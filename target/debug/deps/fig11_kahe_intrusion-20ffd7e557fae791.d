@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_kahe_intrusion-20ffd7e557fae791.d: crates/bench/benches/fig11_kahe_intrusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_kahe_intrusion-20ffd7e557fae791.rmeta: crates/bench/benches/fig11_kahe_intrusion.rs Cargo.toml
+
+crates/bench/benches/fig11_kahe_intrusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_hurricane-a28a0a5fc044672b.d: crates/bench/benches/fig6_hurricane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_hurricane-a28a0a5fc044672b.rmeta: crates/bench/benches/fig6_hurricane.rs Cargo.toml
+
+crates/bench/benches/fig6_hurricane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

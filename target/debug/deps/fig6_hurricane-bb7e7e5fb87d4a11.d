@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_hurricane-bb7e7e5fb87d4a11.d: crates/bench/benches/fig6_hurricane.rs
+
+/root/repo/target/debug/deps/libfig6_hurricane-bb7e7e5fb87d4a11.rmeta: crates/bench/benches/fig6_hurricane.rs
+
+crates/bench/benches/fig6_hurricane.rs:

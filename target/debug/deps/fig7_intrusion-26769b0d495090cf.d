@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_intrusion-26769b0d495090cf.d: crates/bench/benches/fig7_intrusion.rs
+
+/root/repo/target/debug/deps/libfig7_intrusion-26769b0d495090cf.rmeta: crates/bench/benches/fig7_intrusion.rs
+
+crates/bench/benches/fig7_intrusion.rs:

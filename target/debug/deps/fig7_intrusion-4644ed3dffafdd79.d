@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_intrusion-4644ed3dffafdd79.d: crates/bench/benches/fig7_intrusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_intrusion-4644ed3dffafdd79.rmeta: crates/bench/benches/fig7_intrusion.rs Cargo.toml
+
+crates/bench/benches/fig7_intrusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

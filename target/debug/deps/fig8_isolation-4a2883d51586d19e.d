@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_isolation-4a2883d51586d19e.d: crates/bench/benches/fig8_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_isolation-4a2883d51586d19e.rmeta: crates/bench/benches/fig8_isolation.rs Cargo.toml
+
+crates/bench/benches/fig8_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_isolation-5df23058b4a9ed03.d: crates/bench/benches/fig8_isolation.rs
+
+/root/repo/target/debug/deps/libfig8_isolation-5df23058b4a9ed03.rmeta: crates/bench/benches/fig8_isolation.rs
+
+crates/bench/benches/fig8_isolation.rs:

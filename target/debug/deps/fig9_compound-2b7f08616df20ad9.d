@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_compound-2b7f08616df20ad9.d: crates/bench/benches/fig9_compound.rs
+
+/root/repo/target/debug/deps/libfig9_compound-2b7f08616df20ad9.rmeta: crates/bench/benches/fig9_compound.rs
+
+crates/bench/benches/fig9_compound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_compound-9d1c997d051fcc50.d: crates/bench/benches/fig9_compound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_compound-9d1c997d051fcc50.rmeta: crates/bench/benches/fig9_compound.rs Cargo.toml
+
+crates/bench/benches/fig9_compound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-94fb0cc7b90b2bdc.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-94fb0cc7b90b2bdc.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-eb51616fb1d43fec.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-eb51616fb1d43fec: tests/figures.rs
+
+tests/figures.rs:

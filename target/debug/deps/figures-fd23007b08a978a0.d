@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-fd23007b08a978a0.d: tests/figures.rs
+
+/root/repo/target/debug/deps/libfigures-fd23007b08a978a0.rmeta: tests/figures.rs
+
+tests/figures.rs:

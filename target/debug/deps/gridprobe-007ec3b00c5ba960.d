@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridprobe-007ec3b00c5ba960.d: src/bin/gridprobe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridprobe-007ec3b00c5ba960.rmeta: src/bin/gridprobe.rs Cargo.toml
+
+src/bin/gridprobe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

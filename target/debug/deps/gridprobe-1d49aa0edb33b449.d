@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridprobe-1d49aa0edb33b449.d: src/bin/gridprobe.rs
+
+/root/repo/target/debug/deps/libgridprobe-1d49aa0edb33b449.rmeta: src/bin/gridprobe.rs
+
+src/bin/gridprobe.rs:

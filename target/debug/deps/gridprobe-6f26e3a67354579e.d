@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridprobe-6f26e3a67354579e.d: src/bin/gridprobe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridprobe-6f26e3a67354579e.rmeta: src/bin/gridprobe.rs Cargo.toml
+
+src/bin/gridprobe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridprobe-6fdcbcb560770cc5.d: src/bin/gridprobe.rs
+
+/root/repo/target/debug/deps/gridprobe-6fdcbcb560770cc5: src/bin/gridprobe.rs
+
+src/bin/gridprobe.rs:

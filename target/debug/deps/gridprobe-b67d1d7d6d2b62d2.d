@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridprobe-b67d1d7d6d2b62d2.d: src/bin/gridprobe.rs
+
+/root/repo/target/debug/deps/gridprobe-b67d1d7d6d2b62d2: src/bin/gridprobe.rs
+
+src/bin/gridprobe.rs:

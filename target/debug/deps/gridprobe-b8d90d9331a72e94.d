@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridprobe-b8d90d9331a72e94.d: src/bin/gridprobe.rs
+
+/root/repo/target/debug/deps/libgridprobe-b8d90d9331a72e94.rmeta: src/bin/gridprobe.rs
+
+src/bin/gridprobe.rs:

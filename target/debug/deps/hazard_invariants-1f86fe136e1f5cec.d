@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hazard_invariants-1f86fe136e1f5cec.d: tests/hazard_invariants.rs
+
+/root/repo/target/debug/deps/hazard_invariants-1f86fe136e1f5cec: tests/hazard_invariants.rs
+
+tests/hazard_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hazard_invariants-7ea6883e3a90e39b.d: tests/hazard_invariants.rs
+
+/root/repo/target/debug/deps/libhazard_invariants-7ea6883e3a90e39b.rmeta: tests/hazard_invariants.rs
+
+tests/hazard_invariants.rs:

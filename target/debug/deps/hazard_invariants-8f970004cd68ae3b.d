@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hazard_invariants-8f970004cd68ae3b.d: tests/hazard_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhazard_invariants-8f970004cd68ae3b.rmeta: tests/hazard_invariants.rs Cargo.toml
+
+tests/hazard_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_pipeline-b2086abe2415d7ce.d: crates/bench/benches/perf_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_pipeline-b2086abe2415d7ce.rmeta: crates/bench/benches/perf_pipeline.rs Cargo.toml
+
+crates/bench/benches/perf_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

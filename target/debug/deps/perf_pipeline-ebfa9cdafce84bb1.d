@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_pipeline-ebfa9cdafce84bb1.d: crates/bench/benches/perf_pipeline.rs
+
+/root/repo/target/debug/deps/libperf_pipeline-ebfa9cdafce84bb1.rmeta: crates/bench/benches/perf_pipeline.rs
+
+crates/bench/benches/perf_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_profile_memo-240f3192f5702b5d.d: crates/bench/benches/perf_profile_memo.rs
+
+/root/repo/target/debug/deps/libperf_profile_memo-240f3192f5702b5d.rmeta: crates/bench/benches/perf_profile_memo.rs
+
+crates/bench/benches/perf_profile_memo.rs:

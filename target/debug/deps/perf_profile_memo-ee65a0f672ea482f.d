@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_profile_memo-ee65a0f672ea482f.d: crates/bench/benches/perf_profile_memo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_profile_memo-ee65a0f672ea482f.rmeta: crates/bench/benches/perf_profile_memo.rs Cargo.toml
+
+crates/bench/benches/perf_profile_memo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_simnet-32307392771ebb6f.d: crates/bench/benches/perf_simnet.rs
+
+/root/repo/target/debug/deps/libperf_simnet-32307392771ebb6f.rmeta: crates/bench/benches/perf_simnet.rs
+
+crates/bench/benches/perf_simnet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_simnet-93441f9e4c190b0b.d: crates/bench/benches/perf_simnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_simnet-93441f9e4c190b0b.rmeta: crates/bench/benches/perf_simnet.rs Cargo.toml
+
+crates/bench/benches/perf_simnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

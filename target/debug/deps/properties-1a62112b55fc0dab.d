@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1a62112b55fc0dab.d: crates/ct-simnet/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1a62112b55fc0dab.rmeta: crates/ct-simnet/tests/properties.rs
+
+crates/ct-simnet/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1eea4cb0656fe0eb.d: crates/ct-grid/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1eea4cb0656fe0eb.rmeta: crates/ct-grid/tests/properties.rs Cargo.toml
+
+crates/ct-grid/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

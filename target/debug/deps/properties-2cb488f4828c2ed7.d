@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2cb488f4828c2ed7.d: crates/ct-geo/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-2cb488f4828c2ed7.rmeta: crates/ct-geo/tests/properties.rs
+
+crates/ct-geo/tests/properties.rs:

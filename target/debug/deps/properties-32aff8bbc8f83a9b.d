@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-32aff8bbc8f83a9b.d: crates/ct-hydro/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-32aff8bbc8f83a9b.rmeta: crates/ct-hydro/tests/properties.rs
+
+crates/ct-hydro/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5bb644644e8473a1.d: crates/ct-hydro/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5bb644644e8473a1: crates/ct-hydro/tests/properties.rs
+
+crates/ct-hydro/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-71c84fcd53e9cbb1.d: crates/ct-grid/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-71c84fcd53e9cbb1: crates/ct-grid/tests/properties.rs
+
+crates/ct-grid/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7d98fb7dd05d6934.d: crates/ct-geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7d98fb7dd05d6934: crates/ct-geo/tests/properties.rs
+
+crates/ct-geo/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-90e1f1d93b051288.d: crates/ct-grid/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-90e1f1d93b051288.rmeta: crates/ct-grid/tests/properties.rs
+
+crates/ct-grid/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9ddca0e427a0a749.d: crates/ct-hydro/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9ddca0e427a0a749.rmeta: crates/ct-hydro/tests/properties.rs Cargo.toml
+
+crates/ct-hydro/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

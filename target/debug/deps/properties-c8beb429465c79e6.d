@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c8beb429465c79e6.d: crates/ct-geo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c8beb429465c79e6.rmeta: crates/ct-geo/tests/properties.rs Cargo.toml
+
+crates/ct-geo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

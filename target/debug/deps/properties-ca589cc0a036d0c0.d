@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ca589cc0a036d0c0.d: crates/ct-simnet/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ca589cc0a036d0c0: crates/ct-simnet/tests/properties.rs
+
+crates/ct-simnet/tests/properties.rs:

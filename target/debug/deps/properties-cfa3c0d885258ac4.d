@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cfa3c0d885258ac4.d: crates/ct-simnet/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cfa3c0d885258ac4.rmeta: crates/ct-simnet/tests/properties.rs Cargo.toml
+
+crates/ct-simnet/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-604385b2cb84e81a.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-604385b2cb84e81a.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

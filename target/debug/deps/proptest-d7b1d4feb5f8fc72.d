@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d7b1d4feb5f8fc72.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d7b1d4feb5f8fc72.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d7b1d4feb5f8fc72.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-618f1e5ac1a2be44.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-618f1e5ac1a2be44.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f8e0416b341940b3.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f8e0416b341940b3.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f8e0416b341940b3.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

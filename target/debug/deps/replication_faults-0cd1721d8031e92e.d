@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_faults-0cd1721d8031e92e.d: tests/replication_faults.rs
+
+/root/repo/target/debug/deps/libreplication_faults-0cd1721d8031e92e.rmeta: tests/replication_faults.rs
+
+tests/replication_faults.rs:

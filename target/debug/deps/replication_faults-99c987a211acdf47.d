@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication_faults-99c987a211acdf47.d: tests/replication_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication_faults-99c987a211acdf47.rmeta: tests/replication_faults.rs Cargo.toml
+
+tests/replication_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_faults-df4616cfc3cbe755.d: tests/replication_faults.rs
+
+/root/repo/target/debug/deps/replication_faults-df4616cfc3cbe755: tests/replication_faults.rs
+
+tests/replication_faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/surge_crossval-25909425f45b48e5.d: tests/surge_crossval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsurge_crossval-25909425f45b48e5.rmeta: tests/surge_crossval.rs Cargo.toml
+
+tests/surge_crossval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

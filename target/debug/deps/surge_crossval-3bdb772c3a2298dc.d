@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surge_crossval-3bdb772c3a2298dc.d: tests/surge_crossval.rs
+
+/root/repo/target/debug/deps/surge_crossval-3bdb772c3a2298dc: tests/surge_crossval.rs
+
+tests/surge_crossval.rs:

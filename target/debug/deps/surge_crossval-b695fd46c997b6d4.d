@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surge_crossval-b695fd46c997b6d4.d: tests/surge_crossval.rs
+
+/root/repo/target/debug/deps/libsurge_crossval-b695fd46c997b6d4.rmeta: tests/surge_crossval.rs
+
+tests/surge_crossval.rs:

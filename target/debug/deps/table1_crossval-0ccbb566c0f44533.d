@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_crossval-0ccbb566c0f44533.d: tests/table1_crossval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_crossval-0ccbb566c0f44533.rmeta: tests/table1_crossval.rs Cargo.toml
+
+tests/table1_crossval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_crossval-95bcd30614cc4de7.d: tests/table1_crossval.rs
+
+/root/repo/target/debug/deps/table1_crossval-95bcd30614cc4de7: tests/table1_crossval.rs
+
+tests/table1_crossval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_crossval-d820d3a9e0d49324.d: tests/table1_crossval.rs
+
+/root/repo/target/debug/deps/libtable1_crossval-d820d3a9e0d49324.rmeta: tests/table1_crossval.rs
+
+tests/table1_crossval.rs:

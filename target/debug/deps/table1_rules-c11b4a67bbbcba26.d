@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_rules-c11b4a67bbbcba26.d: crates/bench/benches/table1_rules.rs
+
+/root/repo/target/debug/deps/libtable1_rules-c11b4a67bbbcba26.rmeta: crates/bench/benches/table1_rules.rs
+
+crates/bench/benches/table1_rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_rules-d36aa66e06df9ec1.d: crates/bench/benches/table1_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_rules-d36aa66e06df9ec1.rmeta: crates/bench/benches/table1_rules.rs Cargo.toml
+
+crates/bench/benches/table1_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

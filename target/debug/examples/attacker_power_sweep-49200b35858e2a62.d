@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attacker_power_sweep-49200b35858e2a62.d: examples/attacker_power_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattacker_power_sweep-49200b35858e2a62.rmeta: examples/attacker_power_sweep.rs Cargo.toml
+
+examples/attacker_power_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

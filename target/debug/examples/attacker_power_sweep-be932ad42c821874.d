@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attacker_power_sweep-be932ad42c821874.d: examples/attacker_power_sweep.rs
+
+/root/repo/target/debug/examples/libattacker_power_sweep-be932ad42c821874.rmeta: examples/attacker_power_sweep.rs
+
+examples/attacker_power_sweep.rs:

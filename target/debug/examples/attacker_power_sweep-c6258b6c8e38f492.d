@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attacker_power_sweep-c6258b6c8e38f492.d: examples/attacker_power_sweep.rs
+
+/root/repo/target/debug/examples/attacker_power_sweep-c6258b6c8e38f492: examples/attacker_power_sweep.rs
+
+examples/attacker_power_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/downtime_planning-2140ce9d3f482504.d: examples/downtime_planning.rs
+
+/root/repo/target/debug/examples/downtime_planning-2140ce9d3f482504: examples/downtime_planning.rs
+
+examples/downtime_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/downtime_planning-48c14cc383516743.d: examples/downtime_planning.rs
+
+/root/repo/target/debug/examples/libdowntime_planning-48c14cc383516743.rmeta: examples/downtime_planning.rs
+
+examples/downtime_planning.rs:

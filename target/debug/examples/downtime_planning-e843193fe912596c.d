@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/downtime_planning-e843193fe912596c.d: examples/downtime_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdowntime_planning-e843193fe912596c.rmeta: examples/downtime_planning.rs Cargo.toml
+
+examples/downtime_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grid_impact-62ffb9d4c15433cd.d: examples/grid_impact.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrid_impact-62ffb9d4c15433cd.rmeta: examples/grid_impact.rs Cargo.toml
+
+examples/grid_impact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

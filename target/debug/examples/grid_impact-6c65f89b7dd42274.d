@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_impact-6c65f89b7dd42274.d: examples/grid_impact.rs
+
+/root/repo/target/debug/examples/grid_impact-6c65f89b7dd42274: examples/grid_impact.rs
+
+examples/grid_impact.rs:

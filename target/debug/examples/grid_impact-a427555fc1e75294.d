@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_impact-a427555fc1e75294.d: examples/grid_impact.rs
+
+/root/repo/target/debug/examples/libgrid_impact-a427555fc1e75294.rmeta: examples/grid_impact.rs
+
+examples/grid_impact.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oahu_case_study-25c705f23300a30f.d: examples/oahu_case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboahu_case_study-25c705f23300a30f.rmeta: examples/oahu_case_study.rs Cargo.toml
+
+examples/oahu_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

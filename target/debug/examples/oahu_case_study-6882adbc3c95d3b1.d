@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oahu_case_study-6882adbc3c95d3b1.d: examples/oahu_case_study.rs
+
+/root/repo/target/debug/examples/liboahu_case_study-6882adbc3c95d3b1.rmeta: examples/oahu_case_study.rs
+
+examples/oahu_case_study.rs:

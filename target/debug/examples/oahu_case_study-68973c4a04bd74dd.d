@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oahu_case_study-68973c4a04bd74dd.d: examples/oahu_case_study.rs
+
+/root/repo/target/debug/examples/oahu_case_study-68973c4a04bd74dd: examples/oahu_case_study.rs
+
+examples/oahu_case_study.rs:

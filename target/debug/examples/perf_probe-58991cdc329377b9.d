@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_probe-58991cdc329377b9.d: crates/bench/examples/perf_probe.rs
+
+/root/repo/target/debug/examples/perf_probe-58991cdc329377b9: crates/bench/examples/perf_probe.rs
+
+crates/bench/examples/perf_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_probe-a843135281c5ecf5.d: crates/bench/examples/perf_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_probe-a843135281c5ecf5.rmeta: crates/bench/examples/perf_probe.rs Cargo.toml
+
+crates/bench/examples/perf_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_sim-93d0d6d12312f5af.d: examples/protocol_sim.rs
+
+/root/repo/target/debug/examples/protocol_sim-93d0d6d12312f5af: examples/protocol_sim.rs
+
+examples/protocol_sim.rs:

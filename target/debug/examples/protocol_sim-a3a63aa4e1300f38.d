@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_sim-a3a63aa4e1300f38.d: examples/protocol_sim.rs
+
+/root/repo/target/debug/examples/libprotocol_sim-a3a63aa4e1300f38.rmeta: examples/protocol_sim.rs
+
+examples/protocol_sim.rs:

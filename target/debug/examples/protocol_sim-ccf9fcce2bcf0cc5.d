@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_sim-ccf9fcce2bcf0cc5.d: examples/protocol_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_sim-ccf9fcce2bcf0cc5.rmeta: examples/protocol_sim.rs Cargo.toml
+
+examples/protocol_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-546117fa4279bdaf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-546117fa4279bdaf.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

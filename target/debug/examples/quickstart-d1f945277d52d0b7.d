@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d1f945277d52d0b7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d1f945277d52d0b7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/site_placement-554f1f37561ccbd6.d: examples/site_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsite_placement-554f1f37561ccbd6.rmeta: examples/site_placement.rs Cargo.toml
+
+examples/site_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_placement-ba0145d818935899.d: examples/site_placement.rs
+
+/root/repo/target/debug/examples/libsite_placement-ba0145d818935899.rmeta: examples/site_placement.rs
+
+examples/site_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_placement-d26727874cb99da5.d: examples/site_placement.rs
+
+/root/repo/target/debug/examples/site_placement-d26727874cb99da5: examples/site_placement.rs
+
+examples/site_placement.rs:

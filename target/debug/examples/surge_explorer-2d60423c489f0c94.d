@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surge_explorer-2d60423c489f0c94.d: examples/surge_explorer.rs
+
+/root/repo/target/debug/examples/libsurge_explorer-2d60423c489f0c94.rmeta: examples/surge_explorer.rs
+
+examples/surge_explorer.rs:

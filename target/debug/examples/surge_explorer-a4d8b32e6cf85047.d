@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surge_explorer-a4d8b32e6cf85047.d: examples/surge_explorer.rs
+
+/root/repo/target/debug/examples/surge_explorer-a4d8b32e6cf85047: examples/surge_explorer.rs
+
+examples/surge_explorer.rs:

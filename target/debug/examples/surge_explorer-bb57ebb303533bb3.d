@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/surge_explorer-bb57ebb303533bb3.d: examples/surge_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsurge_explorer-bb57ebb303533bb3.rmeta: examples/surge_explorer.rs Cargo.toml
+
+examples/surge_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/compound_threats_suite-943aaa2cb7e77693.d: src/lib.rs
+
+/root/repo/target/release/deps/libcompound_threats_suite-943aaa2cb7e77693.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcompound_threats_suite-943aaa2cb7e77693.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ff1bcd0d2289e8e5.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ff1bcd0d2289e8e5.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ff1bcd0d2289e8e5.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

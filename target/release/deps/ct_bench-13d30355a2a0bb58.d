@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ct_bench-13d30355a2a0bb58.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libct_bench-13d30355a2a0bb58.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libct_bench-13d30355a2a0bb58.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ct_geo-40217d301ff1ebbd.d: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+/root/repo/target/release/deps/libct_geo-40217d301ff1ebbd.rlib: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+/root/repo/target/release/deps/libct_geo-40217d301ff1ebbd.rmeta: crates/ct-geo/src/lib.rs crates/ct-geo/src/coords.rs crates/ct-geo/src/dem.rs crates/ct-geo/src/error.rs crates/ct-geo/src/grid.rs crates/ct-geo/src/noise.rs crates/ct-geo/src/polygon.rs crates/ct-geo/src/terrain.rs
+
+crates/ct-geo/src/lib.rs:
+crates/ct-geo/src/coords.rs:
+crates/ct-geo/src/dem.rs:
+crates/ct-geo/src/error.rs:
+crates/ct-geo/src/grid.rs:
+crates/ct-geo/src/noise.rs:
+crates/ct-geo/src/polygon.rs:
+crates/ct-geo/src/terrain.rs:

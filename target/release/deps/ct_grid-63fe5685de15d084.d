@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ct_grid-63fe5685de15d084.d: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+/root/repo/target/release/deps/libct_grid-63fe5685de15d084.rlib: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+/root/repo/target/release/deps/libct_grid-63fe5685de15d084.rmeta: crates/ct-grid/src/lib.rs crates/ct-grid/src/cascade.rs crates/ct-grid/src/fragility.rs crates/ct-grid/src/linalg.rs crates/ct-grid/src/network.rs crates/ct-grid/src/oahu.rs crates/ct-grid/src/powerflow.rs
+
+crates/ct-grid/src/lib.rs:
+crates/ct-grid/src/cascade.rs:
+crates/ct-grid/src/fragility.rs:
+crates/ct-grid/src/linalg.rs:
+crates/ct-grid/src/network.rs:
+crates/ct-grid/src/oahu.rs:
+crates/ct-grid/src/powerflow.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ct_replication-31277a5b3e98e1a4.d: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+/root/repo/target/release/deps/libct_replication-31277a5b3e98e1a4.rlib: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+/root/repo/target/release/deps/libct_replication-31277a5b3e98e1a4.rmeta: crates/ct-replication/src/lib.rs crates/ct-replication/src/client.rs crates/ct-replication/src/deployment.rs crates/ct-replication/src/master.rs crates/ct-replication/src/msg.rs crates/ct-replication/src/replica.rs crates/ct-replication/src/role.rs crates/ct-replication/src/verdict.rs
+
+crates/ct-replication/src/lib.rs:
+crates/ct-replication/src/client.rs:
+crates/ct-replication/src/deployment.rs:
+crates/ct-replication/src/master.rs:
+crates/ct-replication/src/msg.rs:
+crates/ct-replication/src/replica.rs:
+crates/ct-replication/src/role.rs:
+crates/ct-replication/src/verdict.rs:

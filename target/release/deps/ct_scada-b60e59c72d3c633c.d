@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ct_scada-b60e59c72d3c633c.d: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs
+
+/root/repo/target/release/deps/libct_scada-b60e59c72d3c633c.rlib: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs
+
+/root/repo/target/release/deps/libct_scada-b60e59c72d3c633c.rmeta: crates/ct-scada/src/lib.rs crates/ct-scada/src/architecture.rs crates/ct-scada/src/asset.rs crates/ct-scada/src/error.rs crates/ct-scada/src/export.rs crates/ct-scada/src/oahu.rs crates/ct-scada/src/topology.rs
+
+crates/ct-scada/src/lib.rs:
+crates/ct-scada/src/architecture.rs:
+crates/ct-scada/src/asset.rs:
+crates/ct-scada/src/error.rs:
+crates/ct-scada/src/export.rs:
+crates/ct-scada/src/oahu.rs:
+crates/ct-scada/src/topology.rs:

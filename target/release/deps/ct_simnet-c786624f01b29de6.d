@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ct_simnet-c786624f01b29de6.d: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+/root/repo/target/release/deps/libct_simnet-c786624f01b29de6.rlib: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+/root/repo/target/release/deps/libct_simnet-c786624f01b29de6.rmeta: crates/ct-simnet/src/lib.rs crates/ct-simnet/src/actor.rs crates/ct-simnet/src/fault.rs crates/ct-simnet/src/net.rs crates/ct-simnet/src/sim.rs crates/ct-simnet/src/time.rs
+
+crates/ct-simnet/src/lib.rs:
+crates/ct-simnet/src/actor.rs:
+crates/ct-simnet/src/fault.rs:
+crates/ct-simnet/src/net.rs:
+crates/ct-simnet/src/sim.rs:
+crates/ct-simnet/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-a01f86c5ce8ff3a6.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a01f86c5ce8ff3a6.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a01f86c5ce8ff3a6.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

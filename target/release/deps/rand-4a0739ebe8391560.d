@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4a0739ebe8391560.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4a0739ebe8391560.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4a0739ebe8391560.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

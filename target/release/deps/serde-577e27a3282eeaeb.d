@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-577e27a3282eeaeb.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-577e27a3282eeaeb.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-577e27a3282eeaeb.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_probe-48f2fcdde4a2480a.d: crates/bench/examples/perf_probe.rs
+
+/root/repo/target/release/examples/perf_probe-48f2fcdde4a2480a: crates/bench/examples/perf_probe.rs
+
+crates/bench/examples/perf_probe.rs:

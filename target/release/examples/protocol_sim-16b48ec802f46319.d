@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protocol_sim-16b48ec802f46319.d: examples/protocol_sim.rs
+
+/root/repo/target/release/examples/protocol_sim-16b48ec802f46319: examples/protocol_sim.rs
+
+examples/protocol_sim.rs:

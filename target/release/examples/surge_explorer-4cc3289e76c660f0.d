@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/surge_explorer-4cc3289e76c660f0.d: examples/surge_explorer.rs
+
+/root/repo/target/release/examples/surge_explorer-4cc3289e76c660f0: examples/surge_explorer.rs
+
+examples/surge_explorer.rs:
