@@ -9,7 +9,10 @@ use ct_scada::{oahu::SiteChoice, Architecture};
 use ct_threat::ThreatScenario;
 
 fn bench(c: &mut Criterion) {
-    let base = CaseStudyConfig::with_realizations(300);
+    let base = CaseStudyConfig::builder()
+        .realizations(300)
+        .build()
+        .unwrap();
     let cats = [
         Category::Cat1,
         Category::Cat2,

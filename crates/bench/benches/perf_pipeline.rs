@@ -18,8 +18,11 @@ fn bench_generation(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                let mut cfg = CaseStudyConfig::with_realizations(n);
-                cfg.threads = threads;
+                let cfg = CaseStudyConfig::builder()
+                    .realizations(n)
+                    .threads(threads)
+                    .build()
+                    .expect("valid config");
                 b.iter(|| CaseStudy::build(&cfg).expect("case study builds"))
             },
         );

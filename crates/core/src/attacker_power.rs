@@ -166,7 +166,13 @@ mod tests {
     use crate::pipeline::CaseStudyConfig;
 
     fn study() -> CaseStudy {
-        CaseStudy::build(&CaseStudyConfig::with_realizations(100)).unwrap()
+        CaseStudy::build(
+            &CaseStudyConfig::builder()
+                .realizations(100)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -134,7 +134,15 @@ mod tests {
 
     fn study() -> &'static CaseStudy {
         static STUDY: OnceLock<CaseStudy> = OnceLock::new();
-        STUDY.get_or_init(|| CaseStudy::build(&CaseStudyConfig::with_realizations(150)).unwrap())
+        STUDY.get_or_init(|| {
+            CaseStudy::build(
+                &CaseStudyConfig::builder()
+                    .realizations(150)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        })
     }
 
     #[test]

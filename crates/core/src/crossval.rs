@@ -78,6 +78,8 @@ impl CrossValidation {
 /// Executes the deployment under the faults implied by `state` and
 /// compares with the classifier.
 pub fn cross_validate(state: &SystemState, config: &VerdictConfig) -> CrossValidation {
+    let _span = ct_obs::span("crossval_state");
+    ct_obs::add(ct_obs::names::CROSSVAL_STATES_VALIDATED, 1);
     let rule = classify(state);
     let spec = deployment_for(state.architecture);
     let scenario = fault_scenario_for(state);

@@ -18,6 +18,24 @@ pub enum CoreError {
         /// The missing id.
         id: String,
     },
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// The offending field (builder setter name).
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A report/figure renderer failed to format output.
+    Render(std::fmt::Error),
+    /// Writing an output artifact (e.g. a `--metrics` snapshot)
+    /// failed. The I/O error is stringified to keep `CoreError`
+    /// cloneable and comparable.
+    Io {
+        /// Path of the artifact being written.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +46,11 @@ impl fmt::Display for CoreError {
             CoreError::Geo(e) => write!(f, "geospatial: {e}"),
             CoreError::Grid(e) => write!(f, "power grid: {e}"),
             CoreError::UnknownAsset { id } => write!(f, "unknown asset id '{id}'"),
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            CoreError::Render(e) => write!(f, "report rendering: {e}"),
+            CoreError::Io { path, message } => write!(f, "writing '{path}': {message}"),
         }
     }
 }
@@ -40,7 +63,16 @@ impl std::error::Error for CoreError {
             CoreError::Geo(e) => Some(e),
             CoreError::Grid(e) => Some(e),
             CoreError::UnknownAsset { .. } => None,
+            CoreError::InvalidConfig { .. } => None,
+            CoreError::Render(e) => Some(e),
+            CoreError::Io { .. } => None,
         }
+    }
+}
+
+impl From<std::fmt::Error> for CoreError {
+    fn from(e: std::fmt::Error) -> Self {
+        CoreError::Render(e)
     }
 }
 
@@ -80,5 +112,23 @@ mod tests {
         assert!(e.source().is_some());
         let e = CoreError::UnknownAsset { id: "x".into() };
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn new_variants_display_their_context() {
+        let e = CoreError::InvalidConfig {
+            field: "realizations",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("realizations"));
+        assert!(e.source().is_none());
+        let e = CoreError::from(std::fmt::Error);
+        assert!(e.to_string().contains("rendering"));
+        assert!(e.source().is_some());
+        let e = CoreError::Io {
+            path: "/tmp/m.csv".into(),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/m.csv"));
     }
 }

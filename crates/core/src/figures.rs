@@ -111,6 +111,7 @@ impl FigureData {
 ///
 /// Propagates pipeline errors.
 pub fn reproduce(study: &CaseStudy, figure: Figure) -> Result<FigureData, CoreError> {
+    let _span = ct_obs::span("figure_reproduce");
     let rows = Architecture::ALL
         .iter()
         .map(|&arch| {
@@ -119,6 +120,7 @@ pub fn reproduce(study: &CaseStudy, figure: Figure) -> Result<FigureData, CoreEr
                 .map(|p| (arch, p))
         })
         .collect::<Result<Vec<_>, _>>()?;
+    ct_obs::add(ct_obs::names::FIGURES_REPRODUCED, 1);
     Ok(FigureData { figure, rows })
 }
 
@@ -128,6 +130,7 @@ pub fn reproduce(study: &CaseStudy, figure: Figure) -> Result<FigureData, CoreEr
 ///
 /// Propagates pipeline errors.
 pub fn reproduce_all(study: &CaseStudy) -> Result<Vec<FigureData>, CoreError> {
+    let _span = ct_obs::span("figures");
     Figure::ALL.iter().map(|&f| reproduce(study, f)).collect()
 }
 
@@ -152,7 +155,8 @@ mod tests {
 
     #[test]
     fn reproduce_produces_five_rows_per_figure() {
-        let study = CaseStudy::build(&CaseStudyConfig::with_realizations(50)).unwrap();
+        let study = CaseStudy::build(&CaseStudyConfig::builder().realizations(50).build().unwrap())
+            .unwrap();
         let data = reproduce(&study, Figure::Fig8).unwrap();
         assert_eq!(data.rows.len(), 5);
         assert!(data.profile(Architecture::C6P6P6).is_some());

@@ -272,7 +272,9 @@ mod tests {
 
     fn study() -> &'static CaseStudy {
         static STUDY: OnceLock<CaseStudy> = OnceLock::new();
-        STUDY.get_or_init(|| CaseStudy::build(&CaseStudyConfig::with_realizations(60)).unwrap())
+        STUDY.get_or_init(|| {
+            CaseStudy::build(&CaseStudyConfig::builder().realizations(60).build().unwrap()).unwrap()
+        })
     }
 
     fn summary() -> &'static GridImpactSummary {

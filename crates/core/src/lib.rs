@@ -61,5 +61,5 @@ pub mod summary;
 
 pub use error::CoreError;
 pub use figures::{Figure, FigureData};
-pub use pipeline::{CaseStudy, CaseStudyConfig};
+pub use pipeline::{CaseStudy, CaseStudyConfig, CaseStudyConfigBuilder};
 pub use profile::OutcomeProfile;

@@ -23,6 +23,11 @@ type PlanKey = (Architecture, Vec<String>);
 type PlanHistogram = Arc<Vec<(PostDisasterState, usize)>>;
 
 /// Configuration of a full case-study run.
+///
+/// Construct via [`CaseStudyConfig::builder`], which validates values
+/// before they reach the pipeline; `Default` gives the paper's
+/// canonical setup (1000 realizations, auto threads, 0.5 m flood
+/// threshold).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CaseStudyConfig {
     /// Terrain synthesis parameters.
@@ -34,10 +39,35 @@ pub struct CaseStudyConfig {
     pub calibration: SurgeCalibration,
     /// Worker threads for ensemble evaluation (0 = auto).
     pub threads: usize,
+    /// Asset-failure flood threshold in metres; `None` keeps the
+    /// paper's 0.5 m default ([`ct_hydro::FloodThreshold`]).
+    pub flood_threshold_m: Option<f64>,
 }
 
 impl CaseStudyConfig {
+    /// A fluent, validating builder for the configuration.
+    ///
+    /// ```
+    /// use compound_threats::CaseStudyConfig;
+    ///
+    /// let config = CaseStudyConfig::builder()
+    ///     .realizations(200)
+    ///     .threads(4)
+    ///     .flood_threshold_m(0.75)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.ensemble.realizations, 200);
+    /// assert!(CaseStudyConfig::builder().realizations(0).build().is_err());
+    /// ```
+    pub fn builder() -> CaseStudyConfigBuilder {
+        CaseStudyConfigBuilder::default()
+    }
+
     /// A reduced configuration for fast tests: `n` realizations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CaseStudyConfig::builder().realizations(n).build()`, which validates"
+    )]
     pub fn with_realizations(n: usize) -> Self {
         Self {
             ensemble: EnsembleConfig {
@@ -46,6 +76,92 @@ impl CaseStudyConfig {
             },
             ..Self::default()
         }
+    }
+}
+
+/// Builder for [`CaseStudyConfig`]; see [`CaseStudyConfig::builder`].
+///
+/// Setters are infallible; [`CaseStudyConfigBuilder::build`] performs
+/// validation so errors carry the offending field and value.
+#[derive(Debug, Clone, Default)]
+pub struct CaseStudyConfigBuilder {
+    config: CaseStudyConfig,
+}
+
+impl CaseStudyConfigBuilder {
+    /// Terrain synthesis parameters.
+    #[must_use]
+    pub fn terrain(mut self, terrain: OahuTerrainConfig) -> Self {
+        self.config.terrain = terrain;
+        self
+    }
+
+    /// Full hurricane-ensemble parameters (see also
+    /// [`CaseStudyConfigBuilder::realizations`] for the common case).
+    #[must_use]
+    pub fn ensemble(mut self, ensemble: EnsembleConfig) -> Self {
+        self.config.ensemble = ensemble;
+        self
+    }
+
+    /// Number of hurricane realizations (must be ≥ 1).
+    #[must_use]
+    pub fn realizations(mut self, n: usize) -> Self {
+        self.config.ensemble.realizations = n;
+        self
+    }
+
+    /// Ensemble RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.ensemble.seed = seed;
+        self
+    }
+
+    /// Surge-model calibration.
+    #[must_use]
+    pub fn calibration(mut self, calibration: SurgeCalibration) -> Self {
+        self.config.calibration = calibration;
+        self
+    }
+
+    /// Worker threads for ensemble evaluation (0 = auto).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Asset-failure flood threshold in metres (must be finite and
+    /// non-negative; the paper assumes 0.5 m switch height).
+    #[must_use]
+    pub fn flood_threshold_m(mut self, depth_m: f64) -> Self {
+        self.config.flood_threshold_m = Some(depth_m);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the ensemble is empty or the
+    /// flood threshold is negative or non-finite.
+    pub fn build(self) -> Result<CaseStudyConfig, CoreError> {
+        if self.config.ensemble.realizations == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "realizations",
+                reason: "ensemble must contain at least 1 realization".into(),
+            });
+        }
+        if let Some(depth_m) = self.config.flood_threshold_m {
+            if !depth_m.is_finite() || depth_m < 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    field: "flood_threshold_m",
+                    reason: format!("must be finite and non-negative, got {depth_m}"),
+                });
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -88,25 +204,52 @@ impl CaseStudy {
     /// Propagates terrain/hazard errors (e.g. an asset outside the
     /// DEM).
     pub fn build(config: &CaseStudyConfig) -> Result<Self, CoreError> {
-        let dem = synthesize_oahu(&config.terrain);
-        let topology = oahu::topology();
-        let pois = oahu::case_study_pois(&dem)?;
+        let build_span = ct_obs::span("build");
+        let dem = {
+            let _s = ct_obs::span("terrain");
+            synthesize_oahu(&config.terrain)
+        };
+        let (topology, pois) = {
+            let _s = ct_obs::span("topology");
+            (oahu::topology(), oahu::case_study_pois(&dem)?)
+        };
         let model = ParametricSurge::new(Stations::from_dem(&dem), config.calibration);
-        let storms = TrackEnsemble::new(config.ensemble.clone())?.generate();
+        let storms = {
+            let _s = ct_obs::span("ensemble_generate");
+            TrackEnsemble::new(config.ensemble.clone())?.generate()
+        };
         let threads = if config.threads == 0 {
             default_threads()
         } else {
             config.threads
         };
+        ct_obs::gauge(ct_obs::names::BUILD_THREADS, threads as f64);
         let indexed: Vec<(usize, ct_hydro::StormParams)> = storms.into_iter().enumerate().collect();
         // Dynamic scheduling: storm cost varies with track/intensity,
-        // so work-stealing keeps all workers busy to the end.
+        // so work-stealing keeps all workers busy to the end. Workers
+        // attribute their per-item busy time to the evaluation span as
+        // its CPU proxy; spans themselves stay on this thread so the
+        // span tree is identical for every thread count.
+        let eval_span = ct_obs::span("ensemble_evaluate");
+        let busy_ns = std::sync::atomic::AtomicU64::new(0);
         let realizations = par_map_dynamic(&indexed, threads, |(i, storm)| {
-            RealizationSet::evaluate_storm(*i, storm, &model, &pois)
+            let started = std::time::Instant::now();
+            let r = RealizationSet::evaluate_storm(*i, storm, &model, &pois);
+            busy_ns.fetch_add(
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            r
         })
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
-        let set = RealizationSet::from_parts(pois, realizations);
+        eval_span.add_cpu_ns(busy_ns.into_inner());
+        drop(eval_span);
+        let mut set = RealizationSet::from_parts(pois, realizations);
+        if let Some(depth_m) = config.flood_threshold_m {
+            set.set_threshold(ct_hydro::FloodThreshold::new(depth_m)?);
+        }
+        drop(build_span);
         Ok(Self {
             config: config.clone(),
             dem,
@@ -182,6 +325,7 @@ impl CaseStudy {
         plan: &SitePlan,
         scenario: ThreatScenario,
     ) -> Result<OutcomeProfile, CoreError> {
+        ct_obs::add(ct_obs::names::PROFILE_PLANS_EVALUATED, 1);
         let hist = self.plan_histogram(plan)?;
         let budget = scenario.budget();
         let arch = plan.architecture();
@@ -227,11 +371,29 @@ impl CaseStudy {
             .expect("histogram cache lock")
             .get(&key)
         {
+            ct_obs::add(ct_obs::names::PROFILE_PATTERN_CACHE_HITS, 1);
             return Ok(Arc::clone(hist));
         }
         let hist = Arc::new(post_disaster_histogram(plan, &self.set)?);
         let mut cache = self.histograms.lock().expect("histogram cache lock");
-        Ok(Arc::clone(cache.entry(key).or_insert(hist)))
+        // A miss is counted only for the winning insert, so hit+miss
+        // totals stay deterministic even when concurrent first calls
+        // compute the same histogram redundantly.
+        match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                ct_obs::add(ct_obs::names::PROFILE_PATTERN_CACHE_HITS, 1);
+                Ok(Arc::clone(e.get()))
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                ct_obs::add(ct_obs::names::PROFILE_PATTERN_CACHE_MISSES, 1);
+                ct_obs::histogram(
+                    ct_obs::names::PROFILE_PATTERNS_PER_PLAN,
+                    &ct_obs::names::PROFILE_PATTERNS_PER_PLAN_BOUNDS,
+                )
+                .observe(hist.len() as f64);
+                Ok(Arc::clone(e.insert(hist)))
+            }
+        }
     }
 
     /// A copy of this study with a different asset-failure flood
@@ -273,7 +435,52 @@ mod tests {
     use proptest::prelude::*;
 
     fn small_study() -> CaseStudy {
-        CaseStudy::build(&CaseStudyConfig::with_realizations(120)).unwrap()
+        CaseStudy::build(
+            &CaseStudyConfig::builder()
+                .realizations(120)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_builder() {
+        let via_shim = CaseStudyConfig::with_realizations(42);
+        let via_builder = CaseStudyConfig::builder().realizations(42).build().unwrap();
+        assert_eq!(via_shim, via_builder);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let e = CaseStudyConfig::builder()
+            .realizations(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            CoreError::InvalidConfig {
+                field: "realizations",
+                ..
+            }
+        ));
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            let e = CaseStudyConfig::builder()
+                .flood_threshold_m(bad)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CoreError::InvalidConfig {
+                        field: "flood_threshold_m",
+                        ..
+                    }
+                ),
+                "threshold {bad} should be rejected"
+            );
+        }
     }
 
     /// A study over a hand-built, RNG-free ensemble: realization `i`
@@ -356,7 +563,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_generation() {
-        let mut cfg = CaseStudyConfig::with_realizations(40);
+        let mut cfg = CaseStudyConfig::builder().realizations(40).build().unwrap();
         cfg.threads = 1;
         let serial = CaseStudy::build(&cfg).unwrap();
         cfg.threads = 8;

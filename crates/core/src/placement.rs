@@ -39,6 +39,7 @@ pub fn rank_backup_sites(
     if architecture.site_count() < 2 {
         return Ok(Vec::new());
     }
+    let span = ct_obs::span("placement_rank");
     let topology = study.topology();
     let mut candidates = Vec::new();
     for asset in topology.control_candidates() {
@@ -59,18 +60,30 @@ pub fn rank_backup_sites(
             SitePlan::new(architecture, topology, ids)?,
         ));
     }
+    ct_obs::add(
+        ct_obs::names::PLACEMENT_CANDIDATES_RANKED,
+        candidates.len() as u64,
+    );
     // Candidate cost is skewed (coastal plans flood in many more
     // realizations than inland ones), so steal work dynamically.
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
     let mut results = par_map_dynamic(&candidates, study.threads(), |(id, plan)| {
-        study
+        let t0 = std::time::Instant::now();
+        let result = study
             .profile_with_plan(plan, scenario)
             .map(|profile| PlacementResult {
                 backup_asset_id: id.clone(),
                 profile,
-            })
+            });
+        busy_ns.fetch_add(
+            t0.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        result
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    span.add_cpu_ns(busy_ns.into_inner());
     results.sort_by(|a, b| {
         b.profile
             .green()
@@ -103,7 +116,13 @@ mod tests {
     use crate::pipeline::CaseStudyConfig;
 
     fn study() -> CaseStudy {
-        CaseStudy::build(&CaseStudyConfig::with_realizations(150)).unwrap()
+        CaseStudy::build(
+            &CaseStudyConfig::builder()
+                .realizations(150)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -10,13 +10,14 @@ use std::fmt::Write as _;
 /// architecture.
 pub fn figure_table(data: &FigureData) -> String {
     let mut out = String::new();
-    writeln!(out, "{}: {}", data.figure, data.figure.caption()).unwrap();
+    writeln!(out, "{}: {}", data.figure, data.figure.caption())
+        .expect("writing to String cannot fail");
     writeln!(
         out,
         "{:<8} {:>8} {:>8} {:>8} {:>8}",
         "config", "green", "orange", "red", "gray"
     )
-    .unwrap();
+    .expect("writing to String cannot fail");
     for (arch, p) in &data.rows {
         writeln!(
             out,
@@ -27,7 +28,7 @@ pub fn figure_table(data: &FigureData) -> String {
             100.0 * p.red(),
             100.0 * p.gray()
         )
-        .unwrap();
+        .expect("writing to String cannot fail");
     }
     out
 }
@@ -35,10 +36,12 @@ pub fn figure_table(data: &FigureData) -> String {
 /// Renders a figure as a Markdown table.
 pub fn figure_markdown(data: &FigureData) -> String {
     let mut out = String::new();
-    writeln!(out, "**{} — {}**", data.figure, data.figure.caption()).unwrap();
-    writeln!(out).unwrap();
-    writeln!(out, "| config | green | orange | red | gray |").unwrap();
-    writeln!(out, "|---|---|---|---|---|").unwrap();
+    writeln!(out, "**{} — {}**", data.figure, data.figure.caption())
+        .expect("writing to String cannot fail");
+    writeln!(out).expect("writing to String cannot fail");
+    writeln!(out, "| config | green | orange | red | gray |")
+        .expect("writing to String cannot fail");
+    writeln!(out, "|---|---|---|---|---|").expect("writing to String cannot fail");
     for (arch, p) in &data.rows {
         writeln!(
             out,
@@ -49,7 +52,7 @@ pub fn figure_markdown(data: &FigureData) -> String {
             100.0 * p.red(),
             100.0 * p.gray()
         )
-        .unwrap();
+        .expect("writing to String cannot fail");
     }
     out
 }
@@ -68,7 +71,7 @@ pub fn figure_csv(data: &FigureData) -> String {
             p.red(),
             p.gray()
         )
-        .unwrap();
+        .expect("writing to String cannot fail");
     }
     out
 }

@@ -49,6 +49,7 @@ pub fn category_sweep(
     scenario: ThreatScenario,
     choice: SiteChoice,
 ) -> Result<Vec<CategoryPoint>, CoreError> {
+    let _span = ct_obs::span("category_sweep");
     categories
         .iter()
         .map(|&category| {
@@ -98,6 +99,7 @@ pub fn threshold_sweep(
     scenario: ThreatScenario,
     choice: SiteChoice,
 ) -> Result<Vec<ThresholdPoint>, CoreError> {
+    let _span = ct_obs::span("threshold_sweep");
     // Each threshold re-tests exceedance over the whole ensemble;
     // points are independent, so evaluate them work-stealing in
     // parallel (the category sweep stays serial because each of its
@@ -128,7 +130,10 @@ mod tests {
         static SWEEP: OnceLock<Vec<CategoryPoint>> = OnceLock::new();
         SWEEP.get_or_init(|| {
             category_sweep(
-                &CaseStudyConfig::with_realizations(200),
+                &CaseStudyConfig::builder()
+                    .realizations(200)
+                    .build()
+                    .unwrap(),
                 &[Category::Cat1, Category::Cat2, Category::Cat4],
                 ThreatScenario::Hurricane,
                 SiteChoice::Waiau,
@@ -165,7 +170,13 @@ mod tests {
 
     #[test]
     fn threshold_sweep_is_monotone() {
-        let study = CaseStudy::build(&CaseStudyConfig::with_realizations(200)).unwrap();
+        let study = CaseStudy::build(
+            &CaseStudyConfig::builder()
+                .realizations(200)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         let points = threshold_sweep(
             &study,
             &[0.2, 0.5, 1.5],

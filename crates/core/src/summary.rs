@@ -37,20 +37,20 @@ impl Default for ReportOptions {
 ///
 /// Propagates pipeline errors.
 pub fn write_report(study: &CaseStudy, options: &ReportOptions) -> Result<String, CoreError> {
+    let _span = ct_obs::span("report");
     let mut out = String::new();
-    writeln!(out, "# Compound-threat case study — Oahu, Hawaii\n").unwrap();
+    writeln!(out, "# Compound-threat case study — Oahu, Hawaii\n")?;
     writeln!(
         out,
         "Ensemble: {} hurricane realizations, seed {}.\n",
         study.realizations().len(),
         study.config().ensemble.seed
-    )
-    .unwrap();
+    )?;
 
     // Hazard section.
-    writeln!(out, "## Hazard\n").unwrap();
-    writeln!(out, "| control site | flood probability |").unwrap();
-    writeln!(out, "|---|---|").unwrap();
+    writeln!(out, "## Hazard\n")?;
+    writeln!(out, "| control site | flood probability |")?;
+    writeln!(out, "|---|---|")?;
     for id in [
         oahu::HONOLULU_CC,
         oahu::WAIAU,
@@ -63,27 +63,25 @@ pub fn write_report(study: &CaseStudy, options: &ReportOptions) -> Result<String
             "| {} | {:.1} % |",
             id,
             100.0 * study.flood_probability(id)?
-        )
-        .unwrap();
+        )?;
     }
-    writeln!(out).unwrap();
+    writeln!(out)?;
 
     // Figures.
-    writeln!(out, "## Operational profiles (paper Figs. 6-11)\n").unwrap();
+    writeln!(out, "## Operational profiles (paper Figs. 6-11)\n")?;
     for data in reproduce_all(study)? {
-        writeln!(out, "{}", figure_markdown(&data)).unwrap();
+        writeln!(out, "{}", figure_markdown(&data))?;
     }
 
     // Downtime.
-    writeln!(out, "## Expected downtime per threat event\n").unwrap();
+    writeln!(out, "## Expected downtime per threat event\n")?;
     writeln!(
         out,
         "Durations: orange {:.1} h, red {:.0} h, gray {:.0} h.\n",
         options.downtime.orange_hours, options.downtime.red_hours, options.downtime.gray_hours
-    )
-    .unwrap();
+    )?;
     for choice in [oahu::SiteChoice::Waiau, oahu::SiteChoice::Kahe] {
-        writeln!(out, "### Backup at {choice:?}\n").unwrap();
+        writeln!(out, "### Backup at {choice:?}\n")?;
         writeln!(
             out,
             "| scenario | {} |",
@@ -92,29 +90,28 @@ pub fn write_report(study: &CaseStudy, options: &ReportOptions) -> Result<String
                 .map(|a| format!("\"{}\"", a.label()))
                 .collect::<Vec<_>>()
                 .join(" | ")
-        )
-        .unwrap();
-        writeln!(out, "|---|---|---|---|---|---|").unwrap();
+        )?;
+        writeln!(out, "|---|---|---|---|---|---|")?;
         for scenario in ThreatScenario::ALL {
             let report = downtime_report(study, scenario, choice, &options.downtime)?;
             let cells: Vec<String> = Architecture::ALL
                 .iter()
                 .map(|&a| format!("{:.1} h", report.hours(a).unwrap_or(f64::NAN)))
                 .collect();
-            writeln!(out, "| {} | {} |", scenario, cells.join(" | ")).unwrap();
+            writeln!(out, "| {} | {} |", scenario, cells.join(" | "))?;
         }
-        writeln!(out).unwrap();
+        writeln!(out)?;
     }
 
     // Placement.
     if options.include_placement {
-        writeln!(out, "## Backup-site ranking (future-work extension)\n").unwrap();
+        writeln!(out, "## Backup-site ranking (future-work extension)\n")?;
         for arch in [Architecture::C6_6, Architecture::C6P6P6] {
             let ranking =
                 rank_backup_sites(study, arch, ThreatScenario::HurricaneIntrusionIsolation)?;
-            writeln!(out, "### {arch} under the full compound threat\n").unwrap();
-            writeln!(out, "| rank | backup site | green | orange | red | gray |").unwrap();
-            writeln!(out, "|---|---|---|---|---|---|").unwrap();
+            writeln!(out, "### {arch} under the full compound threat\n")?;
+            writeln!(out, "| rank | backup site | green | orange | red | gray |")?;
+            writeln!(out, "|---|---|---|---|---|---|")?;
             for (i, r) in ranking.iter().enumerate().take(8) {
                 writeln!(
                     out,
@@ -125,10 +122,9 @@ pub fn write_report(study: &CaseStudy, options: &ReportOptions) -> Result<String
                     100.0 * r.profile.orange(),
                     100.0 * r.profile.red(),
                     100.0 * r.profile.gray()
-                )
-                .unwrap();
+                )?;
             }
-            writeln!(out).unwrap();
+            writeln!(out)?;
         }
     }
 
@@ -137,8 +133,7 @@ pub fn write_report(study: &CaseStudy, options: &ReportOptions) -> Result<String
         "_Generated from {} figures across {} architectures._",
         Figure::ALL.len(),
         Architecture::ALL.len()
-    )
-    .unwrap();
+    )?;
     Ok(out)
 }
 
@@ -149,7 +144,8 @@ mod tests {
 
     #[test]
     fn report_contains_all_sections() {
-        let study = CaseStudy::build(&CaseStudyConfig::with_realizations(80)).unwrap();
+        let study = CaseStudy::build(&CaseStudyConfig::builder().realizations(80).build().unwrap())
+            .unwrap();
         let report = write_report(&study, &ReportOptions::default()).unwrap();
         for needle in [
             "# Compound-threat case study",
@@ -172,7 +168,8 @@ mod tests {
 
     #[test]
     fn placement_section_is_optional() {
-        let study = CaseStudy::build(&CaseStudyConfig::with_realizations(40)).unwrap();
+        let study = CaseStudy::build(&CaseStudyConfig::builder().realizations(40).build().unwrap())
+            .unwrap();
         let opts = ReportOptions {
             include_placement: false,
             ..ReportOptions::default()

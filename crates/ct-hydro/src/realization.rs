@@ -157,6 +157,8 @@ impl RealizationSet {
                 poi.inundation_m(surge.get(st), cal)
             })
             .collect();
+        ct_obs::add(ct_obs::names::HYDRO_REALIZATIONS_EVALUATED, 1);
+        ct_obs::add(ct_obs::names::HYDRO_POI_EVALUATIONS, pois.len() as u64);
         Ok(Realization {
             index,
             tide_m: storm.tide_m,

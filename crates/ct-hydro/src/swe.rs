@@ -1004,6 +1004,13 @@ impl ShallowWaterSolver {
 
         let mut max_grid = self.bed.map(|_| f64::NAN);
         max_grid.as_mut_slice().copy_from_slice(&max_eta[..]);
+        ct_obs::add(ct_obs::names::SWE_SOLVES, 1);
+        ct_obs::add(ct_obs::names::SWE_STEPS, steps as u64);
+        ct_obs::histogram(
+            ct_obs::names::SWE_STEPS_PER_SOLVE,
+            &ct_obs::names::SWE_STEPS_PER_SOLVE_BOUNDS,
+        )
+        .observe(steps as f64);
         Ok((
             SurgeOutcome {
                 max_eta: max_grid,

@@ -1,0 +1,95 @@
+//! Canonical metric names used across the workspace.
+//!
+//! Naming scheme: `<layer>.<noun>[_<verb>]`, lower-snake inside a
+//! dot-separated layer prefix. Span paths are slash-separated stage
+//! names (`build/ensemble_evaluate`); see DESIGN.md for the full
+//! conventions.
+
+/// Hurricane realizations evaluated against the POI set.
+pub const HYDRO_REALIZATIONS_EVALUATED: &str = "hydro.realizations_evaluated";
+/// Per-POI inundation evaluations.
+pub const HYDRO_POI_EVALUATIONS: &str = "hydro.poi_evaluations";
+/// Shallow-water solver invocations.
+pub const SWE_SOLVES: &str = "swe.solves";
+/// Shallow-water solver time steps executed.
+pub const SWE_STEPS: &str = "swe.steps";
+/// Attacker strategy invocations.
+pub const ATTACKER_ATTACKS: &str = "attacker.attacks";
+/// Candidate final states examined across attacker searches (1 per
+/// greedy attack; the full enumeration for the exhaustive attacker).
+pub const ATTACKER_CANDIDATES_EXAMINED: &str = "attacker.candidates_examined";
+/// Discrete events dispatched by the simulator (deliveries, timers,
+/// faults).
+pub const SIMNET_EVENTS_DISPATCHED: &str = "simnet.events_dispatched";
+/// Messages dropped by crashes or partitions.
+pub const SIMNET_MESSAGES_DROPPED: &str = "simnet.messages_dropped";
+/// Protocol verdict executions.
+pub const REPLICATION_VERDICT_RUNS: &str = "replication.verdict_runs";
+/// Site plans profiled.
+pub const PROFILE_PLANS_EVALUATED: &str = "profile.plans_evaluated";
+/// Flood-pattern histogram cache hits.
+pub const PROFILE_PATTERN_CACHE_HITS: &str = "profile.pattern_cache_hits";
+/// Flood-pattern histograms computed (cache misses).
+pub const PROFILE_PATTERN_CACHE_MISSES: &str = "profile.pattern_cache_misses";
+/// Figures reproduced.
+pub const FIGURES_REPRODUCED: &str = "figures.reproduced";
+/// Cross-validation states executed.
+pub const CROSSVAL_STATES_VALIDATED: &str = "crossval.states_validated";
+/// Backup-site placement candidates ranked.
+pub const PLACEMENT_CANDIDATES_RANKED: &str = "placement.candidates_ranked";
+/// Effective worker-thread count of the last pipeline build (gauge).
+pub const BUILD_THREADS: &str = "build.threads";
+/// Histogram: time steps per shallow-water solve.
+pub const SWE_STEPS_PER_SOLVE: &str = "swe.steps_per_solve";
+/// Histogram: distinct flood patterns per profiled site plan.
+pub const PROFILE_PATTERNS_PER_PLAN: &str = "profile.patterns_per_plan";
+
+/// Bucket bounds for [`SWE_STEPS_PER_SOLVE`].
+pub const SWE_STEPS_PER_SOLVE_BOUNDS: [f64; 6] = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
+/// Bucket bounds for [`PROFILE_PATTERNS_PER_PLAN`].
+pub const PROFILE_PATTERNS_PER_PLAN_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Registers the full canonical metric set on `registry` so
+/// snapshots list every standard counter even when a run never
+/// exercises its code path (e.g. `ct figures` never steps the SWE
+/// solver, but its `--metrics` output still reports `swe.steps,0`).
+pub fn register_defaults(registry: &crate::Registry) {
+    for name in [
+        HYDRO_REALIZATIONS_EVALUATED,
+        HYDRO_POI_EVALUATIONS,
+        SWE_SOLVES,
+        SWE_STEPS,
+        ATTACKER_ATTACKS,
+        ATTACKER_CANDIDATES_EXAMINED,
+        SIMNET_EVENTS_DISPATCHED,
+        SIMNET_MESSAGES_DROPPED,
+        REPLICATION_VERDICT_RUNS,
+        PROFILE_PLANS_EVALUATED,
+        PROFILE_PATTERN_CACHE_HITS,
+        PROFILE_PATTERN_CACHE_MISSES,
+        FIGURES_REPRODUCED,
+        CROSSVAL_STATES_VALIDATED,
+        PLACEMENT_CANDIDATES_RANKED,
+    ] {
+        registry.counter(name);
+    }
+    registry.gauge(BUILD_THREADS);
+    registry.histogram(SWE_STEPS_PER_SOLVE, &SWE_STEPS_PER_SOLVE_BOUNDS);
+    registry.histogram(PROFILE_PATTERNS_PER_PLAN, &PROFILE_PATTERNS_PER_PLAN_BOUNDS);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_register_every_name() {
+        let reg = crate::Registry::new();
+        register_defaults(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 15);
+        assert_eq!(snap.counter(SWE_STEPS), Some(0));
+        assert_eq!(snap.gauge(BUILD_THREADS), Some(0.0));
+        assert_eq!(snap.histograms.len(), 2);
+    }
+}

@@ -116,6 +116,7 @@ pub fn run_scenario(
     scenario: &FaultScenario,
     config: &VerdictConfig,
 ) -> SimVerdict {
+    ct_obs::add(ct_obs::names::REPLICATION_VERDICT_RUNS, 1);
     let built = build(spec);
     let mut nodes = built.nodes;
     for &(site, idx) in &scenario.intrusions {

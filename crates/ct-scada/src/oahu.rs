@@ -49,6 +49,38 @@ impl SiteChoice {
     }
 }
 
+/// A site-choice string was not one of the CLI keywords.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSiteChoiceError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseSiteChoiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown backup site '{}' (expected waiau or kahe)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSiteChoiceError {}
+
+impl std::str::FromStr for SiteChoice {
+    type Err = ParseSiteChoiceError;
+
+    /// Parses the CLI keywords `waiau` and `kahe` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "waiau" => Ok(SiteChoice::Waiau),
+            "kahe" => Ok(SiteChoice::Kahe),
+            _ => Err(ParseSiteChoiceError { input: s.into() }),
+        }
+    }
+}
+
 /// Builds the Oahu power-asset topology.
 ///
 /// # Panics
@@ -339,5 +371,14 @@ mod tests {
         let a = site_plan(Architecture::C6, SiteChoice::Waiau).unwrap();
         let b = site_plan(Architecture::C6, SiteChoice::Kahe).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn site_choice_keywords_round_trip() {
+        assert_eq!("waiau".parse(), Ok(SiteChoice::Waiau));
+        assert_eq!("Kahe".parse(), Ok(SiteChoice::Kahe));
+        let err = "maui".parse::<SiteChoice>().unwrap_err();
+        assert!(err.to_string().contains("maui"));
+        assert!(err.to_string().contains("waiau"));
     }
 }

@@ -221,6 +221,7 @@ impl<A: Actor> Sim<A> {
     /// Runs until the queue is exhausted or virtual time reaches
     /// `deadline`, whichever comes first. Returns the stats.
     pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
+        let entry_stats = self.stats;
         self.start_if_needed();
         while let Some(&Reverse((EventKey(at, _), idx))) = self.queue.peek() {
             if at > deadline {
@@ -287,6 +288,18 @@ impl<A: Actor> Sim<A> {
                 }
             }
         }
+        // Stats are cumulative across run_until calls; report only
+        // this call's work to the observability layer.
+        ct_obs::add(
+            ct_obs::names::SIMNET_EVENTS_DISPATCHED,
+            (self.stats.delivered - entry_stats.delivered)
+                + (self.stats.timers_fired - entry_stats.timers_fired)
+                + (self.stats.faults_applied - entry_stats.faults_applied),
+        );
+        ct_obs::add(
+            ct_obs::names::SIMNET_MESSAGES_DROPPED,
+            self.stats.dropped - entry_stats.dropped,
+        );
         self.stats
     }
 }

@@ -44,6 +44,9 @@ impl Attacker for WorstCaseAttacker {
         post: &PostDisasterState,
         budget: AttackBudget,
     ) -> SystemState {
+        ct_obs::add(ct_obs::names::ATTACKER_ATTACKS, 1);
+        // The greedy algorithm commits to a single candidate state.
+        ct_obs::add(ct_obs::names::ATTACKER_CANDIDATES_EXAMINED, 1);
         let mut state = SystemState::from_post_disaster(architecture, post);
         let threshold = architecture.gray_threshold();
 
@@ -165,7 +168,13 @@ impl Attacker for ExhaustiveAttacker {
         post: &PostDisasterState,
         budget: AttackBudget,
     ) -> SystemState {
-        self.reachable_states(architecture, post, budget)
+        let states = self.reachable_states(architecture, post, budget);
+        ct_obs::add(ct_obs::names::ATTACKER_ATTACKS, 1);
+        ct_obs::add(
+            ct_obs::names::ATTACKER_CANDIDATES_EXAMINED,
+            states.len() as u64,
+        );
+        states
             .into_iter()
             .max_by_key(classify)
             .expect("at least the no-attack state is reachable")

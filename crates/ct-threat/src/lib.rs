@@ -34,5 +34,5 @@ pub mod state;
 pub use apply::{post_disaster_histogram, post_disaster_states};
 pub use attacker::{Attacker, ExhaustiveAttacker, WorstCaseAttacker};
 pub use classify::{classify, OperationalState};
-pub use scenario::{AttackBudget, ThreatScenario};
+pub use scenario::{AttackBudget, ParseScenarioError, ThreatScenario};
 pub use state::{PostDisasterState, SiteState, SiteStatus, SystemState};

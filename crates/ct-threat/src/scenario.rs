@@ -96,6 +96,41 @@ impl fmt::Display for ThreatScenario {
     }
 }
 
+/// A scenario string was not one of the CLI keywords.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scenario '{}' (expected hurricane, intrusion, isolation, or compound)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+impl std::str::FromStr for ThreatScenario {
+    type Err = ParseScenarioError;
+
+    /// Parses the CLI keywords: `hurricane`, `intrusion`, `isolation`,
+    /// `compound` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hurricane" => Ok(ThreatScenario::Hurricane),
+            "intrusion" => Ok(ThreatScenario::HurricaneIntrusion),
+            "isolation" => Ok(ThreatScenario::HurricaneIsolation),
+            "compound" => Ok(ThreatScenario::HurricaneIntrusionIsolation),
+            _ => Err(ParseScenarioError { input: s.into() }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +159,20 @@ mod tests {
                 isolations: 1
             }
         );
+    }
+
+    #[test]
+    fn scenario_keywords_round_trip() {
+        assert_eq!("hurricane".parse(), Ok(ThreatScenario::Hurricane));
+        assert_eq!("intrusion".parse(), Ok(ThreatScenario::HurricaneIntrusion));
+        assert_eq!("isolation".parse(), Ok(ThreatScenario::HurricaneIsolation));
+        assert_eq!(
+            "COMPOUND".parse(),
+            Ok(ThreatScenario::HurricaneIntrusionIsolation)
+        );
+        let err = "tsunami".parse::<ThreatScenario>().unwrap_err();
+        assert!(err.to_string().contains("tsunami"));
+        assert!(err.to_string().contains("compound"));
     }
 
     #[test]

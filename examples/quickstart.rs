@@ -12,7 +12,8 @@ use ct_threat::ThreatScenario;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A reduced ensemble (200 realizations) keeps the quickstart fast;
     // use `CaseStudyConfig::default()` for the paper's full 1000.
-    let study = CaseStudy::build(&CaseStudyConfig::with_realizations(200))?;
+    let config = CaseStudyConfig::builder().realizations(200).build()?;
+    let study = CaseStudy::build(&config)?;
 
     let profile = study.profile(
         Architecture::C6P6P6,

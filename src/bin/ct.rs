@@ -13,11 +13,19 @@
 //! ct report [--realizations N]              full case-study report (markdown)
 //! ```
 //!
+//! Every subcommand accepts `--metrics <path>`: on exit the process
+//! writes the [`ct_obs`] span/counter snapshot there (CSV, or a
+//! markdown summary when the path ends in `.md`).
+//!
+//! Worker-thread count comes from the `CT_THREADS` environment
+//! variable (default: all cores, capped at 16).
+//!
 //! Scenarios: `hurricane`, `intrusion`, `isolation`, `compound`.
 //! Configs: `2`, `2-2`, `6`, `6-6`, `6+6+6`.
 
 use compound_threats::availability::{downtime_report, DowntimeModel};
 use compound_threats::crossval::{cross_validate, reachable_states};
+use compound_threats::error::CoreError;
 use compound_threats::figures::{reproduce, reproduce_all, Figure};
 use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
 use compound_threats::placement::rank_backup_sites;
@@ -31,7 +39,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ct <command>\n\
+        "usage: ct <command> [--metrics <path>]\n\
          \n\
          commands:\n\
          \x20 figures [--realizations N] [--csv]   reproduce Figs. 6-11\n\
@@ -44,34 +52,79 @@ fn usage() -> ExitCode {
          \x20 hazard [--full]                      hazard ensemble as CSV\n\
          \x20 report                               full case-study markdown report\n\
          \n\
+         global options:\n\
+         \x20 --metrics <path>   write the observability snapshot on exit\n\
+         \x20                    (CSV; markdown when <path> ends in .md)\n\
+         \x20 --realizations N   hazard-ensemble size (default: paper's 1000)\n\
+         \n\
          scenarios: hurricane | intrusion | isolation | compound\n\
-         configs:   2 | 2-2 | 6 | 6-6 | 6+6+6"
+         configs:   2 | 2-2 | 6 | 6-6 | 6+6+6\n\
+         env:       CT_THREADS=<n> caps the worker-thread count"
     );
     ExitCode::FAILURE
 }
 
-fn parse_scenario(s: &str) -> Option<ThreatScenario> {
-    match s {
-        "hurricane" => Some(ThreatScenario::Hurricane),
-        "intrusion" => Some(ThreatScenario::HurricaneIntrusion),
-        "isolation" => Some(ThreatScenario::HurricaneIsolation),
-        "compound" => Some(ThreatScenario::HurricaneIntrusionIsolation),
-        _ => None,
+/// Options shared by every subcommand.
+struct GlobalOpts {
+    csv: bool,
+    realizations: Option<usize>,
+    metrics: Option<String>,
+}
+
+/// The value following `flag`, required to exist if the flag does.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{flag} requires a value")),
+        },
+    }
+}
+
+impl GlobalOpts {
+    fn parse(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        let realizations = flag_value(args, "--realizations")?
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|e| format!("invalid --realizations value '{v}': {e}"))
+            })
+            .transpose()?;
+        let metrics = flag_value(args, "--metrics")?.map(String::from);
+        Ok(Self {
+            csv: args.iter().any(|a| a == "--csv"),
+            realizations,
+            metrics,
+        })
     }
 }
 
 fn build_study(realizations: Option<usize>) -> Result<CaseStudy, Box<dyn std::error::Error>> {
     let config = match realizations {
-        Some(n) => CaseStudyConfig::with_realizations(n),
+        Some(n) => CaseStudyConfig::builder().realizations(n).build()?,
         None => CaseStudyConfig::default(),
     };
     Ok(CaseStudy::build(&config)?)
 }
 
+/// Writes the global observability snapshot to `path` (markdown when
+/// the path ends in `.md`, CSV otherwise).
+fn write_metrics(path: &str) -> Result<(), CoreError> {
+    let snap = ct_obs::snapshot();
+    let body = if path.ends_with(".md") {
+        snap.to_markdown()
+    } else {
+        snap.to_csv()
+    };
+    std::fs::write(path, body).map_err(|e| CoreError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = run(&args);
-    match result {
+    match run(&args) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -84,18 +137,29 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let Some(command) = args.first() else {
         return Ok(usage());
     };
-    let csv = args.iter().any(|a| a == "--csv");
-    let realizations = args
-        .iter()
-        .position(|a| a == "--realizations")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok());
+    let opts = GlobalOpts::parse(args)?;
+    if opts.metrics.is_some() {
+        // Pre-register the canonical metric set so the snapshot lists
+        // every counter (zero-valued included), whatever the command.
+        ct_obs::names::register_defaults(ct_obs::global());
+    }
+    let code = run_command(command, args, &opts)?;
+    if let Some(path) = &opts.metrics {
+        write_metrics(path)?;
+    }
+    Ok(code)
+}
 
-    match command.as_str() {
+fn run_command(
+    command: &str,
+    args: &[String],
+    opts: &GlobalOpts,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match command {
         "figures" => {
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             for data in reproduce_all(&study)? {
-                if csv {
+                if opts.csv {
                     print!("{}", figure_csv(&data));
                 } else {
                     print!("{}", figure_table(&data));
@@ -118,9 +182,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 eprintln!("no figure {n}; the paper has figures 6-11");
                 return Ok(ExitCode::FAILURE);
             };
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             let data = reproduce(&study, fig)?;
-            if csv {
+            if opts.csv {
                 print!("{}", figure_csv(&data));
             } else {
                 print!("{}", figure_table(&data));
@@ -134,11 +198,14 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 eprintln!("unknown config '{arch_s}'");
                 return Ok(ExitCode::FAILURE);
             };
-            let Some(scenario) = parse_scenario(scen_s) else {
-                eprintln!("unknown scenario '{scen_s}'");
-                return Ok(ExitCode::FAILURE);
+            let scenario: ThreatScenario = match scen_s.parse() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return Ok(ExitCode::FAILURE);
+                }
             };
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             let ranking = rank_backup_sites(&study, arch, scenario)?;
             if ranking.is_empty() {
                 println!("configuration {arch} has no backup site to place");
@@ -158,18 +225,24 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
         }
         "downtime" => {
-            let choice = match args.get(1).map(String::as_str) {
-                Some("kahe") => oahu::SiteChoice::Kahe,
-                _ => oahu::SiteChoice::Waiau,
+            let choice = match args.get(1).filter(|a| !a.starts_with("--")) {
+                Some(s) => match s.parse::<oahu::SiteChoice>() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                },
+                None => oahu::SiteChoice::Waiau,
             };
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             let model = DowntimeModel::default();
             for scenario in ThreatScenario::ALL {
                 print!("{}", downtime_report(&study, scenario, choice, &model)?);
             }
         }
         "grid" => {
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             let summary = grid_impact(&study, &GridImpactConfig::default())?;
             println!(
                 "mean served, SCADA operational : {:5.1} %",
@@ -213,7 +286,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             print!("{}", export::to_csv(&oahu::topology()));
         }
         "report" => {
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             let report = compound_threats::summary::write_report(
                 &study,
                 &compound_threats::summary::ReportOptions::default(),
@@ -221,7 +294,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             print!("{report}");
         }
         "hazard" => {
-            let study = build_study(realizations)?;
+            let study = build_study(opts.realizations)?;
             if args.iter().any(|a| a == "--full") {
                 print!(
                     "{}",

@@ -19,7 +19,13 @@ use std::sync::OnceLock;
 fn study() -> &'static CaseStudy {
     static STUDY: OnceLock<CaseStudy> = OnceLock::new();
     STUDY.get_or_init(|| {
-        CaseStudy::build(&CaseStudyConfig::with_realizations(300)).expect("study builds")
+        CaseStudy::build(
+            &CaseStudyConfig::builder()
+                .realizations(300)
+                .build()
+                .unwrap(),
+        )
+        .expect("study builds")
     })
 }
 
@@ -96,7 +102,10 @@ fn downtime_gray_dominates_for_industry_configs() {
 #[test]
 fn category_sweep_preserves_architecture_ranking() {
     let sweep = category_sweep(
-        &CaseStudyConfig::with_realizations(200),
+        &CaseStudyConfig::builder()
+            .realizations(200)
+            .build()
+            .unwrap(),
         &[Category::Cat1, Category::Cat3],
         ThreatScenario::HurricaneIntrusionIsolation,
         oahu::SiteChoice::Waiau,

@@ -88,8 +88,10 @@ fn mountain_side_assets_never_flood() {
 
 #[test]
 fn ensemble_is_deterministic_across_builds() {
-    let a = CaseStudy::build(&CaseStudyConfig::with_realizations(60)).unwrap();
-    let b = CaseStudy::build(&CaseStudyConfig::with_realizations(60)).unwrap();
+    let a =
+        CaseStudy::build(&CaseStudyConfig::builder().realizations(60).build().unwrap()).unwrap();
+    let b =
+        CaseStudy::build(&CaseStudyConfig::builder().realizations(60).build().unwrap()).unwrap();
     assert_eq!(
         a.realizations().realizations(),
         b.realizations().realizations()

@@ -1,0 +1,115 @@
+//! The observability layer's determinism contract: work counters and
+//! the span tree are functions of the workload, not of how many
+//! worker threads executed it. Timings (`wall_ns`, `cpu_ns`) are
+//! explicitly excluded — only structure and counts are compared.
+//!
+//! Kept as a single global-registry `#[test]` because it snapshots
+//! and resets the process-global registry; concurrent tests would
+//! race it. The golden-format test below uses a local [`Registry`]
+//! and is safe to run alongside.
+
+use compound_threats::figures::{reproduce, Figure};
+use compound_threats::{CaseStudy, CaseStudyConfig};
+
+/// The thread-count-independent projection of a snapshot: counters,
+/// histogram bucket counts, and `(span path, calls)` pairs.
+type Projection = (Vec<(String, u64)>, Vec<String>, Vec<(String, u64)>);
+
+/// Runs a reduced pipeline with `threads` workers and projects the
+/// global snapshot.
+fn run_with(threads: usize) -> Projection {
+    ct_obs::reset();
+    let config = CaseStudyConfig::builder()
+        .realizations(60)
+        .threads(threads)
+        .build()
+        .unwrap();
+    let study = CaseStudy::build(&config).unwrap();
+    reproduce(&study, Figure::Fig6).unwrap();
+    reproduce(&study, Figure::Fig9).unwrap();
+    let snap = ct_obs::snapshot();
+    let hist_lines: Vec<String> = snap
+        .histograms
+        .iter()
+        .flat_map(|h| {
+            h.buckets
+                .iter()
+                .enumerate()
+                .map(|(i, n)| format!("{}[{i}]={n}", h.name))
+                .chain([format!("{}[count]={}", h.name, h.count)])
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let span_calls = snap
+        .spans
+        .iter()
+        .map(|s| (s.path.clone(), s.calls))
+        .collect();
+    (snap.counters.clone(), hist_lines, span_calls)
+}
+
+#[test]
+fn counters_and_span_tree_are_thread_count_invariant() {
+    let baseline = run_with(1);
+    for threads in [4, 8] {
+        let other = run_with(threads);
+        assert_eq!(
+            baseline.0, other.0,
+            "counters diverge between 1 and {threads} threads"
+        );
+        assert_eq!(
+            baseline.1, other.1,
+            "histogram buckets diverge between 1 and {threads} threads"
+        );
+        assert_eq!(
+            baseline.2, other.2,
+            "span tree diverges between 1 and {threads} threads"
+        );
+    }
+
+    // The workload actually registered work: realizations were
+    // evaluated, profiles computed, attacker candidates examined.
+    let count = |name: &str| {
+        baseline
+            .0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(count(ct_obs::names::HYDRO_REALIZATIONS_EVALUATED), 60);
+    assert_eq!(count(ct_obs::names::FIGURES_REPRODUCED), 2);
+    assert!(count(ct_obs::names::PROFILE_PLANS_EVALUATED) > 0);
+    assert!(count(ct_obs::names::ATTACKER_CANDIDATES_EXAMINED) > 0);
+    assert!(baseline
+        .2
+        .iter()
+        .any(|(path, calls)| path == "build/ensemble_evaluate" && *calls == 1));
+}
+
+#[test]
+fn snapshot_csv_matches_golden_format() {
+    // A hand-built local registry whose CSV rendering is pinned
+    // verbatim: any schema drift (column order, field names, bucket
+    // labels) must show up as a diff here, not in downstream parsers.
+    let reg = ct_obs::Registry::new();
+    reg.counter("hydro.realizations_evaluated").add(60);
+    reg.counter("swe.steps").add(12_000);
+    reg.gauge("build.threads").set(4.0);
+    let h = reg.histogram("swe.steps_per_solve", &[250.0, 500.0]);
+    h.observe(200.0);
+    h.observe(300.0);
+    h.observe(900.0);
+    let golden = "\
+kind,name,field,value
+counter,hydro.realizations_evaluated,value,60
+counter,swe.steps,value,12000
+gauge,build.threads,value,4
+hist,swe.steps_per_solve,le_250,1
+hist,swe.steps_per_solve,le_500,1
+hist,swe.steps_per_solve,le_inf,1
+hist,swe.steps_per_solve,count,3
+hist,swe.steps_per_solve,sum,1400
+";
+    assert_eq!(reg.snapshot().to_csv(), golden);
+}
