@@ -1,0 +1,363 @@
+//! Content addresses and binary codecs for cached pipeline artifacts.
+//!
+//! The artifact store ([`ct_store`]) holds per-realization inundation
+//! outcomes and per-plan flood-pattern histograms. Everything here is
+//! about *addressing* those records correctly: a record's key is a
+//! stable hash of every input that can change its value — the full
+//! case-study configuration, the synthesized DEM, the storm-ensemble
+//! parameters, the tracked POI set, and the kernel versions of the
+//! numerics — so a stale artifact can never be mistaken for a current
+//! one. Anything that does *not* change a record's value (worker
+//! thread count, flood threshold applied after evaluation, and the
+//! ensemble *size*, since realization `i` depends only on the seed and
+//! `i`) is deliberately excluded, which is what lets a 1000-realization
+//! sweep reuse the records of an earlier 100-realization run.
+//!
+//! Payload codecs are hand-rolled little-endian (the workspace's
+//! zero-serializer policy); decoders return `None` on any shape
+//! mismatch so callers degrade to recompute-and-rewrite.
+
+use crate::pipeline::CaseStudyConfig;
+use ct_geo::Dem;
+use ct_hydro::{Poi, Realization};
+use ct_scada::SitePlan;
+use ct_store::{Digest, StableHasher};
+use ct_threat::PostDisasterState;
+
+/// Version of the evaluation pipeline semantics baked into every
+/// content address. Bump whenever the meaning of a cached record
+/// changes (e.g. a different inundation formula) without a config
+/// change; every existing record is then invisible, not wrong.
+pub const PIPELINE_KERNEL_VERSION: u32 = 1;
+
+/// The run-level base address: a stable hash of the case-study
+/// configuration, the DEM it synthesized, the storm-ensemble
+/// parameters, the tracked POI set, and the kernel versions.
+///
+/// Excluded on purpose: `threads` (does not affect values),
+/// `flood_threshold_m` (applied after evaluation), and
+/// `ensemble.realizations` (realization `i` is a function of the seed
+/// and `i` alone, so runs of different sizes share records).
+pub fn ensemble_base_key(config: &CaseStudyConfig, dem: &Dem, pois: &[Poi]) -> Digest {
+    let mut h = StableHasher::new();
+    h.write_str("compound-threats/ensemble");
+    h.write_u32(PIPELINE_KERNEL_VERSION);
+    h.write_u32(ct_hydro::HYDRO_KERNEL_VERSION);
+
+    let t = &config.terrain;
+    h.write_u64(t.seed);
+    h.write_f64(t.cell_km);
+    h.write_f64(t.noise_amp_m);
+
+    hash_dem(&mut h, dem);
+
+    let e = &config.ensemble;
+    h.write_u64(e.seed);
+    h.write_str(&format!("{:?}", e.category));
+    h.write_f64(e.ambient_pressure_hpa);
+    h.write_f64(e.base_passing_lon);
+    h.write_f64(e.cross_track_mean_km);
+    h.write_f64(e.cross_track_sd_km);
+    h.write_f64(e.heading_mean_deg);
+    h.write_f64(e.heading_sd_deg);
+
+    let c = &config.calibration;
+    h.write_f64(c.setup_coefficient);
+    h.write_f64(c.ib_m_per_hpa);
+    h.write_f64(c.ib_decay_km);
+    h.write_f64(c.wave_setup_fraction);
+    h.write_f64(c.attenuation_m_per_km);
+    h.write_f64(c.scan_step_hours);
+
+    h.write_usize(pois.len());
+    for poi in pois {
+        h.write_str(&poi.id);
+        h.write_f64(poi.pos.lat);
+        h.write_f64(poi.pos.lon);
+        h.write_f64(poi.ground_elevation_m);
+        h.write_f64(poi.shore_distance_km);
+        match poi.station_override {
+            None => h.write_str("nearest"),
+            Some(id) => h.write_str(&format!("{id:?}")),
+        }
+    }
+    h.finish()
+}
+
+fn hash_dem(h: &mut StableHasher, dem: &Dem) {
+    let grid = dem.elevation_grid();
+    h.write_usize(grid.cols());
+    h.write_usize(grid.rows());
+    h.write_f64(grid.origin().east);
+    h.write_f64(grid.origin().north);
+    h.write_f64(grid.cell_km());
+    h.write_f64_slice(grid.as_slice());
+    let origin = dem.projection().origin();
+    h.write_f64(origin.lat);
+    h.write_f64(origin.lon);
+}
+
+/// The address of one realization's inundation record.
+pub fn realization_key(base: &Digest, index: usize) -> Digest {
+    base.derive(&format!("realization/{index}"))
+}
+
+/// The address of a site plan's flood-pattern histogram. Unlike the
+/// realization records, a histogram aggregates over the whole
+/// ensemble, so its address also pins the ensemble size and the flood
+/// threshold it was folded with.
+pub fn plan_histogram_key(
+    base: &Digest,
+    realizations: usize,
+    threshold_m: f64,
+    plan: &SitePlan,
+) -> Digest {
+    let mut h = StableHasher::new();
+    h.update(&base.0);
+    h.write_str("plan-histogram");
+    h.write_usize(realizations);
+    h.write_f64(threshold_m);
+    h.write_str(plan.architecture().label());
+    h.write_usize(plan.site_asset_ids().len());
+    for id in plan.site_asset_ids() {
+        h.write_str(id);
+    }
+    h.finish()
+}
+
+/// Encodes a realization record payload:
+/// `index u64 | tide f64 | max_surge f64 | n u64 | inundation f64×n`
+/// (all little-endian, `f64` by bit pattern — bit-exact round trip).
+pub fn encode_realization(r: &Realization) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 8 * r.inundation_m.len());
+    out.extend_from_slice(&(r.index as u64).to_le_bytes());
+    out.extend_from_slice(&r.tide_m.to_bits().to_le_bytes());
+    out.extend_from_slice(&r.max_station_surge_m.to_bits().to_le_bytes());
+    out.extend_from_slice(&(r.inundation_m.len() as u64).to_le_bytes());
+    for &d in &r.inundation_m {
+        out.extend_from_slice(&d.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a realization record. `expected_pois` guards against a
+/// record addressed correctly but written against a different POI
+/// arity (only possible via a key-derivation bug — still, never let it
+/// reach the analysis). Returns `None` on any mismatch.
+pub fn decode_realization(bytes: &[u8], expected_pois: usize) -> Option<Realization> {
+    let mut r = Reader::new(bytes);
+    let index = usize::try_from(r.u64()?).ok()?;
+    let tide_m = r.f64()?;
+    let max_station_surge_m = r.f64()?;
+    let n = usize::try_from(r.u64()?).ok()?;
+    if n != expected_pois {
+        return None;
+    }
+    let mut inundation_m = Vec::with_capacity(n);
+    for _ in 0..n {
+        inundation_m.push(r.f64()?);
+    }
+    r.finish()?;
+    Some(Realization {
+        index,
+        tide_m,
+        max_station_surge_m,
+        inundation_m,
+    })
+}
+
+/// Encodes a flood-pattern histogram payload:
+/// `n_entries u64 | (sites u64 | flag u8×sites | count u64)×n`.
+pub fn encode_histogram(hist: &[(PostDisasterState, usize)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(hist.len() as u64).to_le_bytes());
+    for (state, count) in hist {
+        let flags = state.flooded();
+        out.extend_from_slice(&(flags.len() as u64).to_le_bytes());
+        out.extend(flags.iter().map(|&f| u8::from(f)));
+        out.extend_from_slice(&(*count as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a flood-pattern histogram for an architecture with
+/// `site_count` control sites. Returns `None` on any shape mismatch.
+pub fn decode_histogram(
+    bytes: &[u8],
+    architecture: ct_scada::Architecture,
+) -> Option<Vec<(PostDisasterState, usize)>> {
+    let site_count = architecture.site_count();
+    let mut r = Reader::new(bytes);
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sites = usize::try_from(r.u64()?).ok()?;
+        if sites != site_count {
+            return None;
+        }
+        let mut flags = Vec::with_capacity(sites);
+        for _ in 0..sites {
+            flags.push(match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            });
+        }
+        let count = usize::try_from(r.u64()?).ok()?;
+        out.push((PostDisasterState::new(architecture, flags), count));
+    }
+    r.finish()?;
+    Some(out)
+}
+
+/// A bounds-checked little-endian cursor; every read is `Option` so
+/// malformed payloads fall out as `None` instead of panicking.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Succeeds only when the payload was consumed exactly.
+    fn finish(&self) -> Option<()> {
+        (self.pos == self.bytes.len()).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_geo::terrain::synthesize_oahu;
+    use ct_scada::{oahu, Architecture};
+
+    fn study_inputs() -> (CaseStudyConfig, Dem, Vec<Poi>) {
+        let config = CaseStudyConfig::default();
+        let dem = synthesize_oahu(&config.terrain);
+        let pois = oahu::case_study_pois(&dem).unwrap();
+        (config, dem, pois)
+    }
+
+    #[test]
+    fn base_key_is_deterministic_and_input_sensitive() {
+        let (config, dem, pois) = study_inputs();
+        let a = ensemble_base_key(&config, &dem, &pois);
+        let b = ensemble_base_key(&config, &dem, &pois);
+        assert_eq!(a, b);
+
+        let mut seeded = config.clone();
+        seeded.ensemble.seed += 1;
+        assert_ne!(ensemble_base_key(&seeded, &dem, &pois), a);
+
+        let mut calibrated = config.clone();
+        calibrated.calibration.ib_m_per_hpa *= 2.0;
+        assert_ne!(ensemble_base_key(&calibrated, &dem, &pois), a);
+    }
+
+    #[test]
+    fn base_key_ignores_size_threads_and_threshold() {
+        let (config, dem, pois) = study_inputs();
+        let a = ensemble_base_key(&config, &dem, &pois);
+        let mut other = config.clone();
+        other.ensemble.realizations = 7;
+        other.threads = 3;
+        other.flood_threshold_m = Some(1.25);
+        assert_eq!(
+            ensemble_base_key(&other, &dem, &pois),
+            a,
+            "size/threads/threshold must not invalidate records"
+        );
+    }
+
+    #[test]
+    fn realization_keys_are_distinct_per_index() {
+        let (config, dem, pois) = study_inputs();
+        let base = ensemble_base_key(&config, &dem, &pois);
+        assert_ne!(realization_key(&base, 0), realization_key(&base, 1));
+    }
+
+    #[test]
+    fn realization_codec_round_trips_bit_exactly() {
+        let r = Realization {
+            index: 17,
+            tide_m: -0.0,
+            max_station_surge_m: 2.5000000000000004,
+            inundation_m: vec![0.0, 1.5, f64::MIN_POSITIVE, 3.75],
+        };
+        let decoded = decode_realization(&encode_realization(&r), 4).unwrap();
+        assert_eq!(decoded.index, r.index);
+        assert_eq!(decoded.tide_m.to_bits(), r.tide_m.to_bits());
+        assert_eq!(
+            decoded.max_station_surge_m.to_bits(),
+            r.max_station_surge_m.to_bits()
+        );
+        for (a, b) in decoded.inundation_m.iter().zip(&r.inundation_m) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn realization_codec_rejects_malformed_payloads() {
+        let r = Realization {
+            index: 0,
+            tide_m: 0.1,
+            max_station_surge_m: 1.0,
+            inundation_m: vec![0.5; 3],
+        };
+        let bytes = encode_realization(&r);
+        assert!(decode_realization(&bytes, 4).is_none(), "wrong POI arity");
+        assert!(decode_realization(&bytes[..bytes.len() - 1], 3).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_realization(&long, 3).is_none(), "trailing junk");
+        assert!(decode_realization(&[], 3).is_none());
+    }
+
+    #[test]
+    fn histogram_codec_round_trips() {
+        let arch = Architecture::C6P6P6;
+        let hist = vec![
+            (PostDisasterState::new(arch, vec![false, false, false]), 900),
+            (PostDisasterState::new(arch, vec![true, true, false]), 100),
+        ];
+        let decoded = decode_histogram(&encode_histogram(&hist), arch).unwrap();
+        assert_eq!(decoded, hist);
+        // Decoding against a different site count must fail cleanly.
+        assert!(decode_histogram(&encode_histogram(&hist), Architecture::C2).is_none());
+        assert!(decode_histogram(b"junk", arch).is_none());
+    }
+
+    #[test]
+    fn histogram_keys_separate_threshold_size_and_plan() {
+        let (config, dem, pois) = study_inputs();
+        let base = ensemble_base_key(&config, &dem, &pois);
+        let plan = oahu::site_plan(Architecture::C2_2, oahu::SiteChoice::Waiau).unwrap();
+        let k = plan_histogram_key(&base, 1000, 0.5, &plan);
+        assert_ne!(plan_histogram_key(&base, 999, 0.5, &plan), k);
+        assert_ne!(plan_histogram_key(&base, 1000, 0.75, &plan), k);
+        let other = oahu::site_plan(Architecture::C2_2, oahu::SiteChoice::Kahe).unwrap();
+        assert_ne!(plan_histogram_key(&base, 1000, 0.5, &other), k);
+    }
+}

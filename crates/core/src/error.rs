@@ -27,6 +27,9 @@ pub enum CoreError {
     },
     /// A report/figure renderer failed to format output.
     Render(std::fmt::Error),
+    /// Artifact-store failure (I/O under the store root). Corrupt
+    /// records never surface here — the store heals them internally.
+    Store(ct_store::StoreError),
     /// Writing an output artifact (e.g. a `--metrics` snapshot)
     /// failed. The I/O error is stringified to keep `CoreError`
     /// cloneable and comparable.
@@ -50,6 +53,7 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid configuration: {field}: {reason}")
             }
             CoreError::Render(e) => write!(f, "report rendering: {e}"),
+            CoreError::Store(e) => write!(f, "{e}"),
             CoreError::Io { path, message } => write!(f, "writing '{path}': {message}"),
         }
     }
@@ -65,6 +69,7 @@ impl std::error::Error for CoreError {
             CoreError::UnknownAsset { .. } => None,
             CoreError::InvalidConfig { .. } => None,
             CoreError::Render(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             CoreError::Io { .. } => None,
         }
     }
@@ -97,6 +102,12 @@ impl From<ct_geo::GeoError> for CoreError {
 impl From<ct_grid::GridError> for CoreError {
     fn from(e: ct_grid::GridError) -> Self {
         CoreError::Grid(e)
+    }
+}
+
+impl From<ct_store::StoreError> for CoreError {
+    fn from(e: ct_store::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

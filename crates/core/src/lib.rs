@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod attacker_power;
 pub mod availability;
 pub mod crossval;
@@ -54,6 +55,7 @@ pub mod grid_impact;
 pub mod parallel;
 pub mod pipeline;
 pub mod placement;
+pub mod prelude;
 pub mod profile;
 pub mod report;
 pub mod sensitivity;
@@ -61,5 +63,5 @@ pub mod summary;
 
 pub use error::CoreError;
 pub use figures::{Figure, FigureData};
-pub use pipeline::{CaseStudy, CaseStudyConfig, CaseStudyConfigBuilder};
+pub use pipeline::{CaseStudy, CaseStudyConfig, CaseStudyConfigBuilder, ShardReport, ShardSpec};
 pub use profile::OutcomeProfile;

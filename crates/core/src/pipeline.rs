@@ -1,20 +1,24 @@
 //! The analysis pipeline (Fig. 5) specialised to the Oahu case study.
 
+use crate::artifact;
 use crate::error::CoreError;
 use crate::parallel::{default_threads, par_map_dynamic};
 use crate::profile::OutcomeProfile;
 use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
 use ct_geo::Dem;
 use ct_hydro::{
-    EnsembleConfig, ParametricSurge, RealizationSet, Stations, SurgeCalibration, TrackEnsemble,
+    EnsembleConfig, ParametricSurge, Poi, Realization, RealizationSet, Stations, SurgeCalibration,
+    TrackEnsemble,
 };
 use ct_scada::{oahu, Architecture, SitePlan, Topology};
+use ct_store::{Digest, Store};
 use ct_threat::{
     classify, post_disaster_histogram, post_disaster_states, Attacker, PostDisasterState,
     ThreatScenario, WorstCaseAttacker,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key for a site plan: its architecture and ordered site ids.
@@ -61,21 +65,6 @@ impl CaseStudyConfig {
     /// ```
     pub fn builder() -> CaseStudyConfigBuilder {
         CaseStudyConfigBuilder::default()
-    }
-
-    /// A reduced configuration for fast tests: `n` realizations.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CaseStudyConfig::builder().realizations(n).build()`, which validates"
-    )]
-    pub fn with_realizations(n: usize) -> Self {
-        Self {
-            ensemble: EnsembleConfig {
-                realizations: n,
-                ..EnsembleConfig::default()
-            },
-            ..Self::default()
-        }
     }
 }
 
@@ -165,6 +154,76 @@ impl CaseStudyConfigBuilder {
     }
 }
 
+/// One slice of a sharded ensemble run: this process owns realization
+/// `i` iff `i % count == index`. Interleaving (rather than contiguous
+/// ranges) keeps shard workloads balanced when storm cost drifts with
+/// the sampled track distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// A shard `index` out of `count`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `count` is zero or `index`
+    /// is out of range.
+    pub fn new(index: usize, count: usize) -> Result<Self, CoreError> {
+        if count == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "shards",
+                reason: "shard count must be at least 1".into(),
+            });
+        }
+        if index >= count {
+            return Err(CoreError::InvalidConfig {
+                field: "shard",
+                reason: format!("shard index {index} out of range for {count} shard(s)"),
+            });
+        }
+        Ok(Self { index, count })
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether realization `i` belongs to this shard.
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+}
+
+/// What a shard run did: how many of its records were computed fresh
+/// versus reused from the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Realizations evaluated in this process.
+    pub computed: usize,
+    /// Realizations loaded from the artifact store.
+    pub reused: usize,
+    /// Realizations owned by the shard (`computed + reused`).
+    pub total: usize,
+}
+
+/// Store handle plus the run's base content address; carried by a
+/// store-backed [`CaseStudy`] so plan histograms can be cached
+/// on disk too.
+#[derive(Debug, Clone)]
+struct StoreContext {
+    store: Store,
+    base: Digest,
+}
+
 /// A fully-prepared case study: terrain, topology, and the hazard
 /// ensemble, ready to evaluate architectures under threat scenarios.
 #[derive(Debug)]
@@ -177,6 +236,8 @@ pub struct CaseStudy {
     /// histogram is scenario-independent, so one entry serves every
     /// threat scenario and repeated figure/sweep evaluations.
     histograms: Mutex<HashMap<PlanKey, PlanHistogram>>,
+    /// Present when the study was built through an artifact store.
+    store: Option<StoreContext>,
 }
 
 impl Clone for CaseStudy {
@@ -184,35 +245,40 @@ impl Clone for CaseStudy {
         // Cached histograms depend on the set's flood threshold, and a
         // clone is exactly the mutation point for
         // `with_flood_threshold` — so a clone starts with an empty
-        // cache rather than inheriting entries that may go stale.
+        // cache rather than inheriting entries that may go stale. The
+        // store context survives: histogram keys pin the threshold, so
+        // disk entries cannot be confused across thresholds.
         Self {
             config: self.config.clone(),
             dem: self.dem.clone(),
             topology: self.topology.clone(),
             set: self.set.clone(),
             histograms: Mutex::new(HashMap::new()),
+            store: self.store.clone(),
         }
     }
 }
 
-impl CaseStudy {
-    /// Synthesizes the terrain, builds the Oahu topology, and
-    /// evaluates the hurricane ensemble at every asset (in parallel).
-    ///
-    /// # Errors
-    ///
-    /// Propagates terrain/hazard errors (e.g. an asset outside the
-    /// DEM).
-    pub fn build(config: &CaseStudyConfig) -> Result<Self, CoreError> {
-        let build_span = ct_obs::span("build");
+/// The prepared (pre-evaluation) inputs of a run: everything that is
+/// cheap and deterministic, shared by full builds and shard runs.
+struct Prepared {
+    dem: Dem,
+    pois: Vec<Poi>,
+    model: ParametricSurge,
+    storms: Vec<ct_hydro::StormParams>,
+    threads: usize,
+}
+
+impl Prepared {
+    /// Synthesizes terrain, derives POIs, and samples the storm
+    /// ensemble. Opens `terrain` and `ensemble_generate` spans under
+    /// the caller's current span.
+    fn new(config: &CaseStudyConfig) -> Result<Self, CoreError> {
         let dem = {
             let _s = ct_obs::span("terrain");
             synthesize_oahu(&config.terrain)
         };
-        let (topology, pois) = {
-            let _s = ct_obs::span("topology");
-            (oahu::topology(), oahu::case_study_pois(&dem)?)
-        };
+        let pois = oahu::case_study_pois(&dem)?;
         let model = ParametricSurge::new(Stations::from_dem(&dem), config.calibration);
         let storms = {
             let _s = ct_obs::span("ensemble_generate");
@@ -224,39 +290,191 @@ impl CaseStudy {
             config.threads
         };
         ct_obs::gauge(ct_obs::names::BUILD_THREADS, threads as f64);
-        let indexed: Vec<(usize, ct_hydro::StormParams)> = storms.into_iter().enumerate().collect();
-        // Dynamic scheduling: storm cost varies with track/intensity,
-        // so work-stealing keeps all workers busy to the end. Workers
-        // attribute their per-item busy time to the evaluation span as
-        // its CPU proxy; spans themselves stay on this thread so the
-        // span tree is identical for every thread count.
-        let eval_span = ct_obs::span("ensemble_evaluate");
-        let busy_ns = std::sync::atomic::AtomicU64::new(0);
-        let realizations = par_map_dynamic(&indexed, threads, |(i, storm)| {
-            let started = std::time::Instant::now();
-            let r = RealizationSet::evaluate_storm(*i, storm, &model, &pois);
-            busy_ns.fetch_add(
-                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                std::sync::atomic::Ordering::Relaxed,
-            );
-            r
+        Ok(Self {
+            dem,
+            pois,
+            model,
+            storms,
+            threads,
         })
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?;
-        eval_span.add_cpu_ns(busy_ns.into_inner());
-        drop(eval_span);
-        let mut set = RealizationSet::from_parts(pois, realizations);
+    }
+}
+
+/// Evaluates (or loads) one realization. With a store, the record is
+/// looked up first; a hit that decodes cleanly is returned bit-exactly
+/// as written. A record that passed the frame checksum but fails the
+/// payload codec is invalidated and recomputed, so the cache can only
+/// ever *degrade to recompute*, never corrupt a result. Runs on worker
+/// threads — no spans here (see `ct-obs` determinism contract).
+fn evaluate_one(
+    index: usize,
+    storm: &ct_hydro::StormParams,
+    model: &ParametricSurge,
+    pois: &[Poi],
+    store: Option<(&Store, &Digest)>,
+    reused: &AtomicUsize,
+) -> Result<Realization, CoreError> {
+    let key = store.map(|(_, base)| artifact::realization_key(base, index));
+    if let (Some((store, _)), Some(key)) = (store, &key) {
+        if let Some(bytes) = store.get(key)? {
+            match artifact::decode_realization(&bytes, pois.len()) {
+                Some(r) => {
+                    reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok(r);
+                }
+                None => store.invalidate(key)?,
+            }
+        }
+    }
+    let r = RealizationSet::evaluate_storm(index, storm, model, pois)?;
+    if let (Some((store, _)), Some(key)) = (store, &key) {
+        store.put(key, &artifact::encode_realization(&r))?;
+    }
+    Ok(r)
+}
+
+/// Evaluates the given `(index, storm)` pairs in parallel under an
+/// `ensemble_evaluate` span, returning realizations in input order.
+fn evaluate_indexed(
+    prepared: &Prepared,
+    indexed: &[(usize, ct_hydro::StormParams)],
+    store: Option<(&Store, &Digest)>,
+    reused: &AtomicUsize,
+) -> Result<Vec<Realization>, CoreError> {
+    // Dynamic scheduling: storm cost varies with track/intensity,
+    // so work-stealing keeps all workers busy to the end. Workers
+    // attribute their per-item busy time to the evaluation span as
+    // its CPU proxy; spans themselves stay on this thread so the
+    // span tree is identical for every thread count.
+    let eval_span = ct_obs::span("ensemble_evaluate");
+    let busy_ns = AtomicU64::new(0);
+    let realizations = par_map_dynamic(indexed, prepared.threads, |(i, storm)| {
+        let started = std::time::Instant::now();
+        let r = evaluate_one(*i, storm, &prepared.model, &prepared.pois, store, reused);
+        busy_ns.fetch_add(
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        r
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    eval_span.add_cpu_ns(busy_ns.into_inner());
+    Ok(realizations)
+}
+
+/// Evaluates only this shard's slice of the ensemble, writing each
+/// record to `store`. Records already present (from an earlier run or
+/// an interrupted one) are skipped, which is what makes a shard run
+/// resumable after `kill -9`: re-running the same shard recomputes
+/// only the records the crash lost.
+///
+/// # Errors
+///
+/// Propagates terrain/hazard errors and store I/O failures.
+pub fn run_shard(
+    config: &CaseStudyConfig,
+    store: &Store,
+    shard: ShardSpec,
+) -> Result<ShardReport, CoreError> {
+    let shard_span = ct_obs::span("shard_run");
+    let prepared = Prepared::new(config)?;
+    let base = artifact::ensemble_base_key(config, &prepared.dem, &prepared.pois);
+    let owned: Vec<(usize, ct_hydro::StormParams)> = prepared
+        .storms
+        .iter()
+        .cloned()
+        .enumerate()
+        .filter(|(i, _)| shard.owns(*i))
+        .collect();
+    let total = owned.len();
+    let reused = AtomicUsize::new(0);
+    evaluate_indexed(&prepared, &owned, Some((store, &base)), &reused)?;
+    drop(shard_span);
+    let reused = reused.into_inner();
+    Ok(ShardReport {
+        computed: total - reused,
+        reused,
+        total,
+    })
+}
+
+impl CaseStudy {
+    /// Synthesizes the terrain, builds the Oahu topology, and
+    /// evaluates the hurricane ensemble at every asset (in parallel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates terrain/hazard errors (e.g. an asset outside the
+    /// DEM).
+    pub fn build(config: &CaseStudyConfig) -> Result<Self, CoreError> {
+        Self::build_with_store(config, None)
+    }
+
+    /// [`CaseStudy::build`] through an artifact store: each
+    /// realization already present in the store is loaded bit-exactly
+    /// instead of recomputed, and anything computed fresh is written
+    /// back. The resulting study is identical to a storeless build
+    /// (asserted by tests); only the work performed differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates terrain/hazard errors and store I/O failures.
+    pub fn build_with_store(
+        config: &CaseStudyConfig,
+        store: Option<&Store>,
+    ) -> Result<Self, CoreError> {
+        let build_span = ct_obs::span("build");
+        let topology = {
+            let _s = ct_obs::span("topology");
+            oahu::topology()
+        };
+        let prepared = Prepared::new(config)?;
+        let base =
+            store.map(|_| artifact::ensemble_base_key(config, &prepared.dem, &prepared.pois));
+        let indexed: Vec<(usize, ct_hydro::StormParams)> =
+            prepared.storms.iter().cloned().enumerate().collect();
+        let reused = AtomicUsize::new(0);
+        let store_ctx = match (store, base) {
+            (Some(s), Some(b)) => Some((s, b)),
+            _ => None,
+        };
+        let realizations = evaluate_indexed(
+            &prepared,
+            &indexed,
+            store_ctx.as_ref().map(|(s, b)| (*s, b)),
+            &reused,
+        )?;
+        let mut set = RealizationSet::from_parts(prepared.pois, realizations);
         if let Some(depth_m) = config.flood_threshold_m {
             set.set_threshold(ct_hydro::FloodThreshold::new(depth_m)?);
         }
         drop(build_span);
         Ok(Self {
             config: config.clone(),
-            dem,
+            dem: prepared.dem,
             topology,
             set,
             histograms: Mutex::new(HashMap::new()),
+            store: store_ctx.map(|(s, b)| StoreContext {
+                store: s.clone(),
+                base: b,
+            }),
         })
+    }
+
+    /// Merges a sharded run: builds the full study through `store`,
+    /// loading every record the shards produced and computing any that
+    /// are missing (e.g. a shard that never ran or was interrupted).
+    /// The result is bit-identical to a clean single-process
+    /// [`CaseStudy::build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates terrain/hazard errors and store I/O failures.
+    pub fn merge_from_store(config: &CaseStudyConfig, store: &Store) -> Result<Self, CoreError> {
+        let _s = ct_obs::span("merge");
+        Self::build_with_store(config, Some(store))
     }
 
     /// The configuration the study was built from.
@@ -363,6 +581,11 @@ impl CaseStudy {
     /// The plan's flood-pattern histogram, computed on first use and
     /// cached. Concurrent first calls may compute it redundantly; the
     /// first insert wins and the result is identical either way.
+    ///
+    /// Store-backed studies check the artifact store between the
+    /// in-memory cache and a fresh computation; the disk key pins the
+    /// ensemble size and flood threshold on top of the run's base
+    /// address, so a histogram can never leak across thresholds.
     fn plan_histogram(&self, plan: &SitePlan) -> Result<PlanHistogram, CoreError> {
         let key: PlanKey = (plan.architecture(), plan.site_asset_ids().to_vec());
         if let Some(hist) = self
@@ -374,7 +597,7 @@ impl CaseStudy {
             ct_obs::add(ct_obs::names::PROFILE_PATTERN_CACHE_HITS, 1);
             return Ok(Arc::clone(hist));
         }
-        let hist = Arc::new(post_disaster_histogram(plan, &self.set)?);
+        let hist = Arc::new(self.load_or_compute_histogram(plan)?);
         let mut cache = self.histograms.lock().expect("histogram cache lock");
         // A miss is counted only for the winning insert, so hit+miss
         // totals stay deterministic even when concurrent first calls
@@ -394,6 +617,38 @@ impl CaseStudy {
                 Ok(Arc::clone(e.insert(hist)))
             }
         }
+    }
+
+    /// The disk-or-compute half of [`CaseStudy::plan_histogram`]: a
+    /// store-backed study tries its artifact store first; a valid
+    /// record is returned as written, an undecodable one is
+    /// invalidated and recomputed, and fresh computations are written
+    /// back for the next process.
+    fn load_or_compute_histogram(
+        &self,
+        plan: &SitePlan,
+    ) -> Result<Vec<(PostDisasterState, usize)>, CoreError> {
+        let disk_key = self.store.as_ref().map(|ctx| {
+            artifact::plan_histogram_key(
+                &ctx.base,
+                self.set.len(),
+                self.set.threshold().depth_m(),
+                plan,
+            )
+        });
+        if let (Some(ctx), Some(key)) = (&self.store, &disk_key) {
+            if let Some(bytes) = ctx.store.get(key)? {
+                match artifact::decode_histogram(&bytes, plan.architecture()) {
+                    Some(hist) => return Ok(hist),
+                    None => ctx.store.invalidate(key)?,
+                }
+            }
+        }
+        let hist = post_disaster_histogram(plan, &self.set)?;
+        if let (Some(ctx), Some(key)) = (&self.store, &disk_key) {
+            ctx.store.put(key, &artifact::encode_histogram(&hist))?;
+        }
+        Ok(hist)
     }
 
     /// A copy of this study with a different asset-failure flood
@@ -442,14 +697,6 @@ mod tests {
                 .unwrap(),
         )
         .unwrap()
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_builder() {
-        let via_shim = CaseStudyConfig::with_realizations(42);
-        let via_builder = CaseStudyConfig::builder().realizations(42).build().unwrap();
-        assert_eq!(via_shim, via_builder);
     }
 
     #[test]
@@ -514,6 +761,7 @@ mod tests {
             topology,
             set,
             histograms: Mutex::new(HashMap::new()),
+            store: None,
         }
     }
 
@@ -552,6 +800,118 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_spec_validates_and_partitions() {
+        assert!(ShardSpec::new(0, 0).is_err());
+        assert!(ShardSpec::new(2, 2).is_err());
+        let shards: Vec<ShardSpec> = (0..3).map(|i| ShardSpec::new(i, 3).unwrap()).collect();
+        for i in 0..100 {
+            let owners = shards.iter().filter(|s| s.owns(i)).count();
+            assert_eq!(owners, 1, "realization {i} must have exactly one owner");
+        }
+        assert!(ShardSpec::new(0, 1).unwrap().owns(7));
+    }
+
+    /// Scratch store rooted in a unique temp directory; removed on
+    /// drop so test runs do not accumulate state.
+    struct ScratchStore {
+        root: std::path::PathBuf,
+        store: ct_store::Store,
+    }
+
+    impl ScratchStore {
+        fn new(tag: &str) -> Self {
+            let root = std::env::temp_dir().join(format!(
+                "ct-pipeline-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&root).ok();
+            let store = ct_store::Store::open(&root).unwrap();
+            Self { root, store }
+        }
+    }
+
+    impl Drop for ScratchStore {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.root).ok();
+        }
+    }
+
+    #[test]
+    fn store_backed_build_is_bit_identical_cold_and_warm() {
+        let config = CaseStudyConfig::builder().realizations(30).build().unwrap();
+        let plain = CaseStudy::build(&config).unwrap();
+        let scratch = ScratchStore::new("coldwarm");
+        let cold = CaseStudy::build_with_store(&config, Some(&scratch.store)).unwrap();
+        let warm = CaseStudy::build_with_store(&config, Some(&scratch.store)).unwrap();
+        // RealizationSet's PartialEq compares every f64, so equality
+        // here is bit equality of the whole ensemble.
+        assert_eq!(plain.realizations(), cold.realizations());
+        assert_eq!(plain.realizations(), warm.realizations());
+        // The warm study answers profiles identically too.
+        let p = plain
+            .profile(
+                Architecture::C2,
+                ThreatScenario::HurricaneIntrusion,
+                oahu::SiteChoice::Waiau,
+            )
+            .unwrap();
+        let w = warm
+            .profile(
+                Architecture::C2,
+                ThreatScenario::HurricaneIntrusion,
+                oahu::SiteChoice::Waiau,
+            )
+            .unwrap();
+        assert_eq!(p, w);
+    }
+
+    #[test]
+    fn sharded_run_merges_to_clean_build() {
+        let config = CaseStudyConfig::builder().realizations(31).build().unwrap();
+        let scratch = ScratchStore::new("shards");
+        let a = run_shard(&config, &scratch.store, ShardSpec::new(0, 2).unwrap()).unwrap();
+        let b = run_shard(&config, &scratch.store, ShardSpec::new(1, 2).unwrap()).unwrap();
+        assert_eq!(a.total, 16, "shard 0 owns the even indices of 0..31");
+        assert_eq!(b.total, 15);
+        assert_eq!(a.computed, a.total);
+        assert_eq!(b.computed, b.total);
+        let merged = CaseStudy::merge_from_store(&config, &scratch.store).unwrap();
+        let clean = CaseStudy::build(&config).unwrap();
+        assert_eq!(merged.realizations(), clean.realizations());
+        // Re-running a shard is a no-op: everything is reused.
+        let again = run_shard(&config, &scratch.store, ShardSpec::new(0, 2).unwrap()).unwrap();
+        assert_eq!(again.reused, again.total);
+        assert_eq!(again.computed, 0);
+    }
+
+    #[test]
+    fn merge_computes_records_missing_from_partial_shards() {
+        // Only one of three shards ran (an interrupted sweep); merge
+        // must fill the gaps and still match a clean build.
+        let config = CaseStudyConfig::builder().realizations(20).build().unwrap();
+        let scratch = ScratchStore::new("partial");
+        run_shard(&config, &scratch.store, ShardSpec::new(1, 3).unwrap()).unwrap();
+        let merged = CaseStudy::merge_from_store(&config, &scratch.store).unwrap();
+        let clean = CaseStudy::build(&config).unwrap();
+        assert_eq!(merged.realizations(), clean.realizations());
+    }
+
+    #[test]
+    fn smaller_run_reuses_records_of_a_larger_one() {
+        // Realization i is a function of (seed, i) alone, so a 12-run
+        // sweep finds all its records in the store a 24-run sweep
+        // filled.
+        let scratch = ScratchStore::new("sizes");
+        let large = CaseStudyConfig::builder().realizations(24).build().unwrap();
+        CaseStudy::build_with_store(&large, Some(&scratch.store)).unwrap();
+        let small = CaseStudyConfig::builder().realizations(12).build().unwrap();
+        let via_store = CaseStudy::build_with_store(&small, Some(&scratch.store)).unwrap();
+        let plain = CaseStudy::build(&small).unwrap();
+        assert_eq!(via_store.realizations(), plain.realizations());
     }
 
     #[test]

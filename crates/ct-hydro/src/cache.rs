@@ -1,0 +1,296 @@
+//! Content-addressed caching for shallow-water surge envelopes.
+//!
+//! A [`SurgeOutcome`] is by far the most expensive artifact in the
+//! workspace (thousands of solver steps per storm), and it is a pure
+//! function of the solver's bed/config/projection and the storm
+//! parameters. [`ShallowWaterSolver::run_cached`] keys the outcome by
+//! a stable hash of exactly those inputs (plus
+//! [`crate::HYDRO_KERNEL_VERSION`], so numerics changes invalidate by
+//! construction) and round-trips it through a [`ct_store::Store`]
+//! bit-exactly — `f64` fields travel as raw bit patterns, never
+//! through text formatting.
+
+use crate::ensemble::StormParams;
+use crate::error::HydroError;
+use crate::swe::{ShallowWaterSolver, SurgeOutcome, SweWorkspace};
+use ct_geo::{EnuKm, Grid};
+use ct_store::{Digest, StableHasher, Store};
+
+impl ShallowWaterSolver {
+    /// The content address of this solver's outcome for `storm`:
+    /// a stable hash of the solver configuration, the (resampled) bed
+    /// grid, the projection, the full storm description, and the
+    /// hydro kernel version. Two solvers that would produce the same
+    /// envelope produce the same key, regardless of how they were
+    /// constructed.
+    pub fn storm_key(&self, storm: &StormParams) -> Digest {
+        let mut h = StableHasher::new();
+        h.write_str("ct-hydro/swe-envelope");
+        h.write_u32(crate::HYDRO_KERNEL_VERSION);
+
+        let c = self.config();
+        h.write_f64(c.cell_km);
+        h.write_f64(c.cfl);
+        h.write_f64(c.forcing_update_minutes);
+        h.write_f64(c.manning_n);
+        h.write_f64(c.dry_tolerance_m);
+        h.write_f64(c.max_depth_m);
+        h.write_f64(c.window_before_hours);
+        h.write_f64(c.window_after_hours);
+
+        hash_grid(&mut h, self.bed());
+        let origin = self.projection().origin();
+        h.write_f64(origin.lat);
+        h.write_f64(origin.lon);
+
+        let points = storm.track.points();
+        h.write_usize(points.len());
+        for p in points {
+            h.write_f64(p.t_hours);
+            h.write_f64(p.pos.lat);
+            h.write_f64(p.pos.lon);
+        }
+        h.write_f64(storm.central_pressure_hpa);
+        h.write_f64(storm.ambient_pressure_hpa);
+        h.write_f64(storm.rmax_km);
+        h.write_f64(storm.b);
+        h.write_f64(storm.tide_m);
+        h.finish()
+    }
+
+    /// [`ShallowWaterSolver::run_with_workspace`] through an artifact
+    /// store: a stored envelope is returned bit-exactly without
+    /// touching the solver; otherwise the storm is simulated and the
+    /// envelope written back. A record that passes the store's frame
+    /// checksum but fails the payload codec is invalidated and
+    /// recomputed, so the cache can only degrade to recompute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydroError::SolverDiverged`] from a fresh simulation
+    /// or [`HydroError::Store`] on store I/O failure.
+    pub fn run_cached(
+        &self,
+        store: &Store,
+        ws: &mut SweWorkspace,
+        storm: &StormParams,
+    ) -> Result<SurgeOutcome, HydroError> {
+        let key = self.storm_key(storm);
+        if let Some(bytes) = store.get(&key)? {
+            match decode_surge_outcome(&bytes) {
+                Some(outcome) => return Ok(outcome),
+                None => store.invalidate(&key)?,
+            }
+        }
+        let outcome = self.run_with_workspace(ws, storm)?;
+        store.put(&key, &encode_surge_outcome(&outcome))?;
+        Ok(outcome)
+    }
+}
+
+fn hash_grid(h: &mut StableHasher, g: &Grid<f64>) {
+    h.write_usize(g.cols());
+    h.write_usize(g.rows());
+    h.write_f64(g.origin().east);
+    h.write_f64(g.origin().north);
+    h.write_f64(g.cell_km());
+    h.write_f64_slice(g.as_slice());
+}
+
+/// Encodes a [`SurgeOutcome`] as a store payload: the two grids
+/// (dims, origin, cell size, then cell values as `f64` bit patterns),
+/// followed by `steps`, `dt_s`, and `max_speed_ms`.
+pub fn encode_surge_outcome(outcome: &SurgeOutcome) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_grid(&mut out, &outcome.max_eta);
+    encode_grid(&mut out, &outcome.bed);
+    out.extend_from_slice(&(outcome.steps as u64).to_le_bytes());
+    out.extend_from_slice(&outcome.dt_s.to_bits().to_le_bytes());
+    out.extend_from_slice(&outcome.max_speed_ms.to_bits().to_le_bytes());
+    out
+}
+
+/// Decodes a payload written by [`encode_surge_outcome`]. Returns
+/// `None` on any shape mismatch (truncation, trailing bytes, zero or
+/// absurd dimensions) — the caller treats that as a miss.
+pub fn decode_surge_outcome(bytes: &[u8]) -> Option<SurgeOutcome> {
+    let mut r = Reader { bytes, pos: 0 };
+    let max_eta = decode_grid(&mut r)?;
+    let bed = decode_grid(&mut r)?;
+    let steps = usize::try_from(r.u64()?).ok()?;
+    let dt_s = r.f64()?;
+    let max_speed_ms = r.f64()?;
+    if r.pos != r.bytes.len() {
+        return None;
+    }
+    Some(SurgeOutcome {
+        max_eta,
+        bed,
+        steps,
+        dt_s,
+        max_speed_ms,
+    })
+}
+
+fn encode_grid(out: &mut Vec<u8>, g: &Grid<f64>) {
+    out.extend_from_slice(&(g.cols() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&g.origin().east.to_bits().to_le_bytes());
+    out.extend_from_slice(&g.origin().north.to_bits().to_le_bytes());
+    out.extend_from_slice(&g.cell_km().to_bits().to_le_bytes());
+    for &v in g.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_grid(r: &mut Reader<'_>) -> Option<Grid<f64>> {
+    let cols = usize::try_from(r.u64()?).ok()?;
+    let rows = usize::try_from(r.u64()?).ok()?;
+    let east = r.f64()?;
+    let north = r.f64()?;
+    let cell_km = r.f64()?;
+    // Reject sizes the remaining payload cannot possibly hold before
+    // allocating anything.
+    let cells = cols.checked_mul(rows)?;
+    if cells == 0 || cells > (r.bytes.len() - r.pos) / 8 {
+        return None;
+    }
+    let mut g = Grid::filled(cols, rows, EnuKm::new(east, north), cell_km, 0.0).ok()?;
+    for slot in g.as_mut_slice() {
+        *slot = r.f64()?;
+    }
+    Some(g)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.pos..end)?.try_into().ok()?);
+        self.pos = end;
+        Some(v)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{EnsembleConfig, TrackEnsemble};
+    use crate::swe::ShallowWaterConfig;
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+
+    fn solver_and_storm() -> (ShallowWaterSolver, StormParams) {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let config = ShallowWaterConfig {
+            cell_km: 6.0, // coarse: keep the test solve fast
+            ..ShallowWaterConfig::default()
+        };
+        let solver = ShallowWaterSolver::new(&dem, config);
+        let storms = TrackEnsemble::new(EnsembleConfig {
+            realizations: 2,
+            ..EnsembleConfig::default()
+        })
+        .unwrap()
+        .generate();
+        (solver, storms[0].clone())
+    }
+
+    fn scratch_store(tag: &str) -> (std::path::PathBuf, Store) {
+        let root = std::env::temp_dir().join(format!(
+            "ct-hydro-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let store = Store::open(&root).unwrap();
+        (root, store)
+    }
+
+    #[test]
+    fn storm_key_separates_inputs() {
+        let (solver, storm) = solver_and_storm();
+        let base = solver.storm_key(&storm);
+        assert_eq!(solver.storm_key(&storm), base, "key must be stable");
+
+        let mut tweaked = storm.clone();
+        tweaked.central_pressure_hpa += 1.0;
+        assert_ne!(solver.storm_key(&tweaked), base);
+
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let other_solver = ShallowWaterSolver::new(
+            &dem,
+            ShallowWaterConfig {
+                cell_km: 6.0,
+                manning_n: 0.05,
+                ..ShallowWaterConfig::default()
+            },
+        );
+        assert_ne!(other_solver.storm_key(&storm), base);
+    }
+
+    #[test]
+    fn run_cached_round_trips_bit_exactly() {
+        let (solver, storm) = solver_and_storm();
+        let (root, store) = scratch_store("roundtrip");
+        let mut ws = SweWorkspace::new();
+        let fresh = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        let cached = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        assert_eq!(fresh.steps, cached.steps);
+        assert_eq!(fresh.dt_s.to_bits(), cached.dt_s.to_bits());
+        assert_eq!(fresh.max_speed_ms.to_bits(), cached.max_speed_ms.to_bits());
+        for (a, b) in fresh
+            .max_eta
+            .as_slice()
+            .iter()
+            .zip(cached.max_eta.as_slice())
+        {
+            // NaN marks never-wetted cells; bit comparison covers it.
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(fresh.bed.as_slice(), cached.bed.as_slice());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn undecodable_record_is_invalidated_and_recomputed() {
+        let (solver, storm) = solver_and_storm();
+        let (root, store) = scratch_store("heal");
+        let key = solver.storm_key(&storm);
+        // A record that is *framed* correctly but whose payload is not
+        // a surge outcome: the frame checksum passes, the codec fails,
+        // and run_cached must fall through to a real solve.
+        store.put(&key, b"not an outcome").unwrap();
+        let mut ws = SweWorkspace::new();
+        let outcome = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        assert!(outcome.steps > 0);
+        // The bad record was replaced: a second call decodes cleanly.
+        let again = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        assert_eq!(outcome.steps, again.steps);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn surge_outcome_codec_rejects_malformed_payloads() {
+        let (solver, storm) = solver_and_storm();
+        let outcome = solver.run(&storm).unwrap();
+        let bytes = encode_surge_outcome(&outcome);
+        assert!(decode_surge_outcome(&bytes).is_some());
+        assert!(decode_surge_outcome(&bytes[..bytes.len() - 1]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_surge_outcome(&long).is_none());
+        assert!(decode_surge_outcome(&[]).is_none());
+        // Absurd dimension claims must be rejected before allocation.
+        let mut huge = bytes;
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_surge_outcome(&huge).is_none());
+    }
+}

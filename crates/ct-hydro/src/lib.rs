@@ -33,6 +33,7 @@
 //! assert_eq!(set.len(), 25);
 //! ```
 
+pub mod cache;
 pub mod category;
 pub mod ensemble;
 pub mod error;
@@ -46,6 +47,11 @@ pub mod stations;
 pub mod swe;
 pub mod track;
 pub mod wind;
+
+/// Version of the hydro numerics baked into artifact-store content
+/// addresses. Bump when a formula change makes previously cached surge
+/// or inundation results stale; old records then simply go unseen.
+pub const HYDRO_KERNEL_VERSION: u32 = 1;
 
 pub use category::Category;
 pub use ensemble::{EnsembleConfig, StormParams, TrackEnsemble};

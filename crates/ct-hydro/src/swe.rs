@@ -410,6 +410,16 @@ impl ShallowWaterSolver {
         &self.bed
     }
 
+    /// The solver's configuration.
+    pub fn config(&self) -> &ShallowWaterConfig {
+        &self.config
+    }
+
+    /// The projection tying the bed grid to geographic coordinates.
+    pub fn projection(&self) -> &Projection {
+        &self.projection
+    }
+
     /// Simulates a hurricane and returns the surge envelope.
     ///
     /// # Errors

@@ -37,17 +37,33 @@ pub const FIGURES_REPRODUCED: &str = "figures.reproduced";
 pub const CROSSVAL_STATES_VALIDATED: &str = "crossval.states_validated";
 /// Backup-site placement candidates ranked.
 pub const PLACEMENT_CANDIDATES_RANKED: &str = "placement.candidates_ranked";
+/// Artifact-store record lookups that returned a valid record.
+pub const STORE_HITS: &str = "store.hits";
+/// Artifact-store record lookups that found nothing.
+pub const STORE_MISSES: &str = "store.misses";
+/// Artifact-store records written (atomic temp-then-rename commits).
+pub const STORE_RECORDS_WRITTEN: &str = "store.records_written";
+/// Records that failed frame or payload validation (truncated, bad
+/// magic, wrong version, checksum mismatch, undecodable payload).
+pub const STORE_CORRUPT_RECORDS: &str = "store.corrupt_records";
+/// Records removed from the store (corruption cleanup or explicit
+/// eviction).
+pub const STORE_EVICTIONS: &str = "store.evictions";
 /// Effective worker-thread count of the last pipeline build (gauge).
 pub const BUILD_THREADS: &str = "build.threads";
 /// Histogram: time steps per shallow-water solve.
 pub const SWE_STEPS_PER_SOLVE: &str = "swe.steps_per_solve";
 /// Histogram: distinct flood patterns per profiled site plan.
 pub const PROFILE_PATTERNS_PER_PLAN: &str = "profile.patterns_per_plan";
+/// Histogram: committed record sizes (framed bytes on disk).
+pub const STORE_RECORD_BYTES: &str = "store.record_bytes";
 
 /// Bucket bounds for [`SWE_STEPS_PER_SOLVE`].
 pub const SWE_STEPS_PER_SOLVE_BOUNDS: [f64; 6] = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
 /// Bucket bounds for [`PROFILE_PATTERNS_PER_PLAN`].
 pub const PROFILE_PATTERNS_PER_PLAN_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Bucket bounds for [`STORE_RECORD_BYTES`].
+pub const STORE_RECORD_BYTES_BOUNDS: [f64; 6] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
 
 /// Registers the full canonical metric set on `registry` so
 /// snapshots list every standard counter even when a run never
@@ -70,12 +86,18 @@ pub fn register_defaults(registry: &crate::Registry) {
         FIGURES_REPRODUCED,
         CROSSVAL_STATES_VALIDATED,
         PLACEMENT_CANDIDATES_RANKED,
+        STORE_HITS,
+        STORE_MISSES,
+        STORE_RECORDS_WRITTEN,
+        STORE_CORRUPT_RECORDS,
+        STORE_EVICTIONS,
     ] {
         registry.counter(name);
     }
     registry.gauge(BUILD_THREADS);
     registry.histogram(SWE_STEPS_PER_SOLVE, &SWE_STEPS_PER_SOLVE_BOUNDS);
     registry.histogram(PROFILE_PATTERNS_PER_PLAN, &PROFILE_PATTERNS_PER_PLAN_BOUNDS);
+    registry.histogram(STORE_RECORD_BYTES, &STORE_RECORD_BYTES_BOUNDS);
 }
 
 #[cfg(test)]
@@ -87,9 +109,10 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 15);
+        assert_eq!(snap.counters.len(), 20);
         assert_eq!(snap.counter(SWE_STEPS), Some(0));
+        assert_eq!(snap.counter(STORE_HITS), Some(0));
         assert_eq!(snap.gauge(BUILD_THREADS), Some(0.0));
-        assert_eq!(snap.histograms.len(), 2);
+        assert_eq!(snap.histograms.len(), 3);
     }
 }

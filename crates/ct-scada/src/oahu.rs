@@ -47,6 +47,21 @@ impl SiteChoice {
             SiteChoice::Kahe => KAHE,
         }
     }
+
+    /// The CLI keyword for this choice; the `FromStr` impl
+    /// accepts it back, so `choice.to_string().parse()` round-trips.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SiteChoice::Waiau => "waiau",
+            SiteChoice::Kahe => "kahe",
+        }
+    }
+}
+
+impl std::fmt::Display for SiteChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
 }
 
 /// A site-choice string was not one of the CLI keywords.

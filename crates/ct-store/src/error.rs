@@ -1,0 +1,58 @@
+//! Store-level errors.
+//!
+//! Only *environmental* failures (I/O) are errors. A corrupt record is
+//! not an error: it is a cache state the store resolves itself by
+//! evicting the record and reporting a miss, so callers degrade to
+//! recompute-and-rewrite instead of failing the run.
+
+use std::fmt;
+
+/// Errors surfaced by the artifact store.
+///
+/// The underlying I/O error is stringified so the type stays cloneable
+/// and comparable, matching the error-type policy of the rest of the
+/// workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Reading or writing under the store root failed.
+    Io {
+        /// Path of the file being accessed.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(path: &std::path::Path, e: &std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "artifact store '{path}': {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_path_and_cause() {
+        let e = StoreError::Io {
+            path: "/tmp/store/objects/ab".into(),
+            message: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/store/objects/ab"));
+        assert!(e.to_string().contains("permission denied"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Content-addressed on-disk artifact store for ensemble outputs.
+//!
+//! The expensive artifacts of a case-study run — per-realization
+//! inundation outcomes, shallow-water surge envelopes, flood-pattern
+//! histograms — are pure functions of their inputs. This crate gives
+//! them a durable home keyed by a *stable* content hash of those
+//! inputs, so re-running a sweep recomputes only what is missing:
+//!
+//! - [`StableHasher`] / [`Digest`]: pinned, portable 128-bit FNV-1a
+//!   hashing over typed, canonical byte encodings (never
+//!   `std::hash`, whose output may change between Rust releases);
+//! - [`mod@format`]: a versioned binary record frame with a per-record
+//!   checksum, so torn or tampered files are *classified*, not
+//!   trusted;
+//! - [`Store`]: atomic temp-file-then-rename writes and
+//!   validate-or-evict reads, reporting hit/miss/corrupt/evict
+//!   counters through [`ct_obs`].
+//!
+//! Zero dependencies beyond [`ct_obs`], matching the workspace's
+//! hand-rolled-serialization policy.
+//!
+//! # Example
+//!
+//! ```
+//! use ct_store::{StableHasher, Store};
+//!
+//! let dir = std::env::temp_dir().join(format!("ct-store-doc-{}", std::process::id()));
+//! let store = Store::open(&dir)?;
+//! let mut h = StableHasher::new();
+//! h.write_str("my-run");
+//! h.write_u64(42);
+//! let key = h.finish();
+//!
+//! assert_eq!(store.get(&key)?, None); // cold
+//! store.put(&key, b"expensive result")?;
+//! assert_eq!(store.get(&key)?.as_deref(), Some(&b"expensive result"[..])); // warm
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), ct_store::StoreError>(())
+//! ```
+
+pub mod format;
+
+mod error;
+mod hash;
+mod store;
+
+pub use error::StoreError;
+pub use format::{Corruption, FORMAT_VERSION};
+pub use hash::{checksum64, Digest, StableHasher};
+pub use store::Store;

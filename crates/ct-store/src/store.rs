@@ -1,0 +1,327 @@
+//! The on-disk store: content-addressed records under a root
+//! directory.
+//!
+//! Layout:
+//!
+//! ```text
+//! <root>/objects/<hh>/<hex32>.rec   records, sharded by first hex byte
+//! <root>/tmp/                       staging area for atomic writes
+//! ```
+//!
+//! Writes are crash-safe: the frame is written to a unique file under
+//! `tmp/` and then `rename`d into place, so a reader never observes a
+//! half-written record at its final path (a crash can only leave a
+//! stale temp file, which is invisible to lookups). Reads validate the
+//! record frame and *evict* anything corrupt, reporting a miss — so a
+//! torn record from a `kill -9` degrades to recompute-and-rewrite.
+//!
+//! Every operation reports to [`ct_obs`] counters (`store.hits`,
+//! `store.misses`, `store.records_written`, `store.corrupt_records`,
+//! `store.evictions`). Methods deliberately open no [`ct_obs`] spans:
+//! they are called from worker threads, and spans are reserved for
+//! coordinator code so the span tree stays thread-count invariant.
+
+use crate::error::StoreError;
+use crate::format::{decode_record, encode_record};
+use crate::hash::Digest;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a store reports its metrics.
+#[derive(Debug, Clone)]
+enum MetricsSink {
+    /// The process-global [`ct_obs`] registry (the default).
+    Global,
+    /// A caller-owned registry — used by tests that need exact counter
+    /// assertions without racing other threads on the global registry.
+    Local(Arc<ct_obs::Registry>),
+}
+
+/// A handle to a content-addressed artifact store rooted at a
+/// directory. Cheap to clone; all state lives on disk.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+    sink: MetricsSink,
+}
+
+/// Distinguishes concurrent writers staging into the same `tmp/`.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`, reporting
+    /// metrics to the global [`ct_obs`] registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory tree cannot be
+    /// created.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_inner(root.as_ref(), MetricsSink::Global)
+    }
+
+    /// Like [`Store::open`], but reporting to a caller-owned registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory tree cannot be
+    /// created.
+    pub fn open_with_registry(
+        root: impl AsRef<Path>,
+        registry: Arc<ct_obs::Registry>,
+    ) -> Result<Self, StoreError> {
+        Self::open_inner(root.as_ref(), MetricsSink::Local(registry))
+    }
+
+    fn open_inner(root: &Path, sink: MetricsSink) -> Result<Self, StoreError> {
+        for dir in [root.join("objects"), root.join("tmp")] {
+            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, &e))?;
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+            sink,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path a record for `key` lives at (whether or not it
+    /// exists yet). Exposed for tests and tooling that inspect or
+    /// damage records deliberately.
+    pub fn record_path(&self, key: &Digest) -> PathBuf {
+        let hex = key.to_hex();
+        self.root
+            .join("objects")
+            .join(&hex[0..2])
+            .join(format!("{hex}.rec"))
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        match &self.sink {
+            MetricsSink::Global => ct_obs::add(name, delta),
+            MetricsSink::Local(r) => r.counter(name).add(delta),
+        }
+    }
+
+    fn observe_bytes(&self, len: usize) {
+        let bounds = &ct_obs::names::STORE_RECORD_BYTES_BOUNDS;
+        let h = match &self.sink {
+            MetricsSink::Global => ct_obs::histogram(ct_obs::names::STORE_RECORD_BYTES, bounds),
+            MetricsSink::Local(r) => r.histogram(ct_obs::names::STORE_RECORD_BYTES, bounds),
+        };
+        h.observe(len as f64);
+    }
+
+    /// Fetches the payload stored under `key`.
+    ///
+    /// Returns `Ok(None)` on a miss *and* on a corrupt record: a
+    /// record that fails frame validation (truncated, bad magic, wrong
+    /// version, checksum mismatch) is counted as `store.corrupt_records`,
+    /// evicted from disk, and reported as a miss, so the caller's
+    /// recompute-and-rewrite path handles both cases identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] only for environmental failures
+    /// (e.g. permission errors) — never for corrupt content.
+    pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.record_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.add(ct_obs::names::STORE_MISSES, 1);
+                return Ok(None);
+            }
+            Err(e) => return Err(StoreError::io(&path, &e)),
+        };
+        match decode_record(&bytes) {
+            Ok(payload) => {
+                self.add(ct_obs::names::STORE_HITS, 1);
+                Ok(Some(payload.to_vec()))
+            }
+            Err(_corruption) => {
+                self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+                self.remove_file(&path)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Atomically writes `payload` as the record for `key`,
+    /// overwriting any existing record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when staging or renaming fails.
+    pub fn put(&self, key: &Digest, payload: &[u8]) -> Result<(), StoreError> {
+        let path = self.record_path(key);
+        let dir = path.parent().expect("record path has a parent");
+        fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
+
+        let tmp = self.root.join("tmp").join(format!(
+            "{}.{}.{}.tmp",
+            key.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let frame = encode_record(payload);
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, &e))?;
+            f.write_all(&frame).map_err(|e| StoreError::io(&tmp, &e))?;
+            // Flush to stable storage before the rename publishes the
+            // record, so a crash cannot expose an empty committed file.
+            f.sync_all().map_err(|e| StoreError::io(&tmp, &e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, &e))?;
+        self.add(ct_obs::names::STORE_RECORDS_WRITTEN, 1);
+        self.observe_bytes(frame.len());
+        Ok(())
+    }
+
+    /// Removes the record for `key` because its *payload* failed the
+    /// caller's decoding even though the frame validated — e.g. a
+    /// record written by an older payload schema. Counted as a corrupt
+    /// record plus an eviction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the removal itself fails.
+    pub fn invalidate(&self, key: &Digest) -> Result<(), StoreError> {
+        self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+        self.remove_file(&self.record_path(key))
+    }
+
+    /// Evicts the record for `key`, returning whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the removal fails for a reason
+    /// other than the record being absent.
+    pub fn evict(&self, key: &Digest) -> Result<bool, StoreError> {
+        let path = self.record_path(key);
+        if !path.exists() {
+            return Ok(false);
+        }
+        self.remove_file(&path)?;
+        Ok(true)
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<(), StoreError> {
+        match fs::remove_file(path) {
+            Ok(()) => {
+                self.add(ct_obs::names::STORE_EVICTIONS, 1);
+                Ok(())
+            }
+            // A concurrent evictor got there first; the record is gone
+            // either way.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::io(path, &e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::StableHasher;
+
+    fn key(label: &str) -> Digest {
+        let mut h = StableHasher::new();
+        h.write_str(label);
+        h.finish()
+    }
+
+    /// A unique on-disk root per test, with a local registry so counter
+    /// assertions are exact even under the parallel test runner.
+    fn scratch(tag: &str) -> (Store, Arc<ct_obs::Registry>, PathBuf) {
+        let root = std::env::temp_dir().join(format!("ct-store-unit-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let registry = Arc::new(ct_obs::Registry::new());
+        let store = Store::open_with_registry(&root, Arc::clone(&registry)).unwrap();
+        (store, registry, root)
+    }
+
+    fn counter(registry: &ct_obs::Registry, name: &str) -> u64 {
+        registry.snapshot().counter(name).unwrap_or(0)
+    }
+
+    #[test]
+    fn put_get_round_trip_with_counters() {
+        let (store, reg, root) = scratch("round-trip");
+        let k = key("a");
+        assert_eq!(store.get(&k).unwrap(), None);
+        store.put(&k, b"payload").unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(b"payload".to_vec()));
+        assert_eq!(counter(&reg, ct_obs::names::STORE_MISSES), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_HITS), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RECORDS_WRITTEN), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn overwrite_replaces_payload() {
+        let (store, _, root) = scratch("overwrite");
+        let k = key("a");
+        store.put(&k, b"v1").unwrap();
+        store.put(&k, b"v2").unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(b"v2".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_record_is_counted_evicted_and_reported_as_miss() {
+        let (store, reg, root) = scratch("corrupt");
+        let k = key("a");
+        store.put(&k, b"payload").unwrap();
+        let path = store.record_path(&k);
+
+        // Truncate mid-payload, as a crash during a non-atomic writer
+        // would have.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        assert_eq!(store.get(&k).unwrap(), None);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_CORRUPT_RECORDS), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 1);
+        assert!(!path.exists(), "corrupt record must be evicted");
+
+        // Recompute-and-rewrite path: a fresh put fully heals the key.
+        store.put(&k, b"payload").unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn no_temp_residue_after_writes() {
+        let (store, _, root) = scratch("tmp-residue");
+        for i in 0..10 {
+            store.put(&key(&format!("k{i}")), &[i as u8; 64]).unwrap();
+        }
+        let leftovers: Vec<_> = fs::read_dir(root.join("tmp")).unwrap().collect();
+        assert!(leftovers.is_empty(), "tmp/ must be empty: {leftovers:?}");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn evict_and_invalidate() {
+        let (store, reg, root) = scratch("evict");
+        let k = key("a");
+        assert!(!store.evict(&k).unwrap());
+        store.put(&k, b"x").unwrap();
+        assert!(store.evict(&k).unwrap());
+        assert_eq!(store.get(&k).unwrap(), None);
+
+        store.put(&k, b"x").unwrap();
+        store.invalidate(&k).unwrap();
+        assert_eq!(store.get(&k).unwrap(), None);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_CORRUPT_RECORDS), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+}

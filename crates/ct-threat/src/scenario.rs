@@ -77,6 +77,18 @@ impl ThreatScenario {
         }
     }
 
+    /// The CLI keyword for this scenario — the canonical short form
+    /// accepted by the `FromStr` impl
+    /// (`scenario.keyword().parse()` always round-trips).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ThreatScenario::Hurricane => "hurricane",
+            ThreatScenario::HurricaneIntrusion => "intrusion",
+            ThreatScenario::HurricaneIsolation => "isolation",
+            ThreatScenario::HurricaneIntrusionIsolation => "compound",
+        }
+    }
+
     /// Human-readable name matching the paper's figure captions.
     pub fn label(self) -> &'static str {
         match self {
@@ -118,10 +130,19 @@ impl std::error::Error for ParseScenarioError {}
 impl std::str::FromStr for ThreatScenario {
     type Err = ParseScenarioError;
 
-    /// Parses the CLI keywords: `hurricane`, `intrusion`, `isolation`,
-    /// `compound` (case-insensitive).
+    /// Parses the CLI keywords `hurricane`, `intrusion`, `isolation`,
+    /// `compound` — or a full display label ("Hurricane + Server
+    /// Intrusion") — case-insensitively, so
+    /// `scenario.to_string().parse()` round-trips.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let lowered = s.to_ascii_lowercase();
+        if let Some(scenario) = ThreatScenario::ALL
+            .into_iter()
+            .find(|sc| sc.label().to_ascii_lowercase() == lowered)
+        {
+            return Ok(scenario);
+        }
+        match lowered.as_str() {
             "hurricane" => Ok(ThreatScenario::Hurricane),
             "intrusion" => Ok(ThreatScenario::HurricaneIntrusion),
             "isolation" => Ok(ThreatScenario::HurricaneIsolation),

@@ -1,21 +1,17 @@
 //! `ct` — command-line interface to the compound-threats framework.
 //!
-//! ```text
-//! ct figures [--realizations N] [--csv]     reproduce Figs. 6-11
-//! ct figure <6|7|8|9|10|11> [--csv]         one figure
-//! ct placement <config> <scenario>          rank backup sites
-//! ct downtime [waiau|kahe]                  expected downtime report
-//! ct grid                                   grid-impact summary
-//! ct crossval                               Table I vs protocol execution
-//! ct topology                               export the Oahu assets as CSV
-//! ct hazard [--realizations N] [--full]     flood probabilities (or the
-//!                                           full inundation matrix) as CSV
-//! ct report [--realizations N]              full case-study report (markdown)
-//! ```
+//! Run `ct --help` for the command listing and `ct <command> --help`
+//! for per-command flags; both are generated from the same
+//! [`CommandSpec`] table that drives parsing, so they cannot drift
+//! from behavior.
 //!
-//! Every subcommand accepts `--metrics <path>`: on exit the process
-//! writes the [`ct_obs`] span/counter snapshot there (CSV, or a
-//! markdown summary when the path ends in `.md`).
+//! Ensemble evaluation can run through a content-addressed artifact
+//! store (`--store <dir>`): records already on disk are loaded
+//! bit-exactly instead of recomputed. `ct run --shards K --shard I`
+//! evaluates one interleaved slice of the ensemble into the store
+//! (resumable after interruption), and `ct merge` assembles the full
+//! study from the store, computing anything missing — its output is
+//! identical to `ct figures` without a store.
 //!
 //! Worker-thread count comes from the `CT_THREADS` environment
 //! variable (default: all cores, capped at 16).
@@ -29,82 +25,187 @@ use compound_threats::error::CoreError;
 use compound_threats::figures::{reproduce, reproduce_all, Figure};
 use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
 use compound_threats::placement::rank_backup_sites;
+use compound_threats::prelude::{run_shard, ShardSpec, Store};
 use compound_threats::report::{figure_csv, figure_table, profile_bar};
 use compound_threats::{CaseStudy, CaseStudyConfig};
+use compound_threats_suite::cli::{CliArgs, CommandSpec, FlagSpec};
 use ct_replication::VerdictConfig;
 use ct_scada::{export, oahu, Architecture};
 use ct_simnet::SimTime;
 use ct_threat::ThreatScenario;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ct <command> [--metrics <path>]\n\
-         \n\
-         commands:\n\
-         \x20 figures [--realizations N] [--csv]   reproduce Figs. 6-11\n\
-         \x20 figure <6..11> [--csv]               one figure\n\
-         \x20 placement <config> <scenario>        rank backup control sites\n\
-         \x20 downtime [waiau|kahe]                expected downtime per event\n\
-         \x20 grid                                 grid-impact summary\n\
-         \x20 crossval                             Table I vs protocol execution\n\
-         \x20 topology                             Oahu assets as CSV\n\
-         \x20 hazard [--full]                      hazard ensemble as CSV\n\
-         \x20 report                               full case-study markdown report\n\
-         \n\
-         global options:\n\
-         \x20 --metrics <path>   write the observability snapshot on exit\n\
-         \x20                    (CSV; markdown when <path> ends in .md)\n\
-         \x20 --realizations N   hazard-ensemble size (default: paper's 1000)\n\
-         \n\
+const METRICS: FlagSpec = FlagSpec {
+    name: "--metrics",
+    value_name: Some("path"),
+    help: "write the observability snapshot on exit (CSV; markdown for .md)",
+};
+const REALIZATIONS: FlagSpec = FlagSpec {
+    name: "--realizations",
+    value_name: Some("N"),
+    help: "hazard-ensemble size (default: paper's 1000)",
+};
+const CSV: FlagSpec = FlagSpec {
+    name: "--csv",
+    value_name: None,
+    help: "emit CSV instead of tables",
+};
+const STORE: FlagSpec = FlagSpec {
+    name: "--store",
+    value_name: Some("dir"),
+    help: "artifact store: reuse cached realizations, write new ones",
+};
+const SHARDS: FlagSpec = FlagSpec {
+    name: "--shards",
+    value_name: Some("K"),
+    help: "total shard count (default 1)",
+};
+const SHARD: FlagSpec = FlagSpec {
+    name: "--shard",
+    value_name: Some("I"),
+    help: "this process's shard index, 0-based (default 0)",
+};
+const FULL: FlagSpec = FlagSpec {
+    name: "--full",
+    value_name: None,
+    help: "full per-realization inundation matrix instead of probabilities",
+};
+
+/// Every `ct` subcommand; parsing, dispatch, and all help text derive
+/// from this table.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "figures",
+        summary: "reproduce Figs. 6-11",
+        positionals: &[],
+        flags: &[CSV, REALIZATIONS, STORE, METRICS],
+    },
+    CommandSpec {
+        name: "figure",
+        summary: "reproduce one figure (6..11)",
+        positionals: &[("number", true)],
+        flags: &[CSV, REALIZATIONS, STORE, METRICS],
+    },
+    CommandSpec {
+        name: "run",
+        summary: "evaluate one shard of the ensemble into an artifact store",
+        positionals: &[],
+        flags: &[STORE, SHARDS, SHARD, REALIZATIONS, METRICS],
+    },
+    CommandSpec {
+        name: "merge",
+        summary: "assemble a sharded run from the store and print the figures",
+        positionals: &[],
+        flags: &[STORE, CSV, REALIZATIONS, METRICS],
+    },
+    CommandSpec {
+        name: "placement",
+        summary: "rank backup control sites",
+        positionals: &[("config", true), ("scenario", true)],
+        flags: &[REALIZATIONS, STORE, METRICS],
+    },
+    CommandSpec {
+        name: "downtime",
+        summary: "expected downtime per event (site: waiau|kahe)",
+        positionals: &[("site", false)],
+        flags: &[REALIZATIONS, STORE, METRICS],
+    },
+    CommandSpec {
+        name: "grid",
+        summary: "grid-impact summary",
+        positionals: &[],
+        flags: &[REALIZATIONS, STORE, METRICS],
+    },
+    CommandSpec {
+        name: "crossval",
+        summary: "Table I vs protocol execution",
+        positionals: &[],
+        flags: &[METRICS],
+    },
+    CommandSpec {
+        name: "topology",
+        summary: "export the Oahu assets as CSV",
+        positionals: &[],
+        flags: &[METRICS],
+    },
+    CommandSpec {
+        name: "hazard",
+        summary: "flood probabilities (or inundation matrix) as CSV",
+        positionals: &[],
+        flags: &[FULL, REALIZATIONS, STORE, METRICS],
+    },
+    CommandSpec {
+        name: "report",
+        summary: "full case-study report (markdown)",
+        positionals: &[],
+        flags: &[REALIZATIONS, STORE, METRICS],
+    },
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage: ct <command> [options]\n\ncommands:\n");
+    for c in COMMANDS {
+        s.push_str(&format!("  {:<10} {}\n", c.name, c.summary));
+    }
+    s.push_str(
+        "\nrun 'ct <command> --help' for that command's flags\n\
          scenarios: hurricane | intrusion | isolation | compound\n\
          configs:   2 | 2-2 | 6 | 6-6 | 6+6+6\n\
-         env:       CT_THREADS=<n> caps the worker-thread count"
+         env:       CT_THREADS=<n> caps the worker-thread count",
     );
-    ExitCode::FAILURE
+    s
 }
 
-/// Options shared by every subcommand.
-struct GlobalOpts {
-    csv: bool,
-    realizations: Option<usize>,
-    metrics: Option<String>,
-}
-
-/// The value following `flag`, required to exist if the flag does.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
-    match args.iter().position(|a| a == flag) {
-        None => Ok(None),
-        Some(i) => match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok(Some(v)),
-            _ => Err(format!("{flag} requires a value")),
-        },
-    }
-}
-
-impl GlobalOpts {
-    fn parse(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
-        let realizations = flag_value(args, "--realizations")?
-            .map(|v| {
-                v.parse::<usize>()
-                    .map_err(|e| format!("invalid --realizations value '{v}': {e}"))
-            })
-            .transpose()?;
-        let metrics = flag_value(args, "--metrics")?.map(String::from);
-        Ok(Self {
-            csv: args.iter().any(|a| a == "--csv"),
-            realizations,
-            metrics,
-        })
-    }
-}
-
-fn build_study(realizations: Option<usize>) -> Result<CaseStudy, Box<dyn std::error::Error>> {
-    let config = match realizations {
+/// The study's configuration from the common flags.
+fn study_config(args: &CliArgs) -> Result<CaseStudyConfig, Box<dyn std::error::Error>> {
+    Ok(match args.parsed::<usize>("--realizations")? {
         Some(n) => CaseStudyConfig::builder().realizations(n).build()?,
         None => CaseStudyConfig::default(),
-    };
-    Ok(CaseStudy::build(&config)?)
+    })
+}
+
+/// Opens the artifact store named by `--store`, if any.
+fn open_store(args: &CliArgs) -> Result<Option<Store>, Box<dyn std::error::Error>> {
+    Ok(args.value("--store").map(Store::open).transpose()?)
+}
+
+/// Opens the artifact store named by `--store`, required.
+fn require_store(args: &CliArgs) -> Result<Store, Box<dyn std::error::Error>> {
+    match open_store(args)? {
+        Some(store) => Ok(store),
+        None => Err(format!("'{}' requires --store <dir>", args.spec().name).into()),
+    }
+}
+
+/// Builds the study from the common flags, through the artifact store
+/// when one was named.
+fn build_study(args: &CliArgs) -> Result<CaseStudy, Box<dyn std::error::Error>> {
+    let config = study_config(args)?;
+    Ok(CaseStudy::build_with_store(
+        &config,
+        open_store(args)?.as_ref(),
+    )?)
+}
+
+/// Prints every figure, as CSV or tables — shared by `figures` and
+/// `merge` so the two paths cannot drift apart.
+fn print_figures(study: &CaseStudy, csv: bool) -> Result<(), Box<dyn std::error::Error>> {
+    for data in reproduce_all(study)? {
+        if csv {
+            print!("{}", figure_csv(&data));
+        } else {
+            print!("{}", figure_table(&data));
+            for (arch, p) in &data.rows {
+                println!(
+                    "  {:<8} |{}|",
+                    format!("\"{}\"", arch.label()),
+                    profile_bar(p)
+                );
+            }
+            println!();
+        }
+    }
+    Ok(())
 }
 
 /// Writes the global observability snapshot to `path` (markdown when
@@ -123,8 +224,8 @@ fn write_metrics(path: &str) -> Result<(), CoreError> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -133,67 +234,81 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let Some(command) = args.first() else {
-        return Ok(usage());
+fn run(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(command) = argv.first() else {
+        eprintln!("{}", usage());
+        return Ok(ExitCode::FAILURE);
     };
-    let opts = GlobalOpts::parse(args)?;
-    if opts.metrics.is_some() {
+    if command == "--help" || command == "-h" || command == "help" {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let Some(spec) = COMMANDS.iter().find(|c| c.name == *command) else {
+        eprintln!("unknown command '{command}'\n\n{}", usage());
+        return Ok(ExitCode::FAILURE);
+    };
+    let args = spec.parse(&argv[1..])?;
+    if args.help() {
+        print!("{}", spec.help_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args.flag("--metrics") {
         // Pre-register the canonical metric set so the snapshot lists
         // every counter (zero-valued included), whatever the command.
         ct_obs::names::register_defaults(ct_obs::global());
     }
-    let code = run_command(command, args, &opts)?;
-    if let Some(path) = &opts.metrics {
+    let code = run_command(&args)?;
+    if let Some(path) = args.value("--metrics") {
         write_metrics(path)?;
     }
     Ok(code)
 }
 
-fn run_command(
-    command: &str,
-    args: &[String],
-    opts: &GlobalOpts,
-) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    match command {
+fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match args.spec().name {
         "figures" => {
-            let study = build_study(opts.realizations)?;
-            for data in reproduce_all(&study)? {
-                if opts.csv {
-                    print!("{}", figure_csv(&data));
-                } else {
-                    print!("{}", figure_table(&data));
-                    for (arch, p) in &data.rows {
-                        println!(
-                            "  {:<8} |{}|",
-                            format!("\"{}\"", arch.label()),
-                            profile_bar(p)
-                        );
-                    }
-                    println!();
-                }
-            }
+            let study = build_study(args)?;
+            print_figures(&study, args.flag("--csv"))?;
         }
         "figure" => {
-            let Some(n) = args.get(1).and_then(|v| v.parse::<u32>().ok()) else {
-                return Ok(usage());
-            };
-            let Some(fig) = Figure::ALL.into_iter().find(|f| f.number() == n) else {
-                eprintln!("no figure {n}; the paper has figures 6-11");
+            let number = args.positional(0).expect("required positional");
+            let Some(fig) = number
+                .parse::<u32>()
+                .ok()
+                .and_then(|n| Figure::ALL.into_iter().find(|f| f.number() == n))
+            else {
+                eprintln!("no figure '{number}'; the paper has figures 6-11");
                 return Ok(ExitCode::FAILURE);
             };
-            let study = build_study(opts.realizations)?;
+            let study = build_study(args)?;
             let data = reproduce(&study, fig)?;
-            if opts.csv {
+            if args.flag("--csv") {
                 print!("{}", figure_csv(&data));
             } else {
                 print!("{}", figure_table(&data));
             }
         }
+        "run" => {
+            let store = require_store(args)?;
+            let config = study_config(args)?;
+            let shards = args.parsed::<usize>("--shards")?.unwrap_or(1);
+            let index = args.parsed::<usize>("--shard")?.unwrap_or(0);
+            let shard = ShardSpec::new(index, shards)?;
+            let report = run_shard(&config, &store, shard)?;
+            println!(
+                "shard {index}/{shards}: {} computed, {} reused, {} records total",
+                report.computed, report.reused, report.total
+            );
+        }
+        "merge" => {
+            let store = require_store(args)?;
+            let config = study_config(args)?;
+            let study = CaseStudy::merge_from_store(&config, &store)?;
+            print_figures(&study, args.flag("--csv"))?;
+        }
         "placement" => {
-            let (Some(arch_s), Some(scen_s)) = (args.get(1), args.get(2)) else {
-                return Ok(usage());
-            };
+            let arch_s = args.positional(0).expect("required positional");
+            let scen_s = args.positional(1).expect("required positional");
             let Some(arch) = Architecture::from_label(arch_s) else {
                 eprintln!("unknown config '{arch_s}'");
                 return Ok(ExitCode::FAILURE);
@@ -205,7 +320,7 @@ fn run_command(
                     return Ok(ExitCode::FAILURE);
                 }
             };
-            let study = build_study(opts.realizations)?;
+            let study = build_study(args)?;
             let ranking = rank_backup_sites(&study, arch, scenario)?;
             if ranking.is_empty() {
                 println!("configuration {arch} has no backup site to place");
@@ -225,7 +340,7 @@ fn run_command(
             }
         }
         "downtime" => {
-            let choice = match args.get(1).filter(|a| !a.starts_with("--")) {
+            let choice = match args.positional(0) {
                 Some(s) => match s.parse::<oahu::SiteChoice>() {
                     Ok(c) => c,
                     Err(e) => {
@@ -235,14 +350,14 @@ fn run_command(
                 },
                 None => oahu::SiteChoice::Waiau,
             };
-            let study = build_study(opts.realizations)?;
+            let study = build_study(args)?;
             let model = DowntimeModel::default();
             for scenario in ThreatScenario::ALL {
                 print!("{}", downtime_report(&study, scenario, choice, &model)?);
             }
         }
         "grid" => {
-            let study = build_study(opts.realizations)?;
+            let study = build_study(args)?;
             let summary = grid_impact(&study, &GridImpactConfig::default())?;
             println!(
                 "mean served, SCADA operational : {:5.1} %",
@@ -286,7 +401,7 @@ fn run_command(
             print!("{}", export::to_csv(&oahu::topology()));
         }
         "report" => {
-            let study = build_study(opts.realizations)?;
+            let study = build_study(args)?;
             let report = compound_threats::summary::write_report(
                 &study,
                 &compound_threats::summary::ReportOptions::default(),
@@ -294,8 +409,8 @@ fn run_command(
             print!("{report}");
         }
         "hazard" => {
-            let study = build_study(opts.realizations)?;
-            if args.iter().any(|a| a == "--full") {
+            let study = build_study(args)?;
+            if args.flag("--full") {
                 print!(
                     "{}",
                     ct_hydro::export::realizations_to_csv(study.realizations())
@@ -307,7 +422,7 @@ fn run_command(
                 );
             }
         }
-        _ => return Ok(usage()),
+        other => unreachable!("command '{other}' is in COMMANDS but not dispatched"),
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -1,8 +1,47 @@
-fn main() {
+//! `gridprobe` — quick look at the Oahu DC power flow: one line per
+//! transmission line with its flow, capacity, and utilization.
+
+use compound_threats_suite::cli::{CommandSpec, FlagSpec};
+use std::process::ExitCode;
+
+const SPEC: CommandSpec = CommandSpec {
+    name: "gridprobe",
+    summary: "print per-line DC power-flow utilization for the intact Oahu grid",
+    positionals: &[],
+    flags: &[FlagSpec {
+        name: "--min-util",
+        value_name: Some("pct"),
+        help: "only show lines at or above this utilization percentage",
+    }],
+};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args = SPEC.parse(argv)?;
+    if args.help() {
+        // This is a standalone binary, not a `ct` subcommand.
+        print!("{}", SPEC.help_text().replace("usage: ct ", "usage: "));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let min_util = args.parsed::<f64>("--min-util")?.unwrap_or(0.0);
     let g = ct_grid::oahu::grid();
-    let s = ct_grid::dc_power_flow(&g, &ct_grid::OutageSet::none()).unwrap();
+    let s = ct_grid::dc_power_flow(&g, &ct_grid::OutageSet::none())?;
     for (lid, flow) in &s.flows_mw {
         let l = &g.lines()[lid.0];
+        let util = 100.0 * flow.abs() / l.capacity_mw;
+        if util < min_util {
+            continue;
+        }
         println!(
             "{:>2} {:<14}->{:<14} flow {:8.1} cap {:6.0} util {:4.0}%",
             lid.0,
@@ -10,7 +49,8 @@ fn main() {
             g.buses()[l.to.0].name,
             flow,
             l.capacity_mw,
-            100.0 * flow.abs() / l.capacity_mw
+            util
         );
     }
+    Ok(ExitCode::SUCCESS)
 }

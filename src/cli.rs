@@ -1,0 +1,397 @@
+//! Typed command-line parsing shared by the workspace binaries.
+//!
+//! The binaries used to scan `argv` ad hoc (`args.iter().position(..)`
+//! per flag), which silently ignored typos — `ct figures --csvv`
+//! would run for minutes and print the wrong format. This module
+//! replaces that with a declarative [`CommandSpec`] per subcommand:
+//! flags and positionals are declared once, unknown flags are *errors*,
+//! `--help`/`-h` is implicit on every command, and usage text is
+//! generated from the same table that drives parsing, so help can
+//! never drift from behavior.
+//!
+//! ```
+//! use compound_threats_suite::cli::{CommandSpec, FlagSpec};
+//!
+//! const RUN: CommandSpec = CommandSpec {
+//!     name: "run",
+//!     summary: "evaluate one shard of the ensemble",
+//!     positionals: &[],
+//!     flags: &[FlagSpec { name: "--shards", value_name: Some("K"), help: "total shards" }],
+//! };
+//! let args = RUN.parse(&["--shards".into(), "4".into()]).unwrap();
+//! assert_eq!(args.parsed::<usize>("--shards").unwrap(), Some(4));
+//! assert!(RUN.parse(&["--shard".into()]).is_err()); // typo: unknown flag
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One flag a command accepts. `value_name: None` marks a boolean
+/// switch; `Some("N")` marks a valued flag rendered as `--flag <N>`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The flag as typed, including dashes (e.g. `--csv`).
+    pub name: &'static str,
+    /// Placeholder for the value in help output; `None` for switches.
+    pub value_name: Option<&'static str>,
+    /// One-line description for `--help`.
+    pub help: &'static str,
+}
+
+/// A subcommand's full interface: its positionals and flags.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandSpec {
+    /// Subcommand name (e.g. `figures`).
+    pub name: &'static str,
+    /// One-line description for listings and `--help`.
+    pub summary: &'static str,
+    /// Positional arguments in order: `(placeholder, required)`.
+    pub positionals: &'static [(&'static str, bool)],
+    /// Flags the command accepts.
+    pub flags: &'static [FlagSpec],
+}
+
+/// Parse failures; every variant names the offending token so the
+/// message is actionable without re-running with `--help`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag the command does not declare.
+    UnknownFlag {
+        /// The token as typed.
+        flag: String,
+        /// The command it was passed to.
+        command: &'static str,
+    },
+    /// A valued flag at the end of the line or followed by a flag.
+    MissingValue {
+        /// The flag missing its value.
+        flag: &'static str,
+    },
+    /// A flag value that failed to parse.
+    InvalidValue {
+        /// The flag whose value was rejected.
+        flag: &'static str,
+        /// The value as typed.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// More positional arguments than the command declares.
+    UnexpectedPositional {
+        /// The extra token.
+        value: String,
+        /// The command it was passed to.
+        command: &'static str,
+    },
+    /// A required positional argument was not supplied.
+    MissingPositional {
+        /// The placeholder name of the missing argument.
+        name: &'static str,
+        /// The command it was required by.
+        command: &'static str,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag { flag, command } => {
+                write!(f, "unknown flag '{flag}' for '{command}' (see --help)")
+            }
+            CliError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+            CliError::InvalidValue {
+                flag,
+                value,
+                reason,
+            } => write!(f, "invalid {flag} value '{value}': {reason}"),
+            CliError::UnexpectedPositional { value, command } => {
+                write!(
+                    f,
+                    "unexpected argument '{value}' for '{command}' (see --help)"
+                )
+            }
+            CliError::MissingPositional { name, command } => {
+                write!(f, "'{command}' requires <{name}> (see --help)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The parsed arguments of one command invocation.
+#[derive(Debug)]
+pub struct CliArgs {
+    spec: CommandSpec,
+    help: bool,
+    flags: HashMap<&'static str, Option<String>>,
+    positionals: Vec<String>,
+}
+
+impl CommandSpec {
+    /// Parses the tokens *after* the subcommand name.
+    ///
+    /// `--flag value` and `--flag=value` are both accepted. `--help`
+    /// and `-h` are implicit on every command and suppress
+    /// required-positional validation (the caller prints help and
+    /// exits instead of running).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CliError`]; unknown flags are errors, not ignored.
+    pub fn parse(&self, argv: &[String]) -> Result<CliArgs, CliError> {
+        let mut flags: HashMap<&'static str, Option<String>> = HashMap::new();
+        let mut positionals = Vec::new();
+        let mut help = false;
+        let mut it = argv.iter().peekable();
+        while let Some(token) = it.next() {
+            if token == "--help" || token == "-h" {
+                help = true;
+                continue;
+            }
+            if let Some(stripped) = token.strip_prefix("--") {
+                let (name, inline) = match stripped.split_once('=') {
+                    Some((n, v)) => (format!("--{n}"), Some(v.to_string())),
+                    None => (token.clone(), None),
+                };
+                let Some(spec) = self.flags.iter().find(|f| f.name == name) else {
+                    return Err(CliError::UnknownFlag {
+                        flag: token.clone(),
+                        command: self.name,
+                    });
+                };
+                let value = match (spec.value_name, inline) {
+                    (None, None) => None,
+                    (None, Some(v)) => {
+                        return Err(CliError::InvalidValue {
+                            flag: spec.name,
+                            value: v,
+                            reason: "flag takes no value".into(),
+                        })
+                    }
+                    (Some(_), Some(v)) => Some(v),
+                    (Some(_), None) => match it.peek() {
+                        Some(v) if !v.starts_with("--") => {
+                            Some(it.next().expect("peeked value exists").clone())
+                        }
+                        _ => return Err(CliError::MissingValue { flag: spec.name }),
+                    },
+                };
+                flags.insert(spec.name, value);
+            } else {
+                if positionals.len() >= self.positionals.len() {
+                    return Err(CliError::UnexpectedPositional {
+                        value: token.clone(),
+                        command: self.name,
+                    });
+                }
+                positionals.push(token.clone());
+            }
+        }
+        if !help {
+            for (i, (name, required)) in self.positionals.iter().enumerate() {
+                if *required && positionals.len() <= i {
+                    return Err(CliError::MissingPositional {
+                        name,
+                        command: self.name,
+                    });
+                }
+            }
+        }
+        Ok(CliArgs {
+            spec: *self,
+            help,
+            flags,
+            positionals,
+        })
+    }
+
+    /// The generated `--help` text: usage line, positionals, flags.
+    pub fn help_text(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "usage: ct {}", self.name);
+        for (name, required) in self.positionals {
+            if *required {
+                let _ = write!(s, " <{name}>");
+            } else {
+                let _ = write!(s, " [{name}]");
+            }
+        }
+        if !self.flags.is_empty() {
+            let _ = write!(s, " [options]");
+        }
+        let _ = writeln!(s, "\n\n{}", self.summary);
+        if !self.flags.is_empty() {
+            let _ = writeln!(s, "\noptions:");
+            for f in self.flags {
+                let rendered = match f.value_name {
+                    Some(v) => format!("{} <{v}>", f.name),
+                    None => f.name.to_string(),
+                };
+                let _ = writeln!(s, "  {rendered:<24} {}", f.help);
+            }
+        }
+        s
+    }
+}
+
+impl CliArgs {
+    /// Whether `--help`/`-h` was given.
+    pub fn help(&self) -> bool {
+        self.help
+    }
+
+    /// Whether `name` was given (switch or valued).
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// The raw value of a valued flag, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// The value of `name` parsed as `T`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::InvalidValue`] carrying the parse failure.
+    pub fn parsed<T>(&self, name: &'static str) -> Result<Option<T>, CliError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| CliError::InvalidValue {
+                    flag: name,
+                    value: v.to_string(),
+                    reason: e.to_string(),
+                }),
+        }
+    }
+
+    /// The `i`-th positional argument, if given.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// The spec this invocation was parsed against.
+    pub fn spec(&self) -> &CommandSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: CommandSpec = CommandSpec {
+        name: "demo",
+        summary: "demo command",
+        positionals: &[("config", true), ("scenario", false)],
+        flags: &[
+            FlagSpec {
+                name: "--csv",
+                value_name: None,
+                help: "emit CSV",
+            },
+            FlagSpec {
+                name: "--realizations",
+                value_name: Some("N"),
+                help: "ensemble size",
+            },
+        ],
+    };
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_values_and_positionals() {
+        let a = SPEC
+            .parse(&argv(&[
+                "6-6",
+                "--csv",
+                "--realizations",
+                "250",
+                "compound",
+            ]))
+            .unwrap();
+        assert!(a.flag("--csv"));
+        assert_eq!(a.parsed::<usize>("--realizations").unwrap(), Some(250));
+        assert_eq!(a.positional(0), Some("6-6"));
+        assert_eq!(a.positional(1), Some("compound"));
+        assert!(!a.help());
+    }
+
+    #[test]
+    fn accepts_equals_form() {
+        let a = SPEC.parse(&argv(&["x", "--realizations=99"])).unwrap();
+        assert_eq!(a.parsed::<usize>("--realizations").unwrap(), Some(99));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_typos() {
+        let e = SPEC.parse(&argv(&["x", "--csvv"])).unwrap_err();
+        assert!(matches!(e, CliError::UnknownFlag { .. }));
+        assert!(e.to_string().contains("--csvv"));
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_values() {
+        let e = SPEC.parse(&argv(&["x", "--realizations"])).unwrap_err();
+        assert_eq!(
+            e,
+            CliError::MissingValue {
+                flag: "--realizations"
+            }
+        );
+        let e = SPEC
+            .parse(&argv(&["x", "--realizations", "--csv"]))
+            .unwrap_err();
+        assert_eq!(
+            e,
+            CliError::MissingValue {
+                flag: "--realizations"
+            }
+        );
+        let a = SPEC.parse(&argv(&["x", "--realizations", "many"])).unwrap();
+        let e = a.parsed::<usize>("--realizations").unwrap_err();
+        assert!(matches!(e, CliError::InvalidValue { .. }));
+        assert!(e.to_string().contains("many"));
+        let e = SPEC.parse(&argv(&["x", "--csv=yes"])).unwrap_err();
+        assert!(matches!(e, CliError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn validates_positional_arity() {
+        let e = SPEC.parse(&argv(&[])).unwrap_err();
+        assert_eq!(
+            e,
+            CliError::MissingPositional {
+                name: "config",
+                command: "demo"
+            }
+        );
+        let e = SPEC.parse(&argv(&["a", "b", "c"])).unwrap_err();
+        assert!(matches!(e, CliError::UnexpectedPositional { .. }));
+    }
+
+    #[test]
+    fn help_suppresses_validation_and_renders_flags() {
+        let a = SPEC.parse(&argv(&["--help"])).unwrap();
+        assert!(a.help());
+        let a = SPEC.parse(&argv(&["-h"])).unwrap();
+        assert!(a.help());
+        let text = SPEC.help_text();
+        assert!(text.contains("usage: ct demo <config> [scenario]"));
+        assert!(text.contains("--realizations <N>"));
+        assert!(text.contains("emit CSV"));
+    }
+}

@@ -19,6 +19,11 @@
 //!
 //! See the repository README for a tour and `DESIGN.md` for the
 //! system inventory.
+//!
+//! The [`cli`] module holds the typed argument parser shared by the
+//! `ct` and `gridprobe` binaries.
+
+pub mod cli;
 
 pub use compound_threats as framework;
 pub use ct_geo as geo;

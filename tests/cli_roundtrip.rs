@@ -1,0 +1,107 @@
+//! Round-trip contracts for the CLI-facing enums: every value's
+//! `Display` (and CLI keyword) parses back to the same value, and
+//! rejection messages name the offending input. These are the strings
+//! users type and scripts grep, so the contracts are pinned here
+//! rather than left to convention. The enums are tiny, so coverage is
+//! exhaustive: every variant, every case mix, and a corpus of
+//! near-miss junk.
+
+use ct_scada::oahu::SiteChoice;
+use ct_threat::ThreatScenario;
+use proptest::prelude::*;
+
+const SITES: [SiteChoice; 2] = [SiteChoice::Waiau, SiteChoice::Kahe];
+
+/// Junk inputs a user could plausibly type; none may parse, and every
+/// rejection must quote the input verbatim.
+const JUNK: &[&str] = &[
+    "",
+    " ",
+    "hurricane2",
+    "hurricanes",
+    "intrusion isolation",
+    "compound ",
+    " compound",
+    "hurricane+intrusion",
+    "waiau,kahe",
+    "kahe-pp",
+    "none",
+    "all",
+    "6-6",
+];
+
+#[test]
+fn scenario_keyword_and_display_round_trip() {
+    for scenario in ThreatScenario::ALL {
+        let from_keyword: ThreatScenario = scenario.keyword().parse().unwrap();
+        assert_eq!(from_keyword, scenario);
+        let from_display: ThreatScenario = scenario.to_string().parse().unwrap();
+        assert_eq!(from_display, scenario, "Display must parse back");
+    }
+}
+
+#[test]
+fn scenario_parsing_is_case_insensitive() {
+    for scenario in ThreatScenario::ALL {
+        for s in [
+            scenario.keyword().to_ascii_uppercase(),
+            scenario.to_string().to_ascii_uppercase(),
+            capitalize(scenario.keyword()),
+        ] {
+            assert_eq!(s.parse::<ThreatScenario>().unwrap(), scenario, "{s:?}");
+        }
+    }
+}
+
+#[test]
+fn site_choice_keyword_and_display_round_trip() {
+    for choice in SITES {
+        assert_eq!(choice.to_string(), choice.keyword());
+        let parsed: SiteChoice = choice.to_string().parse().unwrap();
+        assert_eq!(parsed, choice);
+        let upper: SiteChoice = choice.keyword().to_ascii_uppercase().parse().unwrap();
+        assert_eq!(upper, choice);
+    }
+}
+
+#[test]
+fn junk_is_rejected_with_the_input_quoted() {
+    for s in JUNK {
+        let e = s.parse::<ThreatScenario>().unwrap_err();
+        assert!(
+            e.to_string().contains(s),
+            "scenario rejection must quote {s:?}, got: {e}"
+        );
+        let e = s.parse::<SiteChoice>().unwrap_err();
+        assert!(
+            e.to_string().contains(s),
+            "site rejection must quote {s:?}, got: {e}"
+        );
+    }
+}
+
+proptest! {
+    /// Any scenario/site pair survives a Display → parse → Display
+    /// cycle unchanged (format stability for scripts that pipe `ct`
+    /// output back into arguments).
+    #[test]
+    fn display_parse_display_is_identity(
+        scenario in prop::sample::select(ThreatScenario::ALL.to_vec()),
+        choice in prop::sample::select(SITES.to_vec()),
+    ) {
+        let s1 = scenario.to_string();
+        let s2 = s1.parse::<ThreatScenario>().unwrap().to_string();
+        prop_assert_eq!(s1, s2);
+        let c1 = choice.to_string();
+        let c2 = c1.parse::<SiteChoice>().unwrap().to_string();
+        prop_assert_eq!(c1, c2);
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_ascii_uppercase().to_string() + chars.as_str(),
+        None => String::new(),
+    }
+}
