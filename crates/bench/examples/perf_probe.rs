@@ -195,9 +195,41 @@ fn swe_probe_oahu() {
     );
 }
 
+fn hazard_probe() {
+    // The hazard-engine seam: trait-dispatched surge vs the retained
+    // hard-wired reference pipeline (the dispatch overhead must be
+    // noise), plus the wind and compound engines on the same ensemble.
+    use compound_threats::prelude::*;
+
+    let n = 100usize;
+    let cfg = |hazard| {
+        CaseStudyConfig::builder()
+            .hazard(hazard)
+            .realizations(n)
+            .threads(1)
+            .build()
+            .unwrap()
+    };
+    let reps = 3;
+    let surge_cfg = cfg(HazardSpec::Surge);
+    let reference = time(reps, || {
+        CaseStudy::build_reference_surge(&surge_cfg).unwrap()
+    });
+    let surge = time(reps, || CaseStudy::build(&surge_cfg).unwrap());
+    let wind = time(reps, || CaseStudy::build(&cfg(HazardSpec::Wind)).unwrap());
+    let compound = time(reps, || {
+        CaseStudy::build(&cfg(HazardSpec::Compound)).unwrap()
+    });
+    println!(
+        "hazard n={n} 1 thread: surge-reference {reference:.3}s surge-trait {surge:.3}s ({:.2}x) wind {wind:.3}s compound {compound:.3}s",
+        reference / surge,
+    );
+}
+
 fn main() {
     swe_probe_domain("wet20pct", 16.0);
     swe_probe_domain("wet75pct", 60.0);
     swe_probe_oahu();
     profile_probe();
+    hazard_probe();
 }

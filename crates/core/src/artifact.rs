@@ -19,6 +19,7 @@
 
 use crate::pipeline::CaseStudyConfig;
 use ct_geo::Dem;
+use ct_hazard::HazardModel;
 use ct_hydro::{Poi, Realization};
 use ct_scada::SitePlan;
 use ct_store::{Digest, StableHasher};
@@ -28,21 +29,36 @@ use ct_threat::PostDisasterState;
 /// content address. Bump whenever the meaning of a cached record
 /// changes (e.g. a different inundation formula) without a config
 /// change; every existing record is then invisible, not wrong.
-pub const PIPELINE_KERNEL_VERSION: u32 = 1;
+///
+/// v2: records are per-hazard — the base key carries the hazard id,
+/// its parameter digest, and [`ct_hazard::HAZARD_KERNEL_VERSION`], and
+/// realization payloads are tagged with the hazard id. Pre-hazard (v1)
+/// stores therefore read as cold, never as aliased surge hits.
+pub const PIPELINE_KERNEL_VERSION: u32 = 2;
 
 /// The run-level base address: a stable hash of the case-study
 /// configuration, the DEM it synthesized, the storm-ensemble
-/// parameters, the tracked POI set, and the kernel versions.
+/// parameters, the tracked POI set, the hazard engine (id + its full
+/// parameter digest), and the kernel versions.
 ///
 /// Excluded on purpose: `threads` (does not affect values),
 /// `flood_threshold_m` (applied after evaluation), and
 /// `ensemble.realizations` (realization `i` is a function of the seed
-/// and `i` alone, so runs of different sizes share records).
-pub fn ensemble_base_key(config: &CaseStudyConfig, dem: &Dem, pois: &[Poi]) -> Digest {
+/// and `i` alone, so runs of different sizes share records). The surge
+/// calibration is *not* hashed here: it is an input of the surge
+/// hazard, so it enters through [`HazardModel::digest_params`] exactly
+/// when the selected hazard actually uses it.
+pub fn ensemble_base_key(
+    config: &CaseStudyConfig,
+    dem: &Dem,
+    pois: &[Poi],
+    hazard: &dyn HazardModel,
+) -> Digest {
     let mut h = StableHasher::new();
     h.write_str("compound-threats/ensemble");
     h.write_u32(PIPELINE_KERNEL_VERSION);
     h.write_u32(ct_hydro::HYDRO_KERNEL_VERSION);
+    h.write_u32(ct_hazard::HAZARD_KERNEL_VERSION);
 
     let t = &config.terrain;
     h.write_u64(t.seed);
@@ -61,13 +77,8 @@ pub fn ensemble_base_key(config: &CaseStudyConfig, dem: &Dem, pois: &[Poi]) -> D
     h.write_f64(e.heading_mean_deg);
     h.write_f64(e.heading_sd_deg);
 
-    let c = &config.calibration;
-    h.write_f64(c.setup_coefficient);
-    h.write_f64(c.ib_m_per_hpa);
-    h.write_f64(c.ib_decay_km);
-    h.write_f64(c.wave_setup_fraction);
-    h.write_f64(c.attenuation_m_per_km);
-    h.write_f64(c.scan_step_hours);
+    h.write_str(&hazard.hazard_id());
+    hazard.digest_params(&mut h);
 
     h.write_usize(pois.len());
     for poi in pois {
@@ -126,10 +137,16 @@ pub fn plan_histogram_key(
 }
 
 /// Encodes a realization record payload:
-/// `index u64 | tide f64 | max_surge f64 | n u64 | inundation f64×n`
+/// `id_len u64 | hazard_id bytes | index u64 | tide f64 | max_surge f64
+/// | n u64 | inundation f64×n`
 /// (all little-endian, `f64` by bit pattern — bit-exact round trip).
-pub fn encode_realization(r: &Realization) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32 + 8 * r.inundation_m.len());
+/// The hazard-id tag is defense in depth on top of the hazard-keyed
+/// address: even a key-derivation bug cannot surface a surge record in
+/// a wind run, because the decoder rejects the mismatched tag.
+pub fn encode_realization(r: &Realization, hazard_id: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + hazard_id.len() + 8 * r.inundation_m.len());
+    out.extend_from_slice(&(hazard_id.len() as u64).to_le_bytes());
+    out.extend_from_slice(hazard_id.as_bytes());
     out.extend_from_slice(&(r.index as u64).to_le_bytes());
     out.extend_from_slice(&r.tide_m.to_bits().to_le_bytes());
     out.extend_from_slice(&r.max_station_surge_m.to_bits().to_le_bytes());
@@ -142,10 +159,20 @@ pub fn encode_realization(r: &Realization) -> Vec<u8> {
 
 /// Decodes a realization record. `expected_pois` guards against a
 /// record addressed correctly but written against a different POI
-/// arity (only possible via a key-derivation bug — still, never let it
-/// reach the analysis). Returns `None` on any mismatch.
-pub fn decode_realization(bytes: &[u8], expected_pois: usize) -> Option<Realization> {
+/// arity, and `expected_hazard_id` against a record produced by a
+/// different hazard engine (either only possible via a key-derivation
+/// bug — still, never let it reach the analysis). Returns `None` on
+/// any mismatch.
+pub fn decode_realization(
+    bytes: &[u8],
+    expected_pois: usize,
+    expected_hazard_id: &str,
+) -> Option<Realization> {
     let mut r = Reader::new(bytes);
+    let id_len = usize::try_from(r.u64()?).ok()?;
+    if r.take(id_len)? != expected_hazard_id.as_bytes() {
+        return None;
+    }
     let index = usize::try_from(r.u64()?).ok()?;
     let tide_m = r.f64()?;
     let max_station_surge_m = r.f64()?;
@@ -251,6 +278,7 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
     use ct_geo::terrain::synthesize_oahu;
+    use ct_hazard::HazardSpec;
     use ct_scada::{oahu, Architecture};
 
     fn study_inputs() -> (CaseStudyConfig, Dem, Vec<Poi>) {
@@ -260,41 +288,134 @@ mod tests {
         (config, dem, pois)
     }
 
+    fn base_key(config: &CaseStudyConfig, dem: &Dem, pois: &[Poi]) -> Digest {
+        let hazard = config.hazard.build_model(dem, config.calibration);
+        ensemble_base_key(config, dem, pois, hazard.as_ref())
+    }
+
     #[test]
     fn base_key_is_deterministic_and_input_sensitive() {
         let (config, dem, pois) = study_inputs();
-        let a = ensemble_base_key(&config, &dem, &pois);
-        let b = ensemble_base_key(&config, &dem, &pois);
+        let a = base_key(&config, &dem, &pois);
+        let b = base_key(&config, &dem, &pois);
         assert_eq!(a, b);
 
         let mut seeded = config.clone();
         seeded.ensemble.seed += 1;
-        assert_ne!(ensemble_base_key(&seeded, &dem, &pois), a);
+        assert_ne!(base_key(&seeded, &dem, &pois), a);
 
+        // Surge calibration enters via the surge hazard's param digest.
         let mut calibrated = config.clone();
         calibrated.calibration.ib_m_per_hpa *= 2.0;
-        assert_ne!(ensemble_base_key(&calibrated, &dem, &pois), a);
+        assert_ne!(base_key(&calibrated, &dem, &pois), a);
     }
 
     #[test]
     fn base_key_ignores_size_threads_and_threshold() {
         let (config, dem, pois) = study_inputs();
-        let a = ensemble_base_key(&config, &dem, &pois);
+        let a = base_key(&config, &dem, &pois);
         let mut other = config.clone();
         other.ensemble.realizations = 7;
         other.threads = 3;
         other.flood_threshold_m = Some(1.25);
         assert_eq!(
-            ensemble_base_key(&other, &dem, &pois),
+            base_key(&other, &dem, &pois),
             a,
             "size/threads/threshold must not invalidate records"
         );
     }
 
     #[test]
+    fn base_key_separates_hazards() {
+        let (config, dem, pois) = study_inputs();
+        let mut keys = Vec::new();
+        for hazard in HazardSpec::ALL {
+            let mut c = config.clone();
+            c.hazard = hazard;
+            keys.push(base_key(&c, &dem, &pois));
+        }
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(
+                    keys[i],
+                    keys[j],
+                    "{} and {} must not share records",
+                    HazardSpec::ALL[i],
+                    HazardSpec::ALL[j]
+                );
+            }
+        }
+        // Wind runs ignore the surge calibration, so calibration must
+        // not churn their keys.
+        let mut wind = config.clone();
+        wind.hazard = HazardSpec::Wind;
+        let wind_key = base_key(&wind, &dem, &pois);
+        let mut recalibrated = wind.clone();
+        recalibrated.calibration.ib_m_per_hpa *= 2.0;
+        assert_eq!(base_key(&recalibrated, &dem, &pois), wind_key);
+    }
+
+    /// Regression for the PR-3 → PR-4 store migration: the pre-hazard
+    /// key recipe (kernel v1, calibration hashed inline, no hazard
+    /// id/digest) reconstructed verbatim must not collide with any v2
+    /// key, so records written by older binaries read as cold misses —
+    /// never as aliased surge hits.
+    #[test]
+    fn pre_hazard_store_keys_are_invisible_not_aliased() {
+        let (config, dem, pois) = study_inputs();
+        let mut h = StableHasher::new();
+        h.write_str("compound-threats/ensemble");
+        h.write_u32(1); // PIPELINE_KERNEL_VERSION before the hazard engine
+        h.write_u32(ct_hydro::HYDRO_KERNEL_VERSION);
+        let t = &config.terrain;
+        h.write_u64(t.seed);
+        h.write_f64(t.cell_km);
+        h.write_f64(t.noise_amp_m);
+        hash_dem(&mut h, &dem);
+        let e = &config.ensemble;
+        h.write_u64(e.seed);
+        h.write_str(&format!("{:?}", e.category));
+        h.write_f64(e.ambient_pressure_hpa);
+        h.write_f64(e.base_passing_lon);
+        h.write_f64(e.cross_track_mean_km);
+        h.write_f64(e.cross_track_sd_km);
+        h.write_f64(e.heading_mean_deg);
+        h.write_f64(e.heading_sd_deg);
+        let c = &config.calibration;
+        h.write_f64(c.setup_coefficient);
+        h.write_f64(c.ib_m_per_hpa);
+        h.write_f64(c.ib_decay_km);
+        h.write_f64(c.wave_setup_fraction);
+        h.write_f64(c.attenuation_m_per_km);
+        h.write_f64(c.scan_step_hours);
+        h.write_usize(pois.len());
+        for poi in &pois {
+            h.write_str(&poi.id);
+            h.write_f64(poi.pos.lat);
+            h.write_f64(poi.pos.lon);
+            h.write_f64(poi.ground_elevation_m);
+            h.write_f64(poi.shore_distance_km);
+            match poi.station_override {
+                None => h.write_str("nearest"),
+                Some(id) => h.write_str(&format!("{id:?}")),
+            }
+        }
+        let pre_hazard = h.finish();
+        for hazard in HazardSpec::ALL {
+            let mut c = config.clone();
+            c.hazard = hazard;
+            assert_ne!(
+                base_key(&c, &dem, &pois),
+                pre_hazard,
+                "a PR-3-era store must read as a miss under {hazard}"
+            );
+        }
+    }
+
+    #[test]
     fn realization_keys_are_distinct_per_index() {
         let (config, dem, pois) = study_inputs();
-        let base = ensemble_base_key(&config, &dem, &pois);
+        let base = base_key(&config, &dem, &pois);
         assert_ne!(realization_key(&base, 0), realization_key(&base, 1));
     }
 
@@ -306,7 +427,7 @@ mod tests {
             max_station_surge_m: 2.5000000000000004,
             inundation_m: vec![0.0, 1.5, f64::MIN_POSITIVE, 3.75],
         };
-        let decoded = decode_realization(&encode_realization(&r), 4).unwrap();
+        let decoded = decode_realization(&encode_realization(&r, "surge"), 4, "surge").unwrap();
         assert_eq!(decoded.index, r.index);
         assert_eq!(decoded.tide_m.to_bits(), r.tide_m.to_bits());
         assert_eq!(
@@ -326,13 +447,23 @@ mod tests {
             max_station_surge_m: 1.0,
             inundation_m: vec![0.5; 3],
         };
-        let bytes = encode_realization(&r);
-        assert!(decode_realization(&bytes, 4).is_none(), "wrong POI arity");
-        assert!(decode_realization(&bytes[..bytes.len() - 1], 3).is_none());
+        let bytes = encode_realization(&r, "surge");
+        assert!(
+            decode_realization(&bytes, 4, "surge").is_none(),
+            "wrong POI arity"
+        );
+        assert!(
+            decode_realization(&bytes, 3, "wind").is_none(),
+            "hazard-id tag mismatch"
+        );
+        assert!(decode_realization(&bytes[..bytes.len() - 1], 3, "surge").is_none());
         let mut long = bytes.clone();
         long.push(0);
-        assert!(decode_realization(&long, 3).is_none(), "trailing junk");
-        assert!(decode_realization(&[], 3).is_none());
+        assert!(
+            decode_realization(&long, 3, "surge").is_none(),
+            "trailing junk"
+        );
+        assert!(decode_realization(&[], 3, "surge").is_none());
     }
 
     #[test]
@@ -352,7 +483,7 @@ mod tests {
     #[test]
     fn histogram_keys_separate_threshold_size_and_plan() {
         let (config, dem, pois) = study_inputs();
-        let base = ensemble_base_key(&config, &dem, &pois);
+        let base = base_key(&config, &dem, &pois);
         let plan = oahu::site_plan(Architecture::C2_2, oahu::SiteChoice::Waiau).unwrap();
         let k = plan_histogram_key(&base, 1000, 0.5, &plan);
         assert_ne!(plan_histogram_key(&base, 999, 0.5, &plan), k);

@@ -91,6 +91,11 @@ impl fmt::Display for Figure {
 pub struct FigureData {
     /// Which figure this is.
     pub figure: Figure,
+    /// The hazard engine the profiles were computed under. The paper's
+    /// figures are surge figures; renderers label any other engine so
+    /// a wind or compound table can never pass for the original.
+    #[serde(default)]
+    pub hazard: ct_hazard::HazardSpec,
     /// `(architecture, profile)` rows in the paper's order.
     pub rows: Vec<(Architecture, OutcomeProfile)>,
 }
@@ -121,7 +126,11 @@ pub fn reproduce(study: &CaseStudy, figure: Figure) -> Result<FigureData, CoreEr
         })
         .collect::<Result<Vec<_>, _>>()?;
     ct_obs::add(ct_obs::names::FIGURES_REPRODUCED, 1);
-    Ok(FigureData { figure, rows })
+    Ok(FigureData {
+        figure,
+        hazard: study.hazard(),
+        rows,
+    })
 }
 
 /// Reproduces all six figures.

@@ -6,6 +6,7 @@ use crate::parallel::{default_threads, par_map_dynamic};
 use crate::profile::OutcomeProfile;
 use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
 use ct_geo::Dem;
+use ct_hazard::{HazardModel, HazardSpec};
 use ct_hydro::{
     EnsembleConfig, ParametricSurge, Poi, Realization, RealizationSet, Stations, SurgeCalibration,
     TrackEnsemble,
@@ -41,6 +42,11 @@ pub struct CaseStudyConfig {
     pub ensemble: EnsembleConfig,
     /// Surge-model calibration.
     pub calibration: SurgeCalibration,
+    /// Which hazard engine evaluates the ensemble (surge by default;
+    /// `wind` and `compound` reuse the same storm tracks through
+    /// other [`HazardModel`] implementations).
+    #[serde(default)]
+    pub hazard: HazardSpec,
     /// Worker threads for ensemble evaluation (0 = auto).
     pub threads: usize,
     /// Asset-failure flood threshold in metres; `None` keeps the
@@ -111,6 +117,13 @@ impl CaseStudyConfigBuilder {
     #[must_use]
     pub fn calibration(mut self, calibration: SurgeCalibration) -> Self {
         self.config.calibration = calibration;
+        self
+    }
+
+    /// Hazard engine for the ensemble (`surge` | `wind` | `compound`).
+    #[must_use]
+    pub fn hazard(mut self, hazard: HazardSpec) -> Self {
+        self.config.hazard = hazard;
         self
     }
 
@@ -264,22 +277,26 @@ impl Clone for CaseStudy {
 struct Prepared {
     dem: Dem,
     pois: Vec<Poi>,
-    model: ParametricSurge,
+    hazard: Box<dyn HazardModel>,
+    /// The hazard's stable id, computed once (it tags every store
+    /// record and the ensemble base key).
+    hazard_id: String,
     storms: Vec<ct_hydro::StormParams>,
     threads: usize,
 }
 
 impl Prepared {
-    /// Synthesizes terrain, derives POIs, and samples the storm
-    /// ensemble. Opens `terrain` and `ensemble_generate` spans under
-    /// the caller's current span.
+    /// Synthesizes terrain, derives POIs, instantiates the configured
+    /// hazard engine, and samples the storm ensemble. Opens `terrain`
+    /// and `ensemble_generate` spans under the caller's current span.
     fn new(config: &CaseStudyConfig) -> Result<Self, CoreError> {
         let dem = {
             let _s = ct_obs::span("terrain");
             synthesize_oahu(&config.terrain)
         };
         let pois = oahu::case_study_pois(&dem)?;
-        let model = ParametricSurge::new(Stations::from_dem(&dem), config.calibration);
+        let hazard = config.hazard.build_model(&dem, config.calibration);
+        let hazard_id = hazard.hazard_id();
         let storms = {
             let _s = ct_obs::span("ensemble_generate");
             TrackEnsemble::new(config.ensemble.clone())?.generate()
@@ -293,7 +310,8 @@ impl Prepared {
         Ok(Self {
             dem,
             pois,
-            model,
+            hazard,
+            hazard_id,
             storms,
             threads,
         })
@@ -309,7 +327,8 @@ impl Prepared {
 fn evaluate_one(
     index: usize,
     storm: &ct_hydro::StormParams,
-    model: &ParametricSurge,
+    hazard: &dyn HazardModel,
+    hazard_id: &str,
     pois: &[Poi],
     store: Option<(&Store, &Digest)>,
     reused: &AtomicUsize,
@@ -317,7 +336,7 @@ fn evaluate_one(
     let key = store.map(|(_, base)| artifact::realization_key(base, index));
     if let (Some((store, _)), Some(key)) = (store, &key) {
         if let Some(bytes) = store.get(key)? {
-            match artifact::decode_realization(&bytes, pois.len()) {
+            match artifact::decode_realization(&bytes, pois.len(), hazard_id) {
                 Some(r) => {
                     reused.fetch_add(1, Ordering::Relaxed);
                     return Ok(r);
@@ -326,9 +345,11 @@ fn evaluate_one(
             }
         }
     }
-    let r = RealizationSet::evaluate_storm(index, storm, model, pois)?;
+    let r = hazard.evaluate(index, storm, pois)?;
+    ct_obs::add(ct_obs::names::HAZARD_REALIZATIONS_EVALUATED, 1);
+    ct_obs::add(ct_obs::names::HAZARD_ASSET_EXPOSURES, pois.len() as u64);
     if let (Some((store, _)), Some(key)) = (store, &key) {
-        store.put(key, &artifact::encode_realization(&r))?;
+        store.put(key, &artifact::encode_realization(&r, hazard_id))?;
     }
     Ok(r)
 }
@@ -346,11 +367,19 @@ fn evaluate_indexed(
     // attribute their per-item busy time to the evaluation span as
     // its CPU proxy; spans themselves stay on this thread so the
     // span tree is identical for every thread count.
-    let eval_span = ct_obs::span("ensemble_evaluate");
+    let eval_span = ct_obs::span("hazard_evaluate");
     let busy_ns = AtomicU64::new(0);
     let realizations = par_map_dynamic(indexed, prepared.threads, |(i, storm)| {
         let started = std::time::Instant::now();
-        let r = evaluate_one(*i, storm, &prepared.model, &prepared.pois, store, reused);
+        let r = evaluate_one(
+            *i,
+            storm,
+            prepared.hazard.as_ref(),
+            &prepared.hazard_id,
+            &prepared.pois,
+            store,
+            reused,
+        );
         busy_ns.fetch_add(
             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
@@ -379,7 +408,12 @@ pub fn run_shard(
 ) -> Result<ShardReport, CoreError> {
     let shard_span = ct_obs::span("shard_run");
     let prepared = Prepared::new(config)?;
-    let base = artifact::ensemble_base_key(config, &prepared.dem, &prepared.pois);
+    let base = artifact::ensemble_base_key(
+        config,
+        &prepared.dem,
+        &prepared.pois,
+        prepared.hazard.as_ref(),
+    );
     let owned: Vec<(usize, ct_hydro::StormParams)> = prepared
         .storms
         .iter()
@@ -430,8 +464,14 @@ impl CaseStudy {
             oahu::topology()
         };
         let prepared = Prepared::new(config)?;
-        let base =
-            store.map(|_| artifact::ensemble_base_key(config, &prepared.dem, &prepared.pois));
+        let base = store.map(|_| {
+            artifact::ensemble_base_key(
+                config,
+                &prepared.dem,
+                &prepared.pois,
+                prepared.hazard.as_ref(),
+            )
+        });
         let indexed: Vec<(usize, ct_hydro::StormParams)> =
             prepared.storms.iter().cloned().enumerate().collect();
         let reused = AtomicUsize::new(0);
@@ -463,6 +503,48 @@ impl CaseStudy {
         })
     }
 
+    /// The pre-refactor, hard-wired surge pipeline, retained verbatim
+    /// as ground truth: terrain → POIs → [`ParametricSurge`] →
+    /// [`RealizationSet::evaluate_storm`] per sampled storm, with no
+    /// [`HazardModel`] indirection and no store. The `hazard_engine`
+    /// equivalence tests pin [`CaseStudy::build`] (with the default
+    /// surge spec) bit-identical to this path; `config.hazard` is
+    /// ignored here by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates terrain/hazard errors.
+    pub fn build_reference_surge(config: &CaseStudyConfig) -> Result<Self, CoreError> {
+        let topology = oahu::topology();
+        let dem = synthesize_oahu(&config.terrain);
+        let pois = oahu::case_study_pois(&dem)?;
+        let model = ParametricSurge::new(Stations::from_dem(&dem), config.calibration);
+        let storms = TrackEnsemble::new(config.ensemble.clone())?.generate();
+        let threads = if config.threads == 0 {
+            default_threads()
+        } else {
+            config.threads
+        };
+        let indexed: Vec<(usize, ct_hydro::StormParams)> = storms.into_iter().enumerate().collect();
+        let realizations = par_map_dynamic(&indexed, threads, |(i, storm)| {
+            RealizationSet::evaluate_storm(*i, storm, &model, &pois)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        let mut set = RealizationSet::from_parts(pois, realizations);
+        if let Some(depth_m) = config.flood_threshold_m {
+            set.set_threshold(ct_hydro::FloodThreshold::new(depth_m)?);
+        }
+        Ok(Self {
+            config: config.clone(),
+            dem,
+            topology,
+            set,
+            histograms: Mutex::new(HashMap::new()),
+            store: None,
+        })
+    }
+
     /// Merges a sharded run: builds the full study through `store`,
     /// loading every record the shards produced and computing any that
     /// are missing (e.g. a shard that never ran or was interrupted).
@@ -480,6 +562,11 @@ impl CaseStudy {
     /// The configuration the study was built from.
     pub fn config(&self) -> &CaseStudyConfig {
         &self.config
+    }
+
+    /// The hazard engine the ensemble was evaluated with.
+    pub fn hazard(&self) -> HazardSpec {
+        self.config.hazard
     }
 
     /// Effective worker-thread count for parallel sweeps over this

@@ -3,15 +3,32 @@
 
 use crate::figures::FigureData;
 use crate::profile::OutcomeProfile;
+use ct_hazard::HazardSpec;
 use ct_threat::OperationalState;
 use std::fmt::Write as _;
+
+/// The caption suffix that marks a figure computed under a non-paper
+/// hazard engine. Empty for surge, so the original figures render
+/// byte-identically to the pre-hazard-engine pipeline.
+fn hazard_label(data: &FigureData) -> String {
+    match data.hazard {
+        HazardSpec::Surge => String::new(),
+        other => format!(" [hazard: {other}]"),
+    }
+}
 
 /// Renders a figure as an aligned text table with one row per
 /// architecture.
 pub fn figure_table(data: &FigureData) -> String {
     let mut out = String::new();
-    writeln!(out, "{}: {}", data.figure, data.figure.caption())
-        .expect("writing to String cannot fail");
+    writeln!(
+        out,
+        "{}: {}{}",
+        data.figure,
+        data.figure.caption(),
+        hazard_label(data)
+    )
+    .expect("writing to String cannot fail");
     writeln!(
         out,
         "{:<8} {:>8} {:>8} {:>8} {:>8}",
@@ -36,8 +53,14 @@ pub fn figure_table(data: &FigureData) -> String {
 /// Renders a figure as a Markdown table.
 pub fn figure_markdown(data: &FigureData) -> String {
     let mut out = String::new();
-    writeln!(out, "**{} — {}**", data.figure, data.figure.caption())
-        .expect("writing to String cannot fail");
+    writeln!(
+        out,
+        "**{} — {}{}**",
+        data.figure,
+        data.figure.caption(),
+        hazard_label(data)
+    )
+    .expect("writing to String cannot fail");
     writeln!(out).expect("writing to String cannot fail");
     writeln!(out, "| config | green | orange | red | gray |")
         .expect("writing to String cannot fail");
@@ -110,6 +133,7 @@ mod tests {
     fn sample() -> FigureData {
         FigureData {
             figure: Figure::Fig6,
+            hazard: HazardSpec::Surge,
             rows: vec![
                 (
                     Architecture::C2,
@@ -127,6 +151,19 @@ mod tests {
         assert!(t.contains("\"2\""));
         assert!(t.contains("90.0%"));
         assert!(t.contains("\"6+6+6\""));
+    }
+
+    #[test]
+    fn only_non_surge_hazards_are_labelled() {
+        // Surge renders exactly as the pre-hazard-engine pipeline did.
+        assert!(!figure_table(&sample()).contains("[hazard:"));
+        assert!(!figure_markdown(&sample()).contains("[hazard:"));
+        let wind = FigureData {
+            hazard: HazardSpec::Wind,
+            ..sample()
+        };
+        assert!(figure_table(&wind).contains("[hazard: wind]"));
+        assert!(figure_markdown(&wind).contains("[hazard: wind]"));
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub fn write_report(study: &CaseStudy, options: &ReportOptions) -> Result<String
     writeln!(out, "# Compound-threat case study — Oahu, Hawaii\n")?;
     writeln!(
         out,
-        "Ensemble: {} hurricane realizations, seed {}.\n",
+        "Ensemble: {} hurricane realizations, seed {}, hazard engine `{}`.\n",
         study.realizations().len(),
-        study.config().ensemble.seed
+        study.config().ensemble.seed,
+        study.hazard()
     )?;
 
     // Hazard section.
@@ -149,6 +150,7 @@ mod tests {
         let report = write_report(&study, &ReportOptions::default()).unwrap();
         for needle in [
             "# Compound-threat case study",
+            "hazard engine `surge`",
             "## Hazard",
             "Fig. 6",
             "Fig. 11",

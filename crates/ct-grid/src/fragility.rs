@@ -60,8 +60,11 @@ impl DamageModel {
         1.0 / (1.0 + (-(gust_ms - self.line_v50_ms) / self.line_spread_ms).exp())
     }
 
-    /// Peak sustained wind (m/s) at a point over the storm passage.
-    fn peak_wind_at(&self, storm: &StormParams, p: LatLon) -> f64 {
+    /// Peak sustained wind (m/s) at a point over the storm passage,
+    /// scanning the Holland wind field along the track at
+    /// `scan_step_hours` intervals (public so hazard models can reuse
+    /// the same wind kernel the line-fragility sampler uses).
+    pub fn peak_wind_at(&self, storm: &StormParams, p: LatLon) -> f64 {
         let (t0, t1) = storm.track.time_span_hours();
         let mut peak: f64 = 0.0;
         let mut t = t0;
@@ -113,6 +116,14 @@ impl DamageModel {
             line_peak_gust_ms: gusts,
         }
     }
+}
+
+/// Deterministic uniform draw in `[0, 1)` from a hashed
+/// `(seed, realization, element)` triple — the fragility sampler's
+/// counter-based RNG, shared with the wind hazard model so per-asset
+/// draws stay reproducible under any evaluation order or sharding.
+pub fn fragility_draw(seed: u64, realization: u64, element: u64) -> f64 {
+    hash_unit(seed, realization, element)
 }
 
 /// Deterministic uniform draw in `[0, 1)` from a hashed triple.
@@ -197,6 +208,56 @@ mod tests {
         let c = m.sample(&grid, &direct_hit(), &none, 8);
         // Same probabilities, (very likely) different draws.
         assert_eq!(a.line_fail_probability, c.line_fail_probability);
+    }
+
+    #[test]
+    fn fragility_curve_is_monotone_in_gust_speed() {
+        // The logistic must be strictly increasing over the whole
+        // operating range — a fragility curve that ever *decreases*
+        // with gust speed would invert the hazard ordering.
+        let m = DamageModel::default();
+        let mut prev = m.line_failure_probability(0.0);
+        let mut gust = 0.5;
+        while gust <= 160.0 {
+            let p = m.line_failure_probability(gust);
+            assert!(p > prev, "p({gust}) = {p} did not increase over {prev}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+            gust += 0.5;
+        }
+    }
+
+    #[test]
+    fn sample_is_reproducible_and_seed_sensitive() {
+        let grid = crate::oahu::grid();
+        let base = DamageModel::default();
+        let none = BTreeSet::new();
+        // Two freshly-constructed models with identical parameters
+        // draw identical damage: no hidden RNG state.
+        let a = base.sample(&grid, &direct_hit(), &none, 3);
+        let b = DamageModel::default().sample(&grid, &direct_hit(), &none, 3);
+        assert_eq!(a, b);
+        // A different seed keeps probabilities (physics) but may
+        // change draws; the draw function itself must differ.
+        let reseeded = DamageModel {
+            seed: base.seed + 1,
+            ..base
+        };
+        let c = reseeded.sample(&grid, &direct_hit(), &none, 3);
+        assert_eq!(a.line_fail_probability, c.line_fail_probability);
+        assert_ne!(
+            fragility_draw(base.seed, 3, 0),
+            fragility_draw(base.seed + 1, 3, 0)
+        );
+        // The public draw is the sampler's: re-derive the outage set.
+        for (li, p) in a.line_fail_probability.iter().enumerate() {
+            let failed = fragility_draw(base.seed, 3, li as u64) < *p;
+            assert_eq!(
+                failed,
+                a.outages.lines.contains(&LineId(li)),
+                "line {li} draw/outage mismatch"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod oahu;
 pub mod powerflow;
 
 pub use cascade::{simulate_cascade, CascadeOutcome};
-pub use fragility::{DamageModel, DamageSample};
+pub use fragility::{fragility_draw, DamageModel, DamageSample};
 pub use network::{Bus, BusId, BusKind, GridError, GridNetwork, Line, LineId, OutageSet};
 pub use powerflow::{dc_power_flow, GridState, IslandState};

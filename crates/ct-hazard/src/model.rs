@@ -1,0 +1,41 @@
+//! The [`HazardModel`] trait — the pipeline's hazard seam.
+
+use ct_hydro::{HydroError, Poi, Realization, StormParams};
+use ct_store::StableHasher;
+
+/// A hazard model: evaluates one sampled storm at a set of assets,
+/// producing the per-asset severity vector the rest of the pipeline
+/// consumes (see the crate docs for the severity and cache-key
+/// contracts).
+///
+/// Implementations must be deterministic in `(index, storm, pois)`
+/// and their own parameters; `Send + Sync` because realizations are
+/// evaluated on worker threads in arbitrary order.
+pub trait HazardModel: std::fmt::Debug + Send + Sync {
+    /// Stable, user-facing identifier of the hazard *kind*
+    /// (`"surge"`, `"wind"`, `"compound(surge+wind)"`). Used in store
+    /// keys, record payload tags, and report labels; changing an id
+    /// orphans every record written under it.
+    fn hazard_id(&self) -> String;
+
+    /// Folds every parameter that can change an evaluated severity
+    /// into the content-address hasher. The caller has already
+    /// written the hazard id and the ensemble/terrain inputs; this
+    /// adds only the model's own knobs (calibration, fragility
+    /// parameters, seeds, …).
+    fn digest_params(&self, h: &mut StableHasher);
+
+    /// Evaluates realization `index` of `storm` at `pois`: a
+    /// [`Realization`] whose `inundation_m[j]` is the severity at
+    /// `pois[j]` in threshold-comparable metres.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storm-parameter errors.
+    fn evaluate(
+        &self,
+        index: usize,
+        storm: &StormParams,
+        pois: &[Poi],
+    ) -> Result<Realization, HydroError>;
+}

@@ -1,0 +1,101 @@
+//! The storm-surge hazard: the paper's original flood channel, now
+//! behind the [`HazardModel`] seam.
+
+use crate::model::HazardModel;
+use ct_hydro::{HydroError, ParametricSurge, Poi, Realization, RealizationSet, StormParams};
+use ct_store::StableHasher;
+
+/// Storm-surge inundation evaluated by the calibrated parametric
+/// surge model. Severity is the peak inundation depth in metres at
+/// each asset — exactly the quantity the pre-trait pipeline computed,
+/// and [`SurgeHazard::evaluate`] delegates to the same
+/// [`RealizationSet::evaluate_storm`] kernel, so the output is
+/// bit-identical to the hard-wired path (pinned by the
+/// `hazard_engine` equivalence tests).
+#[derive(Debug, Clone)]
+pub struct SurgeHazard {
+    model: ParametricSurge,
+}
+
+impl SurgeHazard {
+    /// Wraps a calibrated surge model.
+    pub fn new(model: ParametricSurge) -> Self {
+        Self { model }
+    }
+
+    /// The underlying surge model.
+    pub fn model(&self) -> &ParametricSurge {
+        &self.model
+    }
+}
+
+impl HazardModel for SurgeHazard {
+    fn hazard_id(&self) -> String {
+        "surge".to_string()
+    }
+
+    fn digest_params(&self, h: &mut StableHasher) {
+        let c = self.model.calibration();
+        h.write_f64(c.setup_coefficient);
+        h.write_f64(c.ib_m_per_hpa);
+        h.write_f64(c.ib_decay_km);
+        h.write_f64(c.wave_setup_fraction);
+        h.write_f64(c.attenuation_m_per_km);
+        h.write_f64(c.scan_step_hours);
+    }
+
+    fn evaluate(
+        &self,
+        index: usize,
+        storm: &StormParams,
+        pois: &[Poi],
+    ) -> Result<Realization, HydroError> {
+        RealizationSet::evaluate_storm(index, storm, &self.model, pois)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    use ct_geo::LatLon;
+    use ct_hydro::{EnsembleConfig, Stations, SurgeCalibration, TrackEnsemble};
+
+    #[test]
+    fn surge_via_trait_matches_direct_kernel() {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let pois = vec![
+            Poi::from_dem("honolulu-cc", LatLon::new(21.307, -157.858), &dem).unwrap(),
+            Poi::from_dem("kahe", LatLon::new(21.356, -158.122), &dem).unwrap(),
+        ];
+        let model = ParametricSurge::new(Stations::from_dem(&dem), SurgeCalibration::default());
+        let hazard = SurgeHazard::new(model.clone());
+        let storms = TrackEnsemble::new(EnsembleConfig {
+            realizations: 12,
+            ..EnsembleConfig::default()
+        })
+        .unwrap()
+        .generate();
+        for (i, storm) in storms.iter().enumerate() {
+            let direct = RealizationSet::evaluate_storm(i, storm, &model, &pois).unwrap();
+            let via_trait = hazard.evaluate(i, storm, &pois).unwrap();
+            assert_eq!(direct, via_trait, "realization {i} diverged");
+        }
+    }
+
+    #[test]
+    fn digest_is_calibration_sensitive() {
+        let dem = synthesize_oahu(&OahuTerrainConfig::default());
+        let digest = |cal: SurgeCalibration| {
+            let mut h = StableHasher::new();
+            SurgeHazard::new(ParametricSurge::new(Stations::from_dem(&dem), cal))
+                .digest_params(&mut h);
+            h.finish()
+        };
+        let base = digest(SurgeCalibration::default());
+        assert_eq!(base, digest(SurgeCalibration::default()));
+        let mut other = SurgeCalibration::default();
+        other.ib_m_per_hpa *= 2.0;
+        assert_ne!(base, digest(other));
+    }
+}

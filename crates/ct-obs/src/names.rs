@@ -5,6 +5,14 @@
 //! names (`build/ensemble_evaluate`); see DESIGN.md for the full
 //! conventions.
 
+/// Hazard realizations evaluated fresh by the active hazard model
+/// (any engine: surge, wind, compound; store hits do not count).
+pub const HAZARD_REALIZATIONS_EVALUATED: &str = "hazard.realizations_evaluated";
+/// Per-asset severity evaluations performed by the hazard engine.
+pub const HAZARD_ASSET_EXPOSURES: &str = "hazard.asset_exposures";
+/// Component-hazard evaluations performed inside compound hazards
+/// (one per part per realization).
+pub const HAZARD_COMPOUND_COMPONENT_EVALUATIONS: &str = "hazard.compound_component_evaluations";
 /// Hurricane realizations evaluated against the POI set.
 pub const HYDRO_REALIZATIONS_EVALUATED: &str = "hydro.realizations_evaluated";
 /// Per-POI inundation evaluations.
@@ -71,6 +79,9 @@ pub const STORE_RECORD_BYTES_BOUNDS: [f64; 6] = [256.0, 1024.0, 4096.0, 16384.0,
 /// solver, but its `--metrics` output still reports `swe.steps,0`).
 pub fn register_defaults(registry: &crate::Registry) {
     for name in [
+        HAZARD_REALIZATIONS_EVALUATED,
+        HAZARD_ASSET_EXPOSURES,
+        HAZARD_COMPOUND_COMPONENT_EVALUATIONS,
         HYDRO_REALIZATIONS_EVALUATED,
         HYDRO_POI_EVALUATIONS,
         SWE_SOLVES,
@@ -109,8 +120,9 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 20);
+        assert_eq!(snap.counters.len(), 23);
         assert_eq!(snap.counter(SWE_STEPS), Some(0));
+        assert_eq!(snap.counter(HAZARD_REALIZATIONS_EVALUATED), Some(0));
         assert_eq!(snap.counter(STORE_HITS), Some(0));
         assert_eq!(snap.gauge(BUILD_THREADS), Some(0.0));
         assert_eq!(snap.histograms.len(), 3);

@@ -1,13 +1,21 @@
-//! Applying hurricane realizations to a sited architecture
+//! Applying hazard realizations to a sited architecture
 //! (the "Apply Natural Disaster Impact" stage of Fig. 5).
+//!
+//! The realizations may come from any hazard engine — storm surge,
+//! wind fragility, or a compound of both. Every engine reports
+//! per-asset severity on the set's threshold-comparable axis, so this
+//! stage (and the attacker that consumes its failure sets) is hazard
+//! agnostic: a control site is lost when its severity exceeds the
+//! set's threshold, whatever physical channel produced it.
 
 use crate::state::PostDisasterState;
 use ct_hydro::RealizationSet;
 use ct_scada::{ScadaError, SitePlan};
 
 /// Derives the post-disaster state for every realization in the set:
-/// a control site is knocked out when its asset's peak inundation
-/// exceeds the flood threshold.
+/// a control site is knocked out when its asset's peak severity
+/// (surge inundation, wind-fragility exceedance, or their compound)
+/// exceeds the failure threshold.
 ///
 /// # Errors
 ///

@@ -18,6 +18,7 @@
 //!
 //! Scenarios: `hurricane`, `intrusion`, `isolation`, `compound`.
 //! Configs: `2`, `2-2`, `6`, `6-6`, `6+6+6`.
+//! Hazard engines (`--hazard`): `surge`, `wind`, `compound`.
 
 use compound_threats::availability::{downtime_report, DowntimeModel};
 use compound_threats::crossval::{cross_validate, reachable_states};
@@ -25,7 +26,7 @@ use compound_threats::error::CoreError;
 use compound_threats::figures::{reproduce, reproduce_all, Figure};
 use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
 use compound_threats::placement::rank_backup_sites;
-use compound_threats::prelude::{run_shard, ShardSpec, Store};
+use compound_threats::prelude::{run_shard, HazardSpec, ShardSpec, Store};
 use compound_threats::report::{figure_csv, figure_table, profile_bar};
 use compound_threats::{CaseStudy, CaseStudyConfig};
 use compound_threats_suite::cli::{CliArgs, CommandSpec, FlagSpec};
@@ -44,6 +45,11 @@ const REALIZATIONS: FlagSpec = FlagSpec {
     name: "--realizations",
     value_name: Some("N"),
     help: "hazard-ensemble size (default: paper's 1000)",
+};
+const HAZARD: FlagSpec = FlagSpec {
+    name: "--hazard",
+    value_name: Some("h"),
+    help: "hazard engine: surge | wind | compound (default surge)",
 };
 const CSV: FlagSpec = FlagSpec {
     name: "--csv",
@@ -78,43 +84,43 @@ const COMMANDS: &[CommandSpec] = &[
         name: "figures",
         summary: "reproduce Figs. 6-11",
         positionals: &[],
-        flags: &[CSV, REALIZATIONS, STORE, METRICS],
+        flags: &[CSV, HAZARD, REALIZATIONS, STORE, METRICS],
     },
     CommandSpec {
         name: "figure",
         summary: "reproduce one figure (6..11)",
         positionals: &[("number", true)],
-        flags: &[CSV, REALIZATIONS, STORE, METRICS],
+        flags: &[CSV, HAZARD, REALIZATIONS, STORE, METRICS],
     },
     CommandSpec {
         name: "run",
         summary: "evaluate one shard of the ensemble into an artifact store",
         positionals: &[],
-        flags: &[STORE, SHARDS, SHARD, REALIZATIONS, METRICS],
+        flags: &[STORE, SHARDS, SHARD, HAZARD, REALIZATIONS, METRICS],
     },
     CommandSpec {
         name: "merge",
         summary: "assemble a sharded run from the store and print the figures",
         positionals: &[],
-        flags: &[STORE, CSV, REALIZATIONS, METRICS],
+        flags: &[STORE, CSV, HAZARD, REALIZATIONS, METRICS],
     },
     CommandSpec {
         name: "placement",
         summary: "rank backup control sites",
         positionals: &[("config", true), ("scenario", true)],
-        flags: &[REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
     },
     CommandSpec {
         name: "downtime",
         summary: "expected downtime per event (site: waiau|kahe)",
         positionals: &[("site", false)],
-        flags: &[REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
     },
     CommandSpec {
         name: "grid",
         summary: "grid-impact summary",
         positionals: &[],
-        flags: &[REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
     },
     CommandSpec {
         name: "crossval",
@@ -132,13 +138,13 @@ const COMMANDS: &[CommandSpec] = &[
         name: "hazard",
         summary: "flood probabilities (or inundation matrix) as CSV",
         positionals: &[],
-        flags: &[FULL, REALIZATIONS, STORE, METRICS],
+        flags: &[FULL, HAZARD, REALIZATIONS, STORE, METRICS],
     },
     CommandSpec {
         name: "report",
         summary: "full case-study report (markdown)",
         positionals: &[],
-        flags: &[REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
     },
 ];
 
@@ -151,6 +157,7 @@ fn usage() -> String {
         "\nrun 'ct <command> --help' for that command's flags\n\
          scenarios: hurricane | intrusion | isolation | compound\n\
          configs:   2 | 2-2 | 6 | 6-6 | 6+6+6\n\
+         hazards:   surge | wind | compound\n\
          env:       CT_THREADS=<n> caps the worker-thread count",
     );
     s
@@ -158,10 +165,14 @@ fn usage() -> String {
 
 /// The study's configuration from the common flags.
 fn study_config(args: &CliArgs) -> Result<CaseStudyConfig, Box<dyn std::error::Error>> {
-    Ok(match args.parsed::<usize>("--realizations")? {
-        Some(n) => CaseStudyConfig::builder().realizations(n).build()?,
-        None => CaseStudyConfig::default(),
-    })
+    let mut builder = CaseStudyConfig::builder();
+    if let Some(n) = args.parsed::<usize>("--realizations")? {
+        builder = builder.realizations(n);
+    }
+    if let Some(hazard) = args.parsed::<HazardSpec>("--hazard")? {
+        builder = builder.hazard(hazard);
+    }
+    Ok(builder.build()?)
 }
 
 /// Opens the artifact store named by `--store`, if any.

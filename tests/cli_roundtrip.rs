@@ -6,6 +6,7 @@
 //! exhaustive: every variant, every case mix, and a corpus of
 //! near-miss junk.
 
+use compound_threats::prelude::HazardSpec;
 use ct_scada::oahu::SiteChoice;
 use ct_threat::ThreatScenario;
 use proptest::prelude::*;
@@ -65,6 +66,22 @@ fn site_choice_keyword_and_display_round_trip() {
 }
 
 #[test]
+fn hazard_keyword_and_display_round_trip() {
+    for hazard in HazardSpec::ALL {
+        assert_eq!(hazard.to_string(), hazard.keyword());
+        let from_keyword: HazardSpec = hazard.keyword().parse().unwrap();
+        assert_eq!(from_keyword, hazard);
+        for s in [
+            hazard.keyword().to_ascii_uppercase(),
+            capitalize(hazard.keyword()),
+        ] {
+            assert_eq!(s.parse::<HazardSpec>().unwrap(), hazard, "{s:?}");
+        }
+    }
+    assert_eq!(HazardSpec::default(), HazardSpec::Surge);
+}
+
+#[test]
 fn junk_is_rejected_with_the_input_quoted() {
     for s in JUNK {
         let e = s.parse::<ThreatScenario>().unwrap_err();
@@ -77,6 +94,19 @@ fn junk_is_rejected_with_the_input_quoted() {
             e.to_string().contains(s),
             "site rejection must quote {s:?}, got: {e}"
         );
+        if *s == "compound" {
+            continue; // a valid hazard keyword
+        }
+        let e = s.parse::<HazardSpec>().unwrap_err();
+        assert!(
+            e.to_string().contains(s),
+            "hazard rejection must quote {s:?}, got: {e}"
+        );
+    }
+    // Hazard-specific near-misses.
+    for s in ["surge+wind", "windd", "flood", "hurricane"] {
+        let e = s.parse::<HazardSpec>().unwrap_err();
+        assert!(e.to_string().contains(s), "must quote {s:?}: {e}");
     }
 }
 
@@ -88,6 +118,7 @@ proptest! {
     fn display_parse_display_is_identity(
         scenario in prop::sample::select(ThreatScenario::ALL.to_vec()),
         choice in prop::sample::select(SITES.to_vec()),
+        hazard in prop::sample::select(HazardSpec::ALL.to_vec()),
     ) {
         let s1 = scenario.to_string();
         let s2 = s1.parse::<ThreatScenario>().unwrap().to_string();
@@ -95,6 +126,9 @@ proptest! {
         let c1 = choice.to_string();
         let c2 = c1.parse::<SiteChoice>().unwrap().to_string();
         prop_assert_eq!(c1, c2);
+        let h1 = hazard.to_string();
+        let h2 = h1.parse::<HazardSpec>().unwrap().to_string();
+        prop_assert_eq!(h1, h2);
     }
 }
 

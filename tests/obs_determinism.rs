@@ -78,13 +78,24 @@ fn counters_and_span_tree_are_thread_count_invariant() {
             .unwrap_or(0)
     };
     assert_eq!(count(ct_obs::names::HYDRO_REALIZATIONS_EVALUATED), 60);
+    assert_eq!(count(ct_obs::names::HAZARD_REALIZATIONS_EVALUATED), 60);
+    let exposures = count(ct_obs::names::HAZARD_ASSET_EXPOSURES);
+    assert!(
+        exposures > 0 && exposures % 60 == 0,
+        "asset exposures must be realizations × POIs, got {exposures}"
+    );
+    // The default hazard is plain surge — no compound components.
+    assert_eq!(
+        count(ct_obs::names::HAZARD_COMPOUND_COMPONENT_EVALUATIONS),
+        0
+    );
     assert_eq!(count(ct_obs::names::FIGURES_REPRODUCED), 2);
     assert!(count(ct_obs::names::PROFILE_PLANS_EVALUATED) > 0);
     assert!(count(ct_obs::names::ATTACKER_CANDIDATES_EXAMINED) > 0);
     assert!(baseline
         .2
         .iter()
-        .any(|(path, calls)| path == "build/ensemble_evaluate" && *calls == 1));
+        .any(|(path, calls)| path == "build/hazard_evaluate" && *calls == 1));
 }
 
 #[test]

@@ -87,7 +87,8 @@ fn interrupted_shard_resumes_and_merges_to_the_clean_answer() {
     assert_eq!(first.computed, first.total);
     let dem = synthesize_oahu(&config.terrain);
     let pois = ct_scada::oahu::case_study_pois(&dem).unwrap();
-    let base = ensemble_base_key(&config, &dem, &pois);
+    let hazard = config.hazard.build_model(&dem, config.calibration);
+    let base = ensemble_base_key(&config, &dem, &pois, hazard.as_ref());
     for i in (0..REALIZATIONS).filter(|i| spec.owns(*i)).take(4) {
         assert!(store.evict(&realization_key(&base, i)).unwrap());
     }
@@ -116,7 +117,8 @@ fn every_corruption_class_degrades_to_recompute_and_heals() {
     let clean = CaseStudy::build_with_store(&config, Some(&seed_store)).unwrap();
     let dem = synthesize_oahu(&config.terrain);
     let pois = ct_scada::oahu::case_study_pois(&dem).unwrap();
-    let base = ensemble_base_key(&config, &dem, &pois);
+    let hazard = config.hazard.build_model(&dem, config.calibration);
+    let base = ensemble_base_key(&config, &dem, &pois, hazard.as_ref());
 
     let damage = |i: usize, f: &dyn Fn(Vec<u8>) -> Vec<u8>| {
         let path = seed_store.record_path(&realization_key(&base, i));
