@@ -322,8 +322,13 @@ impl Prepared {
 /// looked up first; a hit that decodes cleanly is returned bit-exactly
 /// as written. A record that passed the frame checksum but fails the
 /// payload codec is invalidated and recomputed, so the cache can only
-/// ever *degrade to recompute*, never corrupt a result. Runs on worker
-/// threads — no spans here (see `ct-obs` determinism contract).
+/// ever *degrade to recompute*, never corrupt a result.
+///
+/// Store *I/O* failure degrades the same way: a failed read computes
+/// fresh, a failed write-back is dropped, each counted as
+/// `store.degraded` — the realization itself is always produced, so a
+/// flaky disk can cost time but never a run. Runs on worker threads —
+/// no spans here (see `ct-obs` determinism contract).
 fn evaluate_one(
     index: usize,
     storm: &ct_hydro::StormParams,
@@ -335,21 +340,32 @@ fn evaluate_one(
 ) -> Result<Realization, CoreError> {
     let key = store.map(|(_, base)| artifact::realization_key(base, index));
     if let (Some((store, _)), Some(key)) = (store, &key) {
-        if let Some(bytes) = store.get(key)? {
-            match artifact::decode_realization(&bytes, pois.len(), hazard_id) {
+        match store.get(key) {
+            Ok(Some(bytes)) => match artifact::decode_realization(&bytes, pois.len(), hazard_id) {
                 Some(r) => {
                     reused.fetch_add(1, Ordering::Relaxed);
                     return Ok(r);
                 }
-                None => store.invalidate(key)?,
-            }
+                None => {
+                    if store.invalidate(key).is_err() {
+                        store.note_degraded();
+                    }
+                }
+            },
+            Ok(None) => {}
+            Err(_) => store.note_degraded(),
         }
     }
     let r = hazard.evaluate(index, storm, pois)?;
     ct_obs::add(ct_obs::names::HAZARD_REALIZATIONS_EVALUATED, 1);
     ct_obs::add(ct_obs::names::HAZARD_ASSET_EXPOSURES, pois.len() as u64);
     if let (Some((store, _)), Some(key)) = (store, &key) {
-        store.put(key, &artifact::encode_realization(&r, hazard_id))?;
+        if store
+            .put(key, &artifact::encode_realization(&r, hazard_id))
+            .is_err()
+        {
+            store.note_degraded();
+        }
     }
     Ok(r)
 }
@@ -400,7 +416,10 @@ fn evaluate_indexed(
 ///
 /// # Errors
 ///
-/// Propagates terrain/hazard errors and store I/O failures.
+/// Propagates terrain/hazard errors. Store I/O failures degrade to
+/// compute-without-cache (`store.degraded`) and never fail the shard;
+/// a record whose write-back was dropped is simply recomputed by the
+/// merge.
 pub fn run_shard(
     config: &CaseStudyConfig,
     store: &Store,
@@ -449,11 +468,15 @@ impl CaseStudy {
     /// realization already present in the store is loaded bit-exactly
     /// instead of recomputed, and anything computed fresh is written
     /// back. The resulting study is identical to a storeless build
-    /// (asserted by tests); only the work performed differs.
+    /// (asserted by tests); only the work performed differs — and that
+    /// guarantee survives a failing store, because every store error
+    /// degrades to compute-without-cache (`store.degraded`) instead of
+    /// surfacing.
     ///
     /// # Errors
     ///
-    /// Propagates terrain/hazard errors and store I/O failures.
+    /// Propagates terrain/hazard errors; store I/O failures never
+    /// abort a build.
     pub fn build_with_store(
         config: &CaseStudyConfig,
         store: Option<&Store>,
@@ -549,11 +572,13 @@ impl CaseStudy {
     /// loading every record the shards produced and computing any that
     /// are missing (e.g. a shard that never ran or was interrupted).
     /// The result is bit-identical to a clean single-process
-    /// [`CaseStudy::build`].
+    /// [`CaseStudy::build`] — even when the store misbehaves, since
+    /// store failures degrade to recompute rather than abort.
     ///
     /// # Errors
     ///
-    /// Propagates terrain/hazard errors and store I/O failures.
+    /// Propagates terrain/hazard errors; store I/O failures never
+    /// abort a merge.
     pub fn merge_from_store(config: &CaseStudyConfig, store: &Store) -> Result<Self, CoreError> {
         let _s = ct_obs::span("merge");
         Self::build_with_store(config, Some(store))
@@ -710,7 +735,8 @@ impl CaseStudy {
     /// store-backed study tries its artifact store first; a valid
     /// record is returned as written, an undecodable one is
     /// invalidated and recomputed, and fresh computations are written
-    /// back for the next process.
+    /// back for the next process. Store I/O failure degrades to the
+    /// fresh computation (counted as `store.degraded`), never aborts.
     fn load_or_compute_histogram(
         &self,
         plan: &SitePlan,
@@ -724,16 +750,28 @@ impl CaseStudy {
             )
         });
         if let (Some(ctx), Some(key)) = (&self.store, &disk_key) {
-            if let Some(bytes) = ctx.store.get(key)? {
-                match artifact::decode_histogram(&bytes, plan.architecture()) {
+            match ctx.store.get(key) {
+                Ok(Some(bytes)) => match artifact::decode_histogram(&bytes, plan.architecture()) {
                     Some(hist) => return Ok(hist),
-                    None => ctx.store.invalidate(key)?,
-                }
+                    None => {
+                        if ctx.store.invalidate(key).is_err() {
+                            ctx.store.note_degraded();
+                        }
+                    }
+                },
+                Ok(None) => {}
+                Err(_) => ctx.store.note_degraded(),
             }
         }
         let hist = post_disaster_histogram(plan, &self.set)?;
         if let (Some(ctx), Some(key)) = (&self.store, &disk_key) {
-            ctx.store.put(key, &artifact::encode_histogram(&hist))?;
+            if ctx
+                .store
+                .put(key, &artifact::encode_histogram(&hist))
+                .is_err()
+            {
+                ctx.store.note_degraded();
+            }
         }
         Ok(hist)
     }

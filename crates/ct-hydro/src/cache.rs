@@ -65,25 +65,56 @@ impl ShallowWaterSolver {
     /// checksum but fails the payload codec is invalidated and
     /// recomputed, so the cache can only degrade to recompute.
     ///
+    /// Store I/O failure *also* degrades rather than aborts: a failed
+    /// read falls through to a fresh solve and a failed write-back is
+    /// dropped, each counted as `store.degraded` — the cache can slow
+    /// a run down, never kill it. The `hydro.cache.get` /
+    /// `hydro.cache.put` failpoints ([`ct_store::faults`]) sit on
+    /// those two paths.
+    ///
     /// # Errors
     ///
-    /// Returns [`HydroError::SolverDiverged`] from a fresh simulation
-    /// or [`HydroError::Store`] on store I/O failure.
+    /// Returns [`HydroError::SolverDiverged`] from a fresh simulation;
+    /// store failures never surface.
     pub fn run_cached(
         &self,
         store: &Store,
         ws: &mut SweWorkspace,
         storm: &StormParams,
     ) -> Result<SurgeOutcome, HydroError> {
+        use ct_store::faults::sites;
+
         let key = self.storm_key(storm);
-        if let Some(bytes) = store.get(&key)? {
-            match decode_surge_outcome(&bytes) {
+        // An injected fault at the cache-read site stands in for the
+        // whole read failing, whatever the kind.
+        let cached = if store.injected_fault(sites::HYDRO_CACHE_GET).is_some() {
+            Err(())
+        } else {
+            store.get(&key).map_err(|_| ())
+        };
+        match cached {
+            Ok(Some(bytes)) => match decode_surge_outcome(&bytes) {
                 Some(outcome) => return Ok(outcome),
-                None => store.invalidate(&key)?,
-            }
+                None => {
+                    if store.invalidate(&key).is_err() {
+                        store.note_degraded();
+                    }
+                }
+            },
+            Ok(None) => {}
+            Err(()) => store.note_degraded(),
         }
         let outcome = self.run_with_workspace(ws, storm)?;
-        store.put(&key, &encode_surge_outcome(&outcome))?;
+        let written = if store.injected_fault(sites::HYDRO_CACHE_PUT).is_some() {
+            Err(())
+        } else {
+            store
+                .put(&key, &encode_surge_outcome(&outcome))
+                .map_err(|_| ())
+        };
+        if written.is_err() {
+            store.note_degraded();
+        }
         Ok(outcome)
     }
 }
@@ -274,6 +305,54 @@ mod tests {
         // The bad record was replaced: a second call decodes cleanly.
         let again = solver.run_cached(&store, &mut ws, &storm).unwrap();
         assert_eq!(outcome.steps, again.steps);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn run_cached_degrades_on_injected_cache_faults() {
+        use ct_store::faults::sites;
+        use ct_store::{FaultKind, FaultRegistry, FaultSpec};
+        use std::sync::Arc;
+
+        let (solver, storm) = solver_and_storm();
+        let root = std::env::temp_dir().join(format!(
+            "ct-hydro-cache-faults-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let registry = Arc::new(ct_obs::Registry::new());
+        let faults = Arc::new(FaultRegistry::with_obs(Arc::clone(&registry)));
+        let store =
+            Store::open_with_faults(&root, Arc::clone(&registry), Arc::clone(&faults)).unwrap();
+        let mut ws = SweWorkspace::new();
+
+        // Write-back fails: the outcome must still come back, with the
+        // record silently dropped.
+        faults.arm(FaultSpec::every(sites::HYDRO_CACHE_PUT, 1, FaultKind::Io));
+        let fresh = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        assert_eq!(store.get(&solver.storm_key(&storm)).unwrap(), None);
+
+        // Cache read fails: degrade to a fresh solve, bit-identical to
+        // the first; this time the write-back lands.
+        faults.disarm_all();
+        faults.arm(FaultSpec::every(sites::HYDRO_CACHE_GET, 1, FaultKind::Io));
+        let resolved = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        assert_eq!(fresh.steps, resolved.steps);
+        assert_eq!(
+            fresh.max_speed_ms.to_bits(),
+            resolved.max_speed_ms.to_bits()
+        );
+
+        // Faults gone: the record written under fire is a clean hit.
+        faults.disarm_all();
+        let warm = solver.run_cached(&store, &mut ws, &storm).unwrap();
+        assert_eq!(fresh.dt_s.to_bits(), warm.dt_s.to_bits());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(ct_obs::names::STORE_DEGRADED), Some(2));
+        assert_eq!(snap.counter(ct_obs::names::FAULTS_FIRED), Some(2));
+        assert_eq!(snap.counter(ct_obs::names::STORE_HITS), Some(1));
         std::fs::remove_dir_all(&root).ok();
     }
 

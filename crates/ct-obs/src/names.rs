@@ -57,6 +57,18 @@ pub const STORE_CORRUPT_RECORDS: &str = "store.corrupt_records";
 /// Records removed from the store (corruption cleanup or explicit
 /// eviction).
 pub const STORE_EVICTIONS: &str = "store.evictions";
+/// Transient store I/O errors absorbed by the bounded retry loop
+/// (one per retried attempt, successful or not).
+pub const STORE_RETRIES: &str = "store.retries";
+/// Store failures absorbed by callers degrading to
+/// compute-without-cache instead of aborting the run.
+pub const STORE_DEGRADED: &str = "store.degraded";
+/// Orphaned `tmp/` staging files swept (crashed-writer residue).
+pub const STORE_TMP_SWEPT: &str = "store.tmp_swept";
+/// Failpoints armed on a fault registry (test- or `CT_FAULTS`-driven).
+pub const FAULTS_ARMED: &str = "faults.armed";
+/// Failpoint firings: armed faults actually injected at their site.
+pub const FAULTS_FIRED: &str = "faults.fired";
 /// Effective worker-thread count of the last pipeline build (gauge).
 pub const BUILD_THREADS: &str = "build.threads";
 /// Histogram: time steps per shallow-water solve.
@@ -102,6 +114,11 @@ pub fn register_defaults(registry: &crate::Registry) {
         STORE_RECORDS_WRITTEN,
         STORE_CORRUPT_RECORDS,
         STORE_EVICTIONS,
+        STORE_RETRIES,
+        STORE_DEGRADED,
+        STORE_TMP_SWEPT,
+        FAULTS_ARMED,
+        FAULTS_FIRED,
     ] {
         registry.counter(name);
     }
@@ -120,7 +137,9 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 23);
+        assert_eq!(snap.counters.len(), 28);
+        assert_eq!(snap.counter(FAULTS_FIRED), Some(0));
+        assert_eq!(snap.counter(STORE_DEGRADED), Some(0));
         assert_eq!(snap.counter(SWE_STEPS), Some(0));
         assert_eq!(snap.counter(HAZARD_REALIZATIONS_EVALUATED), Some(0));
         assert_eq!(snap.counter(STORE_HITS), Some(0));

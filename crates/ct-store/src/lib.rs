@@ -12,9 +12,14 @@
 //! - [`mod@format`]: a versioned binary record frame with a per-record
 //!   checksum, so torn or tampered files are *classified*, not
 //!   trusted;
-//! - [`Store`]: atomic temp-file-then-rename writes and
-//!   validate-or-evict reads, reporting hit/miss/corrupt/evict
-//!   counters through [`ct_obs`].
+//! - [`Store`]: atomic temp-file-then-rename writes (with dir fsync)
+//!   and validate-or-evict reads, bounded transient-I/O retries, an
+//!   orphan sweep for crashed writers' staging files, and an
+//!   [`Store::fsck`] walk — reporting hit/miss/corrupt/evict/retry
+//!   counters through [`ct_obs`];
+//! - [`mod@faults`]: a deterministic failpoint registry
+//!   (`CT_FAULTS=site:nth:kind`) so every crash path above is
+//!   testable on demand.
 //!
 //! Zero dependencies beyond [`ct_obs`], matching the workspace's
 //! hand-rolled-serialization policy.
@@ -38,6 +43,7 @@
 //! # Ok::<(), ct_store::StoreError>(())
 //! ```
 
+pub mod faults;
 pub mod format;
 
 mod error;
@@ -45,6 +51,7 @@ mod hash;
 mod store;
 
 pub use error::StoreError;
+pub use faults::{FaultKind, FaultRegistry, FaultSpec};
 pub use format::{Corruption, FORMAT_VERSION};
 pub use hash::{checksum64, Digest, StableHasher};
-pub use store::Store;
+pub use store::{FsckOptions, FsckReport, Store, DEFAULT_TMP_MAX_AGE};

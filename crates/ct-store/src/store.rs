@@ -9,26 +9,40 @@
 //! ```
 //!
 //! Writes are crash-safe: the frame is written to a unique file under
-//! `tmp/` and then `rename`d into place, so a reader never observes a
-//! half-written record at its final path (a crash can only leave a
-//! stale temp file, which is invisible to lookups). Reads validate the
-//! record frame and *evict* anything corrupt, reporting a miss — so a
-//! torn record from a `kill -9` degrades to recompute-and-rewrite.
+//! `tmp/` and then `rename`d into place (followed by an fsync of the
+//! shard directory, so the rename itself survives power loss), so a
+//! reader never observes a half-written record at its final path. A
+//! crash can only leave a stale temp file, which is invisible to
+//! lookups and swept by [`Store::open`]/[`Store::fsck`] once it is
+//! old enough to be provably orphaned. Reads validate the record
+//! frame and *evict* anything corrupt, reporting a miss — so a torn
+//! record from a `kill -9` degrades to recompute-and-rewrite.
+//!
+//! Transient I/O errors (`Interrupted`/`TimedOut`/`WouldBlock`) are
+//! absorbed by a small bounded retry-with-backoff (`CT_STORE_RETRIES`
+//! extra attempts, default 2, counted as `store.retries`); everything
+//! else surfaces as [`StoreError::Io`] for callers to degrade on.
+//! Every fragile operation passes a named failpoint
+//! ([`crate::faults`]) so the crash paths are testable
+//! deterministically.
 //!
 //! Every operation reports to [`ct_obs`] counters (`store.hits`,
 //! `store.misses`, `store.records_written`, `store.corrupt_records`,
-//! `store.evictions`). Methods deliberately open no [`ct_obs`] spans:
+//! `store.evictions`, `store.retries`, `store.degraded`,
+//! `store.tmp_swept`). Methods deliberately open no [`ct_obs`] spans:
 //! they are called from worker threads, and spans are reserved for
 //! coordinator code so the span tree stays thread-count invariant.
 
 use crate::error::StoreError;
+use crate::faults::{self, FaultKind, FaultRegistry};
 use crate::format::{decode_record, encode_record};
 use crate::hash::Digest;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Where a store reports its metrics.
 #[derive(Debug, Clone)]
@@ -40,27 +54,98 @@ enum MetricsSink {
     Local(Arc<ct_obs::Registry>),
 }
 
+/// Which fault registry a store's failpoints consult.
+#[derive(Debug, Clone)]
+enum FaultsHandle {
+    /// The process-global registry, armed from `CT_FAULTS`.
+    Global,
+    /// A caller-owned registry — used by tests that arm faults without
+    /// racing other tests on the global registry.
+    Local(Arc<FaultRegistry>),
+}
+
 /// A handle to a content-addressed artifact store rooted at a
 /// directory. Cheap to clone; all state lives on disk.
 #[derive(Debug, Clone)]
 pub struct Store {
     root: PathBuf,
     sink: MetricsSink,
+    faults: FaultsHandle,
 }
 
-/// Distinguishes concurrent writers staging into the same `tmp/`.
+/// Distinguishes this process's concurrent writers staging into the
+/// same `tmp/`.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Tmp files older than this are treated as orphans of a crashed
+/// writer by the open-time sweep: no healthy `put` stages a file for
+/// anywhere near this long, so sweeping cannot race a live writer.
+pub const DEFAULT_TMP_MAX_AGE: Duration = Duration::from_secs(3600);
+
+/// A per-process random nonce baked into staged filenames, so two
+/// processes sharing a store (the sharded-run case) cannot collide in
+/// `tmp/` even if the OS recycles a crashed writer's PID.
+fn startup_nonce() -> u64 {
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| {
+        // No `rand` dependency by policy; mix whatever per-process
+        // entropy std exposes — boot-relative time, PID, and ASLR —
+        // through the store's own hash.
+        let mut seed = Vec::new();
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap_or_default();
+        seed.extend_from_slice(&now.as_nanos().to_le_bytes());
+        seed.extend_from_slice(&std::process::id().to_le_bytes());
+        seed.extend_from_slice(&(startup_nonce as fn() -> u64 as usize as u64).to_le_bytes());
+        crate::hash::checksum64(&seed)
+    })
+}
+
+/// Extra attempts `get`/`put` spend on transient I/O errors before
+/// giving up (configurable via `CT_STORE_RETRIES`; default 2).
+fn retry_budget() -> u32 {
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("CT_STORE_RETRIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2)
+    })
+}
+
+/// The error classes worth retrying: scheduler noise and timeouts.
+/// Disk-full, permissions, and corruption are not transient — retrying
+/// them only delays the caller's degradation path.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Opens `dir` and fsyncs it, making a just-renamed directory entry
+/// durable. The sole dir-fsync helper — `put` goes through here, and
+/// the `store.put.sync_dir` failpoint tests its failure path.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
 
 impl Store {
     /// Opens (creating if needed) a store rooted at `root`, reporting
-    /// metrics to the global [`ct_obs`] registry.
+    /// metrics to the global [`ct_obs`] registry and consulting the
+    /// global fault registry. Stale `tmp/` orphans (older than
+    /// [`DEFAULT_TMP_MAX_AGE`]) are swept as a side effect,
+    /// best-effort.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] when the directory tree cannot be
     /// created.
     pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::open_inner(root.as_ref(), MetricsSink::Global)
+        Self::open_inner(root.as_ref(), MetricsSink::Global, FaultsHandle::Global)
     }
 
     /// Like [`Store::open`], but reporting to a caller-owned registry.
@@ -73,17 +158,51 @@ impl Store {
         root: impl AsRef<Path>,
         registry: Arc<ct_obs::Registry>,
     ) -> Result<Self, StoreError> {
-        Self::open_inner(root.as_ref(), MetricsSink::Local(registry))
+        Self::open_inner(
+            root.as_ref(),
+            MetricsSink::Local(registry),
+            FaultsHandle::Global,
+        )
     }
 
-    fn open_inner(root: &Path, sink: MetricsSink) -> Result<Self, StoreError> {
+    /// Like [`Store::open_with_registry`], but also consulting a
+    /// caller-owned fault registry — the test-facing constructor for
+    /// deterministic fault injection with exact counter assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory tree cannot be
+    /// created.
+    pub fn open_with_faults(
+        root: impl AsRef<Path>,
+        registry: Arc<ct_obs::Registry>,
+        faults: Arc<FaultRegistry>,
+    ) -> Result<Self, StoreError> {
+        Self::open_inner(
+            root.as_ref(),
+            MetricsSink::Local(registry),
+            FaultsHandle::Local(faults),
+        )
+    }
+
+    fn open_inner(
+        root: &Path,
+        sink: MetricsSink,
+        faults: FaultsHandle,
+    ) -> Result<Self, StoreError> {
         for dir in [root.join("objects"), root.join("tmp")] {
             fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, &e))?;
         }
-        Ok(Self {
+        let store = Self {
             root: root.to_path_buf(),
             sink,
-        })
+            faults,
+        };
+        // Crashed writers leave staging files behind forever otherwise;
+        // the age threshold keeps us clear of any live writer. Sweep
+        // failures must not fail `open` — the store works regardless.
+        let _ = store.sweep_tmp(DEFAULT_TMP_MAX_AGE);
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -118,6 +237,44 @@ impl Store {
         h.observe(len as f64);
     }
 
+    /// Consults this store's fault registry for `site`. Public so the
+    /// layers above the store (`ct-hydro`'s cache, the core pipeline)
+    /// can place their own failpoints on the same registry a test (or
+    /// `CT_FAULTS`) armed.
+    pub fn injected_fault(&self, site: &str) -> Option<FaultKind> {
+        match &self.faults {
+            FaultsHandle::Global => faults::global().hit(site),
+            FaultsHandle::Local(r) => r.hit(site),
+        }
+    }
+
+    /// Records that a caller absorbed a store failure by degrading to
+    /// compute-without-cache (counted as `store.degraded`). The store
+    /// cannot see the degradation itself — it happens in the caller's
+    /// recovery path — so callers report it here, onto the same
+    /// metrics sink as the store's own counters.
+    pub fn note_degraded(&self) {
+        self.add(ct_obs::names::STORE_DEGRADED, 1);
+    }
+
+    /// Runs `op`, retrying transient I/O errors with exponential
+    /// backoff up to the configured budget. Non-transient errors and
+    /// exhausted budgets surface unchanged.
+    fn retry_transient<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        let budget = retry_budget();
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Err(e) if attempt < budget && is_transient(&e) => {
+                    attempt += 1;
+                    self.add(ct_obs::names::STORE_RETRIES, 1);
+                    std::thread::sleep(Duration::from_millis(1 << (attempt - 1).min(6)));
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Fetches the payload stored under `key`.
     ///
     /// Returns `Ok(None)` on a miss *and* on a corrupt record: a
@@ -129,10 +286,30 @@ impl Store {
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] only for environmental failures
-    /// (e.g. permission errors) — never for corrupt content.
+    /// (e.g. permission errors) that survive the transient-retry
+    /// budget — never for corrupt content.
     pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
         let path = self.record_path(key);
-        let bytes = match fs::read(&path) {
+        let read = self.retry_transient(|| {
+            let fault = self.injected_fault(faults::sites::STORE_GET_READ);
+            if let Some(kind @ (FaultKind::Io | FaultKind::Enospc)) = fault {
+                return Err(kind.io_error());
+            }
+            let mut bytes = fs::read(&path)?;
+            match fault {
+                // A read that tears or bit-rots in flight: the frame
+                // checksum below must catch both.
+                Some(FaultKind::Corruption) => {
+                    if let Some(b) = bytes.last_mut() {
+                        *b ^= 0x01;
+                    }
+                }
+                Some(FaultKind::PartialWrite) => bytes.truncate(bytes.len() / 2),
+                _ => {}
+            }
+            Ok(bytes)
+        });
+        let bytes = match read {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 self.add(ct_obs::names::STORE_MISSES, 1);
@@ -153,32 +330,94 @@ impl Store {
         }
     }
 
+    /// Writes the framed bytes to the staged temp file and flushes
+    /// them to stable storage. The `store.put.write` failpoint sits
+    /// here: `io`/`enospc` fail the write, `corrupt` silently mangles
+    /// the frame (the write "succeeds"; the checksum catches it on
+    /// read), `torn` persists half the frame and then errors, like a
+    /// crash mid-write.
+    fn stage(&self, tmp: &Path, frame: &[u8]) -> std::io::Result<()> {
+        let mut f = fs::File::create(tmp)?;
+        match self.injected_fault(faults::sites::STORE_PUT_WRITE) {
+            Some(kind @ (FaultKind::Io | FaultKind::Enospc)) => return Err(kind.io_error()),
+            Some(FaultKind::PartialWrite) => {
+                f.write_all(&frame[..frame.len() / 2])?;
+                f.sync_all()?;
+                return Err(FaultKind::PartialWrite.io_error());
+            }
+            Some(FaultKind::Corruption) => {
+                let mut mangled = frame.to_vec();
+                if let Some(b) = mangled.last_mut() {
+                    *b ^= 0x01;
+                }
+                f.write_all(&mangled)?;
+            }
+            None => f.write_all(frame)?,
+        }
+        // Flush to stable storage before the rename publishes the
+        // record, so a crash cannot expose an empty committed file.
+        f.sync_all()
+    }
+
+    /// A fresh, never-reused staging path for a `put` of `key`. The
+    /// name carries the key (debuggability), PID plus a per-process
+    /// startup nonce (uniqueness across the processes of a sharded
+    /// run, even under PID reuse), and a process-local sequence
+    /// (uniqueness across this process's concurrent writers).
+    fn staged_path(&self, key: &Digest) -> PathBuf {
+        self.root.join("tmp").join(format!(
+            "{}.{}.{:016x}.{}.tmp",
+            key.to_hex(),
+            std::process::id(),
+            startup_nonce(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
     /// Atomically writes `payload` as the record for `key`,
-    /// overwriting any existing record.
+    /// overwriting any existing record. Durable on return: the staged
+    /// file is fsynced before the rename, and the shard directory is
+    /// fsynced after it, so a power cut cannot un-commit the record.
+    /// On failure the staged temp file is removed (best-effort), so an
+    /// *erroring* put leaves no residue — only a crashed process can
+    /// orphan a temp file, and the open-time sweep collects those.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] when staging or renaming fails.
+    /// Returns [`StoreError::Io`] when staging, renaming, or the
+    /// directory fsync fails past the transient-retry budget.
     pub fn put(&self, key: &Digest, payload: &[u8]) -> Result<(), StoreError> {
         let path = self.record_path(key);
         let dir = path.parent().expect("record path has a parent");
         fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
 
-        let tmp = self.root.join("tmp").join(format!(
-            "{}.{}.{}.tmp",
-            key.to_hex(),
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
+        let tmp = self.staged_path(key);
         let frame = encode_record(payload);
-        {
-            let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, &e))?;
-            f.write_all(&frame).map_err(|e| StoreError::io(&tmp, &e))?;
-            // Flush to stable storage before the rename publishes the
-            // record, so a crash cannot expose an empty committed file.
-            f.sync_all().map_err(|e| StoreError::io(&tmp, &e))?;
+        let staged = self
+            .retry_transient(|| self.stage(&tmp, &frame))
+            .and_then(|()| {
+                self.retry_transient(|| {
+                    if let Some(kind) = self.injected_fault(faults::sites::STORE_PUT_RENAME) {
+                        return Err(kind.io_error());
+                    }
+                    fs::rename(&tmp, &path)
+                })
+            });
+        if let Err(e) = staged {
+            // Tmp hygiene: never leave our own staging residue behind.
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::io(&path, &e));
         }
-        fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, &e))?;
+        if let Err(e) = self.retry_transient(|| {
+            if let Some(kind) = self.injected_fault(faults::sites::STORE_PUT_SYNC_DIR) {
+                return Err(kind.io_error());
+            }
+            fsync_dir(dir)
+        }) {
+            // The rename already landed; the record is visible but its
+            // directory entry is not yet provably durable.
+            return Err(StoreError::io(dir, &e));
+        }
         self.add(ct_obs::names::STORE_RECORDS_WRITTEN, 1);
         self.observe_bytes(frame.len());
         Ok(())
@@ -213,7 +452,13 @@ impl Store {
     }
 
     fn remove_file(&self, path: &Path) -> Result<(), StoreError> {
-        match fs::remove_file(path) {
+        let removed = self.retry_transient(|| {
+            if let Some(kind) = self.injected_fault(faults::sites::STORE_EVICT_REMOVE) {
+                return Err(kind.io_error());
+            }
+            fs::remove_file(path)
+        });
+        match removed {
             Ok(()) => {
                 self.add(ct_obs::names::STORE_EVICTIONS, 1);
                 Ok(())
@@ -224,11 +469,158 @@ impl Store {
             Err(e) => Err(StoreError::io(path, &e)),
         }
     }
+
+    /// Removes `tmp/` staging files at least `max_age` old, returning
+    /// how many were swept (counted as `store.tmp_swept`). Only a
+    /// crashed writer leaves files here — a live `put` stages for
+    /// milliseconds and cleans up after itself on failure — so an age
+    /// threshold is all the live-writer protection needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the staging directory cannot be
+    /// listed; individual files that vanish or resist removal mid-sweep
+    /// are skipped (another sweeper may be racing us, harmlessly).
+    pub fn sweep_tmp(&self, max_age: Duration) -> Result<usize, StoreError> {
+        let tmp_dir = self.root.join("tmp");
+        let entries = fs::read_dir(&tmp_dir).map_err(|e| StoreError::io(&tmp_dir, &e))?;
+        let mut swept = 0;
+        for entry in entries.flatten() {
+            let old_enough = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                // An unreadable mtime reads as "fresh": never sweep a
+                // file we cannot prove is old.
+                .is_some_and(|age| age >= max_age);
+            if old_enough && fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            self.add(ct_obs::names::STORE_TMP_SWEPT, swept as u64);
+        }
+        Ok(swept)
+    }
+
+    /// Walks the whole store, validating every record frame, and —
+    /// in repair mode — evicts corrupt records and sweeps orphaned
+    /// staging files. The read-only mode modifies nothing and is safe
+    /// to run against a store in active use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] for environmental failures (an
+    /// unlistable directory, an unreadable record). Corruption is
+    /// never an error: it is what the walk exists to count.
+    pub fn fsck(&self, options: &FsckOptions) -> Result<FsckReport, StoreError> {
+        let mut report = FsckReport::default();
+        let objects = self.root.join("objects");
+        let shards = fs::read_dir(&objects).map_err(|e| StoreError::io(&objects, &e))?;
+        for shard in shards.flatten() {
+            let shard_path = shard.path();
+            if !shard_path.is_dir() {
+                continue;
+            }
+            let records = fs::read_dir(&shard_path).map_err(|e| StoreError::io(&shard_path, &e))?;
+            for record in records.flatten() {
+                let path = record.path();
+                let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+                report.records_scanned += 1;
+                report.bytes_scanned += bytes.len() as u64;
+                if decode_record(&bytes).is_ok() {
+                    continue;
+                }
+                report.corrupt_records += 1;
+                if options.repair {
+                    self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+                    self.remove_file(&path)?;
+                    report.repaired += 1;
+                }
+            }
+        }
+        let tmp_dir = self.root.join("tmp");
+        report.tmp_files = fs::read_dir(&tmp_dir)
+            .map_err(|e| StoreError::io(&tmp_dir, &e))?
+            .count();
+        if options.repair {
+            report.tmp_swept = self.sweep_tmp(options.tmp_max_age)?;
+        }
+        Ok(report)
+    }
+}
+
+/// What [`Store::fsck`] is allowed to do.
+#[derive(Debug, Clone)]
+pub struct FsckOptions {
+    /// Evict corrupt records and sweep orphaned staging files; `false`
+    /// reports only and modifies nothing.
+    pub repair: bool,
+    /// Minimum age before a `tmp/` staging file counts as orphaned
+    /// (see [`Store::sweep_tmp`]).
+    pub tmp_max_age: Duration,
+}
+
+impl Default for FsckOptions {
+    fn default() -> Self {
+        Self {
+            repair: false,
+            tmp_max_age: DEFAULT_TMP_MAX_AGE,
+        }
+    }
+}
+
+/// What an [`Store::fsck`] walk found (and, in repair mode, fixed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Record files whose frame was validated.
+    pub records_scanned: usize,
+    /// Total record bytes read.
+    pub bytes_scanned: u64,
+    /// Records that failed frame validation.
+    pub corrupt_records: usize,
+    /// Corrupt records evicted (repair mode only; always ≤
+    /// `corrupt_records`).
+    pub repaired: usize,
+    /// Staging files present under `tmp/`.
+    pub tmp_files: usize,
+    /// Staging files swept as orphans (repair mode only).
+    pub tmp_swept: usize,
+}
+
+impl FsckReport {
+    /// Whether the store needs no attention: every record validates
+    /// and no staging residue is present.
+    pub fn clean(&self) -> bool {
+        self.corrupt_records == 0 && self.tmp_files == 0
+    }
+
+    /// The machine-readable summary the `ct fsck` subcommand prints:
+    /// one `fsck,<field>,<value>` line per field, in declaration
+    /// order, so scripts can grep exact values.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "fsck,records_scanned,{}\n\
+             fsck,bytes_scanned,{}\n\
+             fsck,corrupt_records,{}\n\
+             fsck,repaired,{}\n\
+             fsck,tmp_files,{}\n\
+             fsck,tmp_swept,{}\n",
+            self.records_scanned,
+            self.bytes_scanned,
+            self.corrupt_records,
+            self.repaired,
+            self.tmp_files,
+            self.tmp_swept
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{sites, FaultSpec};
     use crate::hash::StableHasher;
 
     fn key(label: &str) -> Digest {
@@ -245,6 +637,18 @@ mod tests {
         let registry = Arc::new(ct_obs::Registry::new());
         let store = Store::open_with_registry(&root, Arc::clone(&registry)).unwrap();
         (store, registry, root)
+    }
+
+    /// Like [`scratch`], with a private armed-fault registry.
+    fn faulty_scratch(tag: &str) -> (Store, Arc<ct_obs::Registry>, Arc<FaultRegistry>, PathBuf) {
+        let root =
+            std::env::temp_dir().join(format!("ct-store-fault-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let registry = Arc::new(ct_obs::Registry::new());
+        let faults = Arc::new(FaultRegistry::with_obs(Arc::clone(&registry)));
+        let store =
+            Store::open_with_faults(&root, Arc::clone(&registry), Arc::clone(&faults)).unwrap();
+        (store, registry, faults, root)
     }
 
     fn counter(registry: &ct_obs::Registry, name: &str) -> u64 {
@@ -322,6 +726,227 @@ mod tests {
         assert_eq!(store.get(&k).unwrap(), None);
         assert_eq!(counter(&reg, ct_obs::names::STORE_CORRUPT_RECORDS), 1);
         assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn staged_names_embed_pid_and_startup_nonce() {
+        // The collision-avoidance contract for multi-process stores:
+        // a staged filename must be unique across processes even under
+        // PID reuse, so it carries key, PID, startup nonce, and
+        // sequence — and never repeats within a process.
+        let nonce = startup_nonce();
+        assert_eq!(nonce, startup_nonce(), "nonce is per-process stable");
+        let (store, _, root) = scratch("tmp-name");
+        let k = key("a");
+        let a = store.staged_path(&k);
+        let b = store.staged_path(&k);
+        assert_ne!(a, b, "every staged path is unique");
+        let name = a.file_name().unwrap().to_str().unwrap();
+        let expected_prefix = format!("{}.{}.{nonce:016x}.", k.to_hex(), std::process::id());
+        assert!(
+            name.starts_with(&expected_prefix) && name.ends_with(".tmp"),
+            "staged name {name:?} must carry key, PID, and nonce"
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_to_success() {
+        let (store, reg, faults, root) = faulty_scratch("retry-write");
+        faults.arm(FaultSpec::once(sites::STORE_PUT_WRITE, 1, FaultKind::Io));
+        let k = key("a");
+        store.put(&k, b"payload").unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(b"payload".to_vec()));
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RETRIES), 1);
+        assert_eq!(counter(&reg, ct_obs::names::FAULTS_FIRED), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RECORDS_WRITTEN), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn enospc_is_not_retried_and_leaves_no_tmp_residue() {
+        let (store, reg, faults, root) = faulty_scratch("enospc");
+        faults.arm(FaultSpec::every(
+            sites::STORE_PUT_WRITE,
+            1,
+            FaultKind::Enospc,
+        ));
+        let e = store.put(&key("a"), b"payload").unwrap_err();
+        assert!(e.to_string().contains("disk-full"), "{e}");
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RETRIES), 0);
+        let leftovers: Vec<_> = fs::read_dir(root.join("tmp")).unwrap().collect();
+        assert!(leftovers.is_empty(), "failed put must clean its tmp file");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn rename_fault_fails_put_and_cleans_tmp() {
+        let (store, reg, faults, root) = faulty_scratch("rename");
+        faults.arm(FaultSpec::every(
+            sites::STORE_PUT_RENAME,
+            1,
+            FaultKind::Enospc,
+        ));
+        assert!(store.put(&key("a"), b"payload").is_err());
+        assert!(fs::read_dir(root.join("tmp")).unwrap().next().is_none());
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RECORDS_WRITTEN), 0);
+        // Disarm and the same put heals fully.
+        faults.disarm_all();
+        store.put(&key("a"), b"payload").unwrap();
+        assert_eq!(store.get(&key("a")).unwrap(), Some(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn dir_fsync_failpoint_fails_put_after_publish() {
+        let (store, reg, faults, root) = faulty_scratch("sync-dir");
+        faults.arm(FaultSpec::every(
+            sites::STORE_PUT_SYNC_DIR,
+            1,
+            FaultKind::Enospc,
+        ));
+        let k = key("a");
+        assert!(store.put(&k, b"payload").is_err());
+        // The rename landed before the dir fsync failed: the record is
+        // visible and valid (just not provably durable yet), so the
+        // conservative error is honest, not destructive.
+        faults.disarm_all();
+        assert_eq!(store.get(&k).unwrap(), Some(b"payload".to_vec()));
+        assert_eq!(counter(&reg, ct_obs::names::FAULTS_FIRED), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_write_fault_fails_put_without_publishing() {
+        let (store, _, faults, root) = faulty_scratch("torn");
+        faults.arm(FaultSpec::every(
+            sites::STORE_PUT_WRITE,
+            1,
+            FaultKind::PartialWrite,
+        ));
+        let k = key("a");
+        assert!(store.put(&k, b"payload").is_err());
+        assert_eq!(
+            fs::read_dir(root.join("objects").join(&k.to_hex()[..2]))
+                .map(|d| d.count())
+                .unwrap_or(0),
+            0,
+            "a torn stage must never publish a record"
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corruption_fault_on_write_is_healed_on_read() {
+        let (store, reg, faults, root) = faulty_scratch("corrupt-write");
+        faults.arm(FaultSpec::once(
+            sites::STORE_PUT_WRITE,
+            1,
+            FaultKind::Corruption,
+        ));
+        let k = key("a");
+        store.put(&k, b"payload").unwrap(); // "succeeds", frame mangled
+        assert_eq!(store.get(&k).unwrap(), None, "checksum must catch it");
+        assert_eq!(counter(&reg, ct_obs::names::STORE_CORRUPT_RECORDS), 1);
+        store.put(&k, b"payload").unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn read_fault_surfaces_after_retry_budget() {
+        let (store, reg, faults, root) = faulty_scratch("read-io");
+        store.put(&key("a"), b"payload").unwrap();
+        faults.arm(FaultSpec::every(sites::STORE_GET_READ, 1, FaultKind::Io));
+        assert!(store.get(&key("a")).is_err(), "budget exhausted → error");
+        // Default budget is 2 extra attempts → 2 retries counted.
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RETRIES), 2);
+        assert_eq!(counter(&reg, ct_obs::names::FAULTS_FIRED), 3);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sweep_tmp_honors_age_threshold() {
+        let (store, reg, root) = scratch("sweep");
+        let orphan = root.join("tmp").join("deadbeef.999.0123456789abcdef.0.tmp");
+        fs::write(&orphan, b"staged then crashed").unwrap();
+        // Fresh files are live-writer territory: an hour-long minimum
+        // age must spare them.
+        assert_eq!(store.sweep_tmp(DEFAULT_TMP_MAX_AGE).unwrap(), 0);
+        assert!(orphan.exists());
+        // Age zero treats everything as orphaned.
+        assert_eq!(store.sweep_tmp(Duration::ZERO).unwrap(), 1);
+        assert!(!orphan.exists());
+        assert_eq!(counter(&reg, ct_obs::names::STORE_TMP_SWEPT), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn fsck_reports_then_repairs_corruption_and_orphans() {
+        let (store, reg, root) = scratch("fsck");
+        for i in 0..4 {
+            store.put(&key(&format!("k{i}")), &[i as u8; 32]).unwrap();
+        }
+        // Damage two records (truncation + bit flip) and orphan a
+        // staging file, as two crashed writers would have.
+        let p0 = store.record_path(&key("k0"));
+        let bytes = fs::read(&p0).unwrap();
+        fs::write(&p0, &bytes[..10]).unwrap();
+        let p1 = store.record_path(&key("k1"));
+        let mut bytes = fs::read(&p1).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        fs::write(&p1, bytes).unwrap();
+        fs::write(root.join("tmp").join("orphan.1.2.3.tmp"), b"x").unwrap();
+
+        // Read-only pass: counts everything, repairs nothing.
+        let report = store.fsck(&FsckOptions::default()).unwrap();
+        assert_eq!(report.records_scanned, 4);
+        assert_eq!(report.corrupt_records, 2);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.tmp_files, 1);
+        assert_eq!(report.tmp_swept, 0);
+        assert!(!report.clean());
+        assert!(p0.exists(), "read-only fsck must not modify the store");
+
+        // Repair pass: evicts both corrupt records, sweeps the orphan.
+        let report = store
+            .fsck(&FsckOptions {
+                repair: true,
+                tmp_max_age: Duration::ZERO,
+            })
+            .unwrap();
+        assert_eq!(report.corrupt_records, 2);
+        assert_eq!(report.repaired, 2);
+        assert_eq!(report.tmp_swept, 1);
+        assert!(!p0.exists() && !p1.exists());
+        assert_eq!(counter(&reg, ct_obs::names::STORE_CORRUPT_RECORDS), 2);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 2);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_TMP_SWEPT), 1);
+
+        // A third pass reports a clean store, and the summary format
+        // scripts grep is pinned.
+        let report = store.fsck(&FsckOptions::default()).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.records_scanned, 2);
+        assert!(report.to_csv().contains("fsck,corrupt_records,0\n"));
+        assert!(report.to_csv().starts_with("fsck,records_scanned,2\n"));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn open_sweeps_only_provably_old_orphans() {
+        let root =
+            std::env::temp_dir().join(format!("ct-store-unit-{}-open-sweep", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("tmp")).unwrap();
+        let fresh = root.join("tmp").join("fresh.1.2.3.tmp");
+        fs::write(&fresh, b"live writer staging").unwrap();
+        let _ = Store::open(&root).unwrap();
+        assert!(
+            fresh.exists(),
+            "open-time sweep must never race a live writer's fresh file"
+        );
         let _ = fs::remove_dir_all(root);
     }
 }

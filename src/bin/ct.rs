@@ -76,6 +76,16 @@ const FULL: FlagSpec = FlagSpec {
     value_name: None,
     help: "full per-realization inundation matrix instead of probabilities",
 };
+const REPAIR: FlagSpec = FlagSpec {
+    name: "--repair",
+    value_name: None,
+    help: "evict corrupt records and sweep orphaned tmp files",
+};
+const TMP_AGE: FlagSpec = FlagSpec {
+    name: "--tmp-age",
+    value_name: Some("secs"),
+    help: "min age before a tmp file counts as orphaned (default 3600)",
+};
 
 /// Every `ct` subcommand; parsing, dispatch, and all help text derive
 /// from this table.
@@ -103,6 +113,12 @@ const COMMANDS: &[CommandSpec] = &[
         summary: "assemble a sharded run from the store and print the figures",
         positionals: &[],
         flags: &[STORE, CSV, HAZARD, REALIZATIONS, METRICS],
+    },
+    CommandSpec {
+        name: "fsck",
+        summary: "validate every store record; --repair heals what it finds",
+        positionals: &[],
+        flags: &[STORE, REPAIR, TMP_AGE, METRICS],
     },
     CommandSpec {
         name: "placement",
@@ -158,7 +174,9 @@ fn usage() -> String {
          scenarios: hurricane | intrusion | isolation | compound\n\
          configs:   2 | 2-2 | 6 | 6-6 | 6+6+6\n\
          hazards:   surge | wind | compound\n\
-         env:       CT_THREADS=<n> caps the worker-thread count",
+         env:       CT_THREADS=<n> caps the worker-thread count\n\
+         \x20          CT_FAULTS=site:nth:kind[:limit],... arms deterministic failpoints\n\
+         \x20          CT_STORE_RETRIES=<n> extra attempts on transient store I/O (default 2)",
     );
     s
 }
@@ -263,6 +281,11 @@ fn run(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         print!("{}", spec.help_text());
         return Ok(ExitCode::SUCCESS);
     }
+    // A malformed CT_FAULTS must fail the run loudly: the alternative
+    // is a fault campaign that silently tests nothing.
+    if let Some(e) = ct_store::faults::env_arming_error() {
+        return Err(format!("CT_FAULTS: {e}").into());
+    }
     if args.flag("--metrics") {
         // Pre-register the canonical metric set so the snapshot lists
         // every counter (zero-valued included), whatever the command.
@@ -316,6 +339,23 @@ fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let config = study_config(args)?;
             let study = CaseStudy::merge_from_store(&config, &store)?;
             print_figures(&study, args.flag("--csv"))?;
+        }
+        "fsck" => {
+            let store = require_store(args)?;
+            let options = ct_store::FsckOptions {
+                repair: args.flag("--repair"),
+                tmp_max_age: std::time::Duration::from_secs(
+                    args.parsed::<u64>("--tmp-age")?.unwrap_or(3600),
+                ),
+            };
+            let report = store.fsck(&options)?;
+            print!("{}", report.to_csv());
+            // Without --repair, surviving problems mean the store
+            // needs attention: signal it through the exit code so
+            // scripts can gate on `ct fsck`.
+            if !options.repair && !report.clean() {
+                return Ok(ExitCode::FAILURE);
+            }
         }
         "placement" => {
             let arch_s = args.positional(0).expect("required positional");

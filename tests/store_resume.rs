@@ -2,14 +2,21 @@
 //! are bit-identical, sharded runs merge to the clean answer, an
 //! interrupted run resumes from whatever records survived, and every
 //! class of on-disk corruption degrades to recompute — counted, never
-//! trusted, never fatal.
+//! trusted, never fatal. The failpoint layer (`ct_store::faults`)
+//! extends that contract to *live* I/O failure: ENOSPC, failed
+//! renames, failed evictions, and transient errors are injected
+//! deterministically, and the figures must come out bit-identical
+//! anyway.
 
 use compound_threats::artifact::{ensemble_base_key, realization_key};
 use compound_threats::figures::reproduce_all;
 use compound_threats::prelude::*;
 use compound_threats::report::figure_csv;
 use ct_geo::terrain::synthesize_oahu;
+use ct_store::faults::sites;
+use ct_store::{FaultKind, FaultRegistry, FaultSpec, FsckOptions};
 use std::sync::Arc;
+use std::time::Duration;
 
 const REALIZATIONS: usize = 24;
 
@@ -187,6 +194,273 @@ fn different_configs_never_share_records() {
     let before = count_records(&scratch.0);
     CaseStudy::build_with_store(&b, Some(&store)).unwrap();
     assert_eq!(count_records(&scratch.0), before + REALIZATIONS);
+}
+
+/// A store with private metrics and fault registries, so fault tests
+/// get exact counter assertions under the parallel test runner.
+fn faulty_store(root: &std::path::Path) -> (Store, Arc<ct_obs::Registry>, Arc<FaultRegistry>) {
+    let registry = Arc::new(ct_obs::Registry::new());
+    let faults = Arc::new(FaultRegistry::with_obs(Arc::clone(&registry)));
+    let store = Store::open_with_faults(root, Arc::clone(&registry), Arc::clone(&faults)).unwrap();
+    (store, registry, faults)
+}
+
+#[test]
+fn enospc_during_every_put_degrades_but_results_are_bit_identical() {
+    let scratch = Scratch::new("enospc");
+    let config = config();
+    let clean = CaseStudy::build(&config).unwrap();
+
+    let (store, registry, faults) = faulty_store(&scratch.0);
+    faults.arm(FaultSpec::every(
+        sites::STORE_PUT_WRITE,
+        1,
+        FaultKind::Enospc,
+    ));
+    let faulty = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+
+    // Snapshot before rendering figures: figure reproduction performs
+    // its own histogram puts, which would keep firing the failpoint.
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert_eq!(count(ct_obs::names::FAULTS_ARMED), 1);
+    assert_eq!(count(ct_obs::names::FAULTS_FIRED), REALIZATIONS as u64);
+    assert_eq!(count(ct_obs::names::STORE_DEGRADED), REALIZATIONS as u64);
+    assert_eq!(count(ct_obs::names::STORE_RECORDS_WRITTEN), 0);
+    // ENOSPC is not transient: the retry loop must not have burned
+    // time on a full disk.
+    assert_eq!(count(ct_obs::names::STORE_RETRIES), 0);
+
+    assert_eq!(faulty.realizations(), clean.realizations());
+    assert_eq!(figures_csv(&faulty), figures_csv(&clean));
+}
+
+#[test]
+fn rename_failure_degrades_and_leaves_no_tmp_residue() {
+    let scratch = Scratch::new("rename");
+    let config = config();
+    let clean = CaseStudy::build(&config).unwrap();
+
+    let (store, registry, faults) = faulty_store(&scratch.0);
+    faults.arm(FaultSpec::every(
+        sites::STORE_PUT_RENAME,
+        1,
+        FaultKind::Enospc,
+    ));
+    let faulty = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert_eq!(count(ct_obs::names::STORE_DEGRADED), REALIZATIONS as u64);
+    assert_eq!(count(ct_obs::names::STORE_RECORDS_WRITTEN), 0);
+    // Every failed put cleaned up after itself: the staging area holds
+    // nothing even though every single rename failed.
+    assert_eq!(
+        std::fs::read_dir(scratch.0.join("tmp")).unwrap().count(),
+        0,
+        "failed puts must not orphan tmp files"
+    );
+    assert_eq!(faulty.realizations(), clean.realizations());
+}
+
+#[test]
+fn transient_write_fault_is_absorbed_by_retry_not_degradation() {
+    let scratch = Scratch::new("transient");
+    let config = config();
+    let clean = CaseStudy::build(&config).unwrap();
+
+    let (store, registry, faults) = faulty_store(&scratch.0);
+    // Fires exactly once, on the first write attempt anywhere: the
+    // retry loop must absorb it invisibly.
+    faults.arm(FaultSpec::once(sites::STORE_PUT_WRITE, 1, FaultKind::Io));
+    let faulty = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert_eq!(count(ct_obs::names::FAULTS_FIRED), 1);
+    assert_eq!(count(ct_obs::names::STORE_RETRIES), 1);
+    assert_eq!(count(ct_obs::names::STORE_DEGRADED), 0);
+    assert_eq!(
+        count(ct_obs::names::STORE_RECORDS_WRITTEN),
+        REALIZATIONS as u64,
+        "the retried put must succeed"
+    );
+    assert_eq!(faulty.realizations(), clean.realizations());
+}
+
+#[test]
+fn evict_failure_during_corrupt_get_degrades_to_recompute() {
+    let scratch = Scratch::new("evictfault");
+    let config = config();
+
+    // Seed cleanly, then corrupt one record on disk.
+    let seed_store = Store::open(&scratch.0).unwrap();
+    let clean = CaseStudy::build_with_store(&config, Some(&seed_store)).unwrap();
+    let dem = synthesize_oahu(&config.terrain);
+    let pois = ct_scada::oahu::case_study_pois(&dem).unwrap();
+    let hazard = config.hazard.build_model(&dem, config.calibration);
+    let base = ensemble_base_key(&config, &dem, &pois, hazard.as_ref());
+    let victim = seed_store.record_path(&realization_key(&base, 0));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    *bytes.last_mut().unwrap() ^= 0xff;
+    std::fs::write(&victim, bytes).unwrap();
+
+    // Rebuild with the eviction path failing persistently: the corrupt
+    // record is detected, its eviction fails past the retry budget,
+    // and the whole get degrades to a fresh evaluation.
+    let (store, registry, faults) = faulty_store(&scratch.0);
+    faults.arm(FaultSpec::every(
+        sites::STORE_EVICT_REMOVE,
+        1,
+        FaultKind::Io,
+    ));
+    let rebuilt = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert_eq!(count(ct_obs::names::STORE_CORRUPT_RECORDS), 1);
+    assert_eq!(count(ct_obs::names::STORE_EVICTIONS), 0);
+    assert_eq!(count(ct_obs::names::STORE_DEGRADED), 1);
+    // Default budget: 2 retried attempts, all three firing.
+    assert_eq!(count(ct_obs::names::STORE_RETRIES), 2);
+    assert_eq!(count(ct_obs::names::FAULTS_FIRED), 3);
+    assert_eq!(count(ct_obs::names::STORE_HITS), (REALIZATIONS - 1) as u64);
+    assert_eq!(rebuilt.realizations(), clean.realizations());
+}
+
+#[test]
+fn fsck_reports_then_heals_a_damaged_store_exactly() {
+    let scratch = Scratch::new("fsck");
+    let config = config();
+
+    let registry = Arc::new(ct_obs::Registry::new());
+    let store = Store::open_with_registry(&scratch.0, Arc::clone(&registry)).unwrap();
+    let clean = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+    let clean_csv = figures_csv(&clean);
+
+    // Injected damage: three corrupt records (one per corruption class
+    // the frame distinguishes) and two orphaned staging files.
+    let dem = synthesize_oahu(&config.terrain);
+    let pois = ct_scada::oahu::case_study_pois(&dem).unwrap();
+    let hazard = config.hazard.build_model(&dem, config.calibration);
+    let base = ensemble_base_key(&config, &dem, &pois, hazard.as_ref());
+    let damage = |i: usize, f: &dyn Fn(Vec<u8>) -> Vec<u8>| {
+        let path = store.record_path(&realization_key(&base, i));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, f(bytes)).unwrap();
+    };
+    damage(0, &|b| b[..b.len() / 2].to_vec());
+    damage(1, &|mut b| {
+        b[30] ^= 0xff;
+        b
+    });
+    damage(2, &|mut b| {
+        b[8..12].copy_from_slice(&99u32.to_le_bytes());
+        b
+    });
+    for n in 0..2 {
+        std::fs::write(
+            scratch.0.join("tmp").join(format!("orphan.{n}.0.0.tmp")),
+            b"crashed writer residue",
+        )
+        .unwrap();
+    }
+
+    let records_total = count_records(&scratch.0);
+
+    // Read-only pass: exact findings, zero modification.
+    let report = store.fsck(&FsckOptions::default()).unwrap();
+    assert_eq!(report.records_scanned, records_total);
+    assert_eq!(report.corrupt_records, 3);
+    assert_eq!(report.repaired, 0);
+    assert_eq!(report.tmp_files, 2);
+    assert_eq!(report.tmp_swept, 0);
+    assert!(!report.clean());
+    assert_eq!(count_records(&scratch.0), records_total);
+
+    // Repair pass heals every injected problem, exactly.
+    let report = store
+        .fsck(&FsckOptions {
+            repair: true,
+            tmp_max_age: Duration::ZERO,
+        })
+        .unwrap();
+    assert_eq!(report.corrupt_records, 3);
+    assert_eq!(report.repaired, 3);
+    assert_eq!(report.tmp_swept, 2);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(ct_obs::names::STORE_TMP_SWEPT), Some(2));
+
+    // A re-check is clean, and a rebuild recomputes only the three
+    // evicted records while reproducing the figures byte-for-byte.
+    let report = store.fsck(&FsckOptions::default()).unwrap();
+    assert!(
+        report.clean(),
+        "repair must leave a clean store: {report:?}"
+    );
+    let rebuilt_reg = Arc::new(ct_obs::Registry::new());
+    let rebuilt_store = Store::open_with_registry(&scratch.0, Arc::clone(&rebuilt_reg)).unwrap();
+    let rebuilt = CaseStudy::build_with_store(&config, Some(&rebuilt_store)).unwrap();
+    let snap = rebuilt_reg.snapshot();
+    assert_eq!(
+        snap.counter(ct_obs::names::STORE_HITS),
+        Some((REALIZATIONS - 3) as u64)
+    );
+    assert_eq!(figures_csv(&rebuilt), clean_csv);
+}
+
+#[test]
+fn full_fault_campaign_still_merges_to_bit_identical_figures() {
+    let scratch = Scratch::new("campaign");
+    let config = config();
+    let clean = CaseStudy::build(&config).unwrap();
+    let clean_csv = figures_csv(&clean);
+
+    // Every store failpoint armed at once, firing every Nth hit with
+    // coprime-ish periods so the failure pattern keeps shifting across
+    // sites. Transient faults exercise the retry loop; the rest
+    // exercise degradation. The hydro sites are armed too (they simply
+    // never fire here — the case-study pipeline uses the parametric
+    // hazard, not the SWE cache — but arming them proves an armed
+    // plan over every site is harmless).
+    let (store, registry, faults) = faulty_store(&scratch.0);
+    let armed = faults
+        .arm_plan(
+            "store.put.write:3:io, store.put.rename:5:io, store.put.sync_dir:7:enospc, \
+             store.get.read:3:io, store.evict.remove:2:io, \
+             hydro.cache.get:2:io, hydro.cache.put:2:io",
+        )
+        .unwrap();
+    assert_eq!(armed, 7);
+
+    // A full sharded run under fire: both shards, then the merge.
+    for index in 0..2 {
+        let shard = ShardSpec::new(index, 2).unwrap();
+        run_shard(&config, &store, shard).unwrap();
+    }
+    let merged = CaseStudy::merge_from_store(&config, &store).unwrap();
+    let merged_csv = figures_csv(&merged);
+
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert!(
+        count(ct_obs::names::FAULTS_FIRED) > 0,
+        "the campaign must actually have injected faults"
+    );
+    assert_eq!(merged.realizations(), clean.realizations());
+    assert_eq!(merged_csv, clean_csv);
+
+    // Whatever the campaign left behind, repair returns the store to
+    // health.
+    faults.disarm_all();
+    let report = store
+        .fsck(&FsckOptions {
+            repair: true,
+            tmp_max_age: Duration::ZERO,
+        })
+        .unwrap();
+    assert_eq!(report.repaired, report.corrupt_records);
+    assert!(store.fsck(&FsckOptions::default()).unwrap().clean());
 }
 
 fn count_records(root: &std::path::Path) -> usize {
