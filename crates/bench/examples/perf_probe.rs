@@ -226,10 +226,76 @@ fn hazard_probe() {
     );
 }
 
+fn store_probe() {
+    // The packed-segment claim behind `BENCH_store.json`: artifact
+    // put/get throughput, loose (file-per-record) vs packed
+    // (append-only segment log), n records of 256 B each — the order
+    // of magnitude of a realization record.
+    use ct_store::{StableHasher, Store};
+
+    let n = 10_000usize;
+    let payload = vec![0xA5u8; 256];
+    let key = |tag: u64, i: usize| {
+        let mut h = StableHasher::new();
+        h.write_u64(tag);
+        h.write_u64(i as u64);
+        h.finish()
+    };
+    let scratch = std::env::temp_dir().join(format!("ct-store-probe-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let reps = 3;
+    let mut round = 0u64;
+    let loose_put = time(reps, || {
+        round += 1;
+        let store = Store::open(scratch.join(format!("loose-{round}"))).unwrap();
+        for i in 0..n {
+            store.put(&key(round, i), &payload).unwrap();
+        }
+        round
+    });
+    let mut round_p = 0u64;
+    let packed_put = time(reps, || {
+        round_p += 1;
+        let store = Store::open_packed(scratch.join(format!("packed-{round_p}"))).unwrap();
+        for i in 0..n {
+            store.put(&key(round_p, i), &payload).unwrap();
+        }
+        round_p
+    });
+
+    // Reads against the last round written by each layout (dropping
+    // the packed store seals + reopening rebuilds its index).
+    let loose = Store::open(scratch.join(format!("loose-{round}"))).unwrap();
+    let loose_get = time(reps, || {
+        (0..n)
+            .map(|i| loose.get(&key(round, i)).unwrap().unwrap().len())
+            .sum::<usize>()
+    });
+    let packed = Store::open(scratch.join(format!("packed-{round_p}"))).unwrap();
+    assert!(packed.is_packed(), "layout must auto-detect");
+    let packed_get = time(reps, || {
+        (0..n)
+            .map(|i| packed.get(&key(round_p, i)).unwrap().unwrap().len())
+            .sum::<usize>()
+    });
+    println!(
+        "store n={n} 256B: put loose {:.0}/s packed {:.0}/s ({:.1}x) get loose {:.0}/s packed {:.0}/s ({:.1}x)",
+        n as f64 / loose_put,
+        n as f64 / packed_put,
+        loose_put / packed_put,
+        n as f64 / loose_get,
+        n as f64 / packed_get,
+        loose_get / packed_get,
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 fn main() {
     swe_probe_domain("wet20pct", 16.0);
     swe_probe_domain("wet75pct", 60.0);
     swe_probe_oahu();
     profile_probe();
     hazard_probe();
+    store_probe();
 }

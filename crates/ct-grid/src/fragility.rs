@@ -80,6 +80,34 @@ impl DamageModel {
         peak
     }
 
+    /// Batched [`peak_wind_at`](Self::peak_wind_at): peak sustained
+    /// wind (m/s) at each point, evaluated time-major so the Holland
+    /// field is parameterized **once per time step** instead of once
+    /// per `(step, point)` pair. Bit-identical to the per-point scan:
+    /// the per-`(t, point)` arithmetic and the t-ascending max fold
+    /// are unchanged, only the field construction is hoisted.
+    pub fn peak_winds_at(&self, storm: &StormParams, points: &[LatLon]) -> Vec<f64> {
+        let mut peaks = vec![0.0_f64; points.len()];
+        let (t0, t1) = storm.track.time_span_hours();
+        let mut t = t0;
+        while t <= t1 {
+            let center = storm.track.position(t);
+            // Lazy so steps with every point out of range skip the
+            // field entirely, matching the scalar path's range gate.
+            let mut field: Option<Result<_, _>> = None;
+            for (peak, &p) in peaks.iter_mut().zip(points) {
+                if center.distance_km(p) >= 400.0 {
+                    continue;
+                }
+                if let Ok(f) = field.get_or_insert_with(|| storm.wind_field(t)) {
+                    *peak = peak.max(f.wind_at(center, p).speed_ms);
+                }
+            }
+            t += self.scan_step_hours;
+        }
+        peaks
+    }
+
     /// Samples the grid damage for one realization: wind draws per
     /// line (deterministic in `(seed, realization_idx, line)`) plus
     /// the flooded buses supplied by the hazard model.
@@ -96,13 +124,20 @@ impl DamageModel {
                 outages.buses.insert(BusId(i));
             }
         }
+        let midpoints: Vec<LatLon> = grid
+            .lines()
+            .iter()
+            .map(|line| {
+                let a = grid.buses()[line.from.0].pos;
+                let b = grid.buses()[line.to.0].pos;
+                LatLon::new((a.lat + b.lat) / 2.0, (a.lon + b.lon) / 2.0)
+            })
+            .collect();
+        let peaks = self.peak_winds_at(storm, &midpoints);
         let mut probs = Vec::with_capacity(grid.lines().len());
         let mut gusts = Vec::with_capacity(grid.lines().len());
-        for (li, line) in grid.lines().iter().enumerate() {
-            let a = grid.buses()[line.from.0].pos;
-            let b = grid.buses()[line.to.0].pos;
-            let mid = LatLon::new((a.lat + b.lat) / 2.0, (a.lon + b.lon) / 2.0);
-            let gust = self.gust_factor * self.peak_wind_at(storm, mid);
+        for (li, peak) in peaks.iter().enumerate() {
+            let gust = self.gust_factor * peak;
             let p = self.line_failure_probability(gust);
             probs.push(p);
             gusts.push(gust);
@@ -258,6 +293,26 @@ mod tests {
                 "line {li} draw/outage mismatch"
             );
         }
+    }
+
+    #[test]
+    fn batched_peak_winds_match_the_scalar_scan_bitwise() {
+        let m = DamageModel::default();
+        let grid = crate::oahu::grid();
+        let points: Vec<LatLon> = grid.buses().iter().map(|b| b.pos).collect();
+        for storm in [direct_hit(), distant()] {
+            let batched = m.peak_winds_at(&storm, &points);
+            for (i, &p) in points.iter().enumerate() {
+                let scalar = m.peak_wind_at(&storm, p);
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched[i].to_bits(),
+                    "point {i}: scalar {scalar} vs batched {}",
+                    batched[i]
+                );
+            }
+        }
+        assert!(m.peak_winds_at(&direct_hit(), &[]).is_empty());
     }
 
     #[test]

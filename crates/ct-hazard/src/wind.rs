@@ -91,12 +91,17 @@ impl HazardModel for WindFragilityHazard {
         storm: &StormParams,
         pois: &[Poi],
     ) -> Result<Realization, HydroError> {
+        // Batched wind kernel: one Holland-field parameterization per
+        // time step across every POI (bit-identical to the per-POI
+        // scan — see `DamageModel::peak_winds_at`).
+        let positions: Vec<_> = pois.iter().map(|poi| poi.pos).collect();
+        let peaks = self.damage.peak_winds_at(storm, &positions);
         let mut max_gust_ms: f64 = 0.0;
-        let inundation_m = pois
+        let inundation_m = peaks
             .iter()
             .enumerate()
-            .map(|(j, poi)| {
-                let gust = self.peak_gust_ms(storm, poi);
+            .map(|(j, peak)| {
+                let gust = self.damage.gust_factor * peak;
                 max_gust_ms = max_gust_ms.max(gust);
                 let u = fragility_draw(self.damage.seed, index as u64, j as u64);
                 self.severity_m(gust, u)
@@ -198,6 +203,27 @@ mod tests {
             prev = s;
         }
         assert!(prev <= MAX_SEVERITY_M);
+    }
+
+    #[test]
+    fn batched_evaluation_matches_the_per_poi_gust_scan_bitwise() {
+        // `evaluate` goes through the batched SoA wind kernel; the
+        // public scalar `peak_gust_ms` is the per-POI reference path.
+        // Severities recomputed from scalar gusts must match bitwise.
+        let hazard = WindFragilityHazard::default();
+        for storm in [direct_hit(), distant()] {
+            let pois = pois();
+            let r = hazard.evaluate(11, &storm, &pois).unwrap();
+            for (j, poi) in pois.iter().enumerate() {
+                let gust = hazard.peak_gust_ms(&storm, poi);
+                let u = fragility_draw(hazard.damage().seed, 11, j as u64);
+                assert_eq!(
+                    hazard.severity_m(gust, u).to_bits(),
+                    r.inundation_m[j].to_bits(),
+                    "asset {j}: batched severity diverged from the scalar path"
+                );
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,22 @@ pub const STORE_RETRIES: &str = "store.retries";
 pub const STORE_DEGRADED: &str = "store.degraded";
 /// Orphaned `tmp/` staging files swept (crashed-writer residue).
 pub const STORE_TMP_SWEPT: &str = "store.tmp_swept";
+/// Entries appended to packed-store segments (puts and tombstones).
+pub const STORE_SEGMENT_APPENDS: &str = "store.segment.appends";
+/// Segments sealed with a footer index (rolls and compactions).
+pub const STORE_SEGMENT_SEALS: &str = "store.segment.seals";
+/// Group fsyncs of the active segment (one per batch, not per put).
+pub const STORE_SEGMENT_GROUP_SYNCS: &str = "store.segment.group_syncs";
+/// Segments whose index was rebuilt from a valid footer at open.
+pub const STORE_SEGMENT_FOOTER_LOADS: &str = "store.segment.footer_loads";
+/// Segments rebuilt by a full frame scan at open (unsealed tail, or
+/// a missing/damaged footer).
+pub const STORE_SEGMENT_SCANS: &str = "store.segment.scans";
+/// Segments whose torn tail was truncated back to the last clean
+/// entry boundary at open.
+pub const STORE_SEGMENT_TRUNCATED_TAILS: &str = "store.segment.truncated_tails";
+/// Segments rewritten by `fsck --repair` compaction.
+pub const STORE_SEGMENT_COMPACTIONS: &str = "store.segment.compactions";
 /// Failpoints armed on a fault registry (test- or `CT_FAULTS`-driven).
 pub const FAULTS_ARMED: &str = "faults.armed";
 /// Failpoint firings: armed faults actually injected at their site.
@@ -77,6 +93,9 @@ pub const SWE_STEPS_PER_SOLVE: &str = "swe.steps_per_solve";
 pub const PROFILE_PATTERNS_PER_PLAN: &str = "profile.patterns_per_plan";
 /// Histogram: committed record sizes (framed bytes on disk).
 pub const STORE_RECORD_BYTES: &str = "store.record_bytes";
+/// Histogram: milliseconds slept per store retry (deadline-budgeted
+/// backoff; p50/p99 readable from the bucket rows).
+pub const STORE_RETRY_WAIT_MS: &str = "store.retry_wait_ms";
 
 /// Bucket bounds for [`SWE_STEPS_PER_SOLVE`].
 pub const SWE_STEPS_PER_SOLVE_BOUNDS: [f64; 6] = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
@@ -84,6 +103,8 @@ pub const SWE_STEPS_PER_SOLVE_BOUNDS: [f64; 6] = [250.0, 500.0, 1000.0, 2000.0, 
 pub const PROFILE_PATTERNS_PER_PLAN_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 /// Bucket bounds for [`STORE_RECORD_BYTES`].
 pub const STORE_RECORD_BYTES_BOUNDS: [f64; 6] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
+/// Bucket bounds for [`STORE_RETRY_WAIT_MS`].
+pub const STORE_RETRY_WAIT_MS_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Registers the full canonical metric set on `registry` so
 /// snapshots list every standard counter even when a run never
@@ -117,6 +138,13 @@ pub fn register_defaults(registry: &crate::Registry) {
         STORE_RETRIES,
         STORE_DEGRADED,
         STORE_TMP_SWEPT,
+        STORE_SEGMENT_APPENDS,
+        STORE_SEGMENT_SEALS,
+        STORE_SEGMENT_GROUP_SYNCS,
+        STORE_SEGMENT_FOOTER_LOADS,
+        STORE_SEGMENT_SCANS,
+        STORE_SEGMENT_TRUNCATED_TAILS,
+        STORE_SEGMENT_COMPACTIONS,
         FAULTS_ARMED,
         FAULTS_FIRED,
     ] {
@@ -126,6 +154,7 @@ pub fn register_defaults(registry: &crate::Registry) {
     registry.histogram(SWE_STEPS_PER_SOLVE, &SWE_STEPS_PER_SOLVE_BOUNDS);
     registry.histogram(PROFILE_PATTERNS_PER_PLAN, &PROFILE_PATTERNS_PER_PLAN_BOUNDS);
     registry.histogram(STORE_RECORD_BYTES, &STORE_RECORD_BYTES_BOUNDS);
+    registry.histogram(STORE_RETRY_WAIT_MS, &STORE_RETRY_WAIT_MS_BOUNDS);
 }
 
 #[cfg(test)]
@@ -137,13 +166,15 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 28);
+        assert_eq!(snap.counters.len(), 35);
         assert_eq!(snap.counter(FAULTS_FIRED), Some(0));
         assert_eq!(snap.counter(STORE_DEGRADED), Some(0));
         assert_eq!(snap.counter(SWE_STEPS), Some(0));
         assert_eq!(snap.counter(HAZARD_REALIZATIONS_EVALUATED), Some(0));
         assert_eq!(snap.counter(STORE_HITS), Some(0));
+        assert_eq!(snap.counter(STORE_SEGMENT_APPENDS), Some(0));
+        assert_eq!(snap.counter(STORE_SEGMENT_COMPACTIONS), Some(0));
         assert_eq!(snap.gauge(BUILD_THREADS), Some(0.0));
-        assert_eq!(snap.histograms.len(), 3);
+        assert_eq!(snap.histograms.len(), 4);
     }
 }

@@ -50,6 +50,14 @@ pub mod sites {
     pub const HYDRO_CACHE_GET: &str = "hydro.cache.get";
     /// The write-back step of `ShallowWaterSolver::run_cached`.
     pub const HYDRO_CACHE_PUT: &str = "hydro.cache.put";
+    /// Appending an entry to the active segment of a packed store.
+    pub const SEGMENT_APPEND: &str = "segment.append";
+    /// The group fsync that makes a batch of appends durable.
+    pub const SEGMENT_SYNC: &str = "segment.sync";
+    /// Writing the footer index that seals a full segment.
+    pub const SEGMENT_FOOTER: &str = "segment.footer";
+    /// Rewriting a segment during `fsck --repair` compaction.
+    pub const SEGMENT_COMPACT: &str = "segment.compact";
 
     /// Every site, for docs, validation, and fault campaigns.
     pub const ALL: &[&str] = &[
@@ -60,6 +68,10 @@ pub mod sites {
         STORE_EVICT_REMOVE,
         HYDRO_CACHE_GET,
         HYDRO_CACHE_PUT,
+        SEGMENT_APPEND,
+        SEGMENT_SYNC,
+        SEGMENT_FOOTER,
+        SEGMENT_COMPACT,
     ];
 }
 

@@ -17,6 +17,10 @@
 //!   orphan sweep for crashed writers' staging files, and an
 //!   [`Store::fsck`] walk — reporting hit/miss/corrupt/evict/retry
 //!   counters through [`ct_obs`];
+//! - [`mod@segment`]: the **packed** layout
+//!   ([`Store::open_packed`]) — records append to segment logs with
+//!   group fsyncs and are served by positioned reads off an in-memory
+//!   index, for put/get throughput at sequential-I/O speed;
 //! - [`mod@faults`]: a deterministic failpoint registry
 //!   (`CT_FAULTS=site:nth:kind`) so every crash path above is
 //!   testable on demand.
@@ -45,6 +49,7 @@
 
 pub mod faults;
 pub mod format;
+pub mod segment;
 
 mod error;
 mod hash;
@@ -54,4 +59,5 @@ pub use error::StoreError;
 pub use faults::{FaultKind, FaultRegistry, FaultSpec};
 pub use format::{Corruption, FORMAT_VERSION};
 pub use hash::{checksum64, Digest, StableHasher};
+pub use segment::PackedOptions;
 pub use store::{FsckOptions, FsckReport, Store, DEFAULT_TMP_MAX_AGE};

@@ -1,47 +1,72 @@
 //! The on-disk store: content-addressed records under a root
-//! directory.
+//! directory, in one of two layouts.
 //!
-//! Layout:
+//! **Loose** (the default):
 //!
 //! ```text
 //! <root>/objects/<hh>/<hex32>.rec   records, sharded by first hex byte
 //! <root>/tmp/                       staging area for atomic writes
 //! ```
 //!
-//! Writes are crash-safe: the frame is written to a unique file under
-//! `tmp/` and then `rename`d into place (followed by an fsync of the
-//! shard directory, so the rename itself survives power loss), so a
-//! reader never observes a half-written record at its final path. A
-//! crash can only leave a stale temp file, which is invisible to
-//! lookups and swept by [`Store::open`]/[`Store::fsck`] once it is
+//! Loose writes are crash-safe: the frame is written to a unique file
+//! under `tmp/` and then `rename`d into place (followed by an fsync
+//! of the shard directory, so the rename itself survives power loss),
+//! so a reader never observes a half-written record at its final
+//! path. A crash can only leave a stale temp file, which is invisible
+//! to lookups and swept by [`Store::open`]/[`Store::fsck`] once it is
 //! old enough to be provably orphaned. Reads validate the record
 //! frame and *evict* anything corrupt, reporting a miss — so a torn
 //! record from a `kill -9` degrades to recompute-and-rewrite.
 //!
+//! **Packed** ([`Store::open_packed`], `ct run --packed`,
+//! auto-detected on open):
+//!
+//! ```text
+//! <root>/segments/seg-<nnnn>.ctseg  append-only entry logs
+//! <root>/tmp/                       staging area for compactions
+//! ```
+//!
+//! Records append to the active segment with one *group* fsync per
+//! `CT_SEGMENT_SYNC_BYTES` of data and are served by positioned reads
+//! off an in-memory key → (segment, offset, len) index, trading the
+//! loose layout's two-fsyncs-per-put for sequential-write throughput.
+//! The same validate-or-evict read contract holds (eviction appends a
+//! tombstone). See [`crate::segment`] for the format and recovery
+//! rules, and [`Store::fsck`] for segment validation, compaction, and
+//! repair.
+//!
 //! Transient I/O errors (`Interrupted`/`TimedOut`/`WouldBlock`) are
-//! absorbed by a small bounded retry-with-backoff (`CT_STORE_RETRIES`
-//! extra attempts, default 2, counted as `store.retries`); everything
-//! else surfaces as [`StoreError::Io`] for callers to degrade on.
-//! Every fragile operation passes a named failpoint
-//! ([`crate::faults`]) so the crash paths are testable
-//! deterministically.
+//! absorbed by deadline-budgeted retry-with-backoff
+//! (`CT_STORE_RETRY_BUDGET_MS` of planned sleep per operation,
+//! default 3 ms; retries counted as `store.retries`, backoff sleeps
+//! observed on the `store.retry_wait_ms` histogram); everything else
+//! surfaces as [`StoreError::Io`] for callers to degrade on. Every
+//! fragile operation passes a named failpoint ([`crate::faults`]) so
+//! the crash paths are testable deterministically.
 //!
 //! Every operation reports to [`ct_obs`] counters (`store.hits`,
 //! `store.misses`, `store.records_written`, `store.corrupt_records`,
 //! `store.evictions`, `store.retries`, `store.degraded`,
-//! `store.tmp_swept`). Methods deliberately open no [`ct_obs`] spans:
-//! they are called from worker threads, and spans are reserved for
-//! coordinator code so the span tree stays thread-count invariant.
+//! `store.tmp_swept`, and the packed layout's `store.segment.*`).
+//! Methods deliberately open no [`ct_obs`] spans: they are called
+//! from worker threads, and spans are reserved for coordinator code
+//! so the span tree stays thread-count invariant.
 
 use crate::error::StoreError;
 use crate::faults::{self, FaultKind, FaultRegistry};
 use crate::format::{decode_record, encode_record};
 use crate::hash::Digest;
+use crate::segment::{
+    self, ActiveSegment, EntryMeta, IndexEntry, OpenStats, PackedBackend, PackedOptions,
+    PackedState,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fs;
 use std::io::Write as _;
+use std::os::unix::fs::FileExt as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Where a store reports its metrics.
@@ -64,13 +89,26 @@ enum FaultsHandle {
     Local(Arc<FaultRegistry>),
 }
 
+/// Which on-disk layout a constructor asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LayoutChoice {
+    /// Whatever the root already holds (`segments/` → packed,
+    /// otherwise loose), creating a loose store on a fresh root.
+    Auto,
+    /// The packed segment layout, creating it on a fresh root.
+    Packed,
+}
+
 /// A handle to a content-addressed artifact store rooted at a
-/// directory. Cheap to clone; all state lives on disk.
+/// directory. Cheap to clone; clones of one handle share the packed
+/// backend, everything else lives on disk.
 #[derive(Debug, Clone)]
 pub struct Store {
     root: PathBuf,
     sink: MetricsSink,
     faults: FaultsHandle,
+    /// `Some` when this store uses the packed segment layout.
+    packed: Option<Arc<PackedBackend>>,
 }
 
 /// Distinguishes this process's concurrent writers staging into the
@@ -102,15 +140,21 @@ fn startup_nonce() -> u64 {
     })
 }
 
-/// Extra attempts `get`/`put` spend on transient I/O errors before
-/// giving up (configurable via `CT_STORE_RETRIES`; default 2).
-fn retry_budget() -> u32 {
-    static BUDGET: OnceLock<u32> = OnceLock::new();
+/// The per-operation backoff budget, in milliseconds of *planned*
+/// sleep, that `get`/`put`/`evict` may spend absorbing transient I/O
+/// errors before surfacing them (configurable via
+/// `CT_STORE_RETRY_BUDGET_MS`; default 3, which admits exactly two
+/// retries of the 1, 2, 4, ... ms backoff schedule). Budgeting the
+/// planned sleep rather than wall-clock time keeps retry counts
+/// deterministic under scheduler noise, which the fault-campaign
+/// tests rely on.
+fn retry_budget_ms() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
     *BUDGET.get_or_init(|| {
-        std::env::var("CT_STORE_RETRIES")
+        std::env::var("CT_STORE_RETRY_BUDGET_MS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(2)
+            .unwrap_or(3)
     })
 }
 
@@ -145,7 +189,37 @@ impl Store {
     /// Returns [`StoreError::Io`] when the directory tree cannot be
     /// created.
     pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::open_inner(root.as_ref(), MetricsSink::Global, FaultsHandle::Global)
+        Self::open_inner(
+            root.as_ref(),
+            MetricsSink::Global,
+            FaultsHandle::Global,
+            LayoutChoice::Auto,
+            None,
+        )
+    }
+
+    /// Opens (creating if needed) a store using the **packed** segment
+    /// layout: records append to `segments/seg-<nnnn>.ctseg` logs and
+    /// are served from an in-memory index. Size thresholds come from
+    /// `CT_SEGMENT_ROLL_BYTES` / `CT_SEGMENT_SYNC_BYTES` (see
+    /// [`PackedOptions::from_env`]).
+    ///
+    /// The packed layout assumes a single writing process; sharded
+    /// runs write sequentially (each invocation reopens and rescans).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory tree cannot be
+    /// created, when the root already holds a loose store
+    /// (`objects/`), or when a segment cannot be scanned.
+    pub fn open_packed(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_inner(
+            root.as_ref(),
+            MetricsSink::Global,
+            FaultsHandle::Global,
+            LayoutChoice::Packed,
+            None,
+        )
     }
 
     /// Like [`Store::open`], but reporting to a caller-owned registry.
@@ -162,6 +236,8 @@ impl Store {
             root.as_ref(),
             MetricsSink::Local(registry),
             FaultsHandle::Global,
+            LayoutChoice::Auto,
+            None,
         )
     }
 
@@ -182,6 +258,31 @@ impl Store {
             root.as_ref(),
             MetricsSink::Local(registry),
             FaultsHandle::Local(faults),
+            LayoutChoice::Auto,
+            None,
+        )
+    }
+
+    /// Like [`Store::open_packed`], with caller-owned metrics and
+    /// fault registries plus explicit size thresholds — the
+    /// test-facing constructor for forcing segment rolls and group
+    /// syncs at tiny sizes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open_packed`].
+    pub fn open_packed_with_options(
+        root: impl AsRef<Path>,
+        registry: Arc<ct_obs::Registry>,
+        faults: Arc<FaultRegistry>,
+        options: PackedOptions,
+    ) -> Result<Self, StoreError> {
+        Self::open_inner(
+            root.as_ref(),
+            MetricsSink::Local(registry),
+            FaultsHandle::Local(faults),
+            LayoutChoice::Packed,
+            Some(options),
         )
     }
 
@@ -189,15 +290,54 @@ impl Store {
         root: &Path,
         sink: MetricsSink,
         faults: FaultsHandle,
+        layout: LayoutChoice,
+        options: Option<PackedOptions>,
     ) -> Result<Self, StoreError> {
-        for dir in [root.join("objects"), root.join("tmp")] {
-            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, &e))?;
+        let segments = root.join("segments");
+        let objects = root.join("objects");
+        // Layout resolution: an existing layout always wins Auto, and
+        // asking for packed on a loose root is a caller error — the
+        // two layouts never mix under one root.
+        let packed = match layout {
+            LayoutChoice::Packed => {
+                if objects.is_dir() {
+                    let e = std::io::Error::other(
+                        "root already holds a loose store; open it without --packed \
+                         or pick a fresh root for the packed store",
+                    );
+                    return Err(StoreError::io(&objects, &e));
+                }
+                true
+            }
+            LayoutChoice::Auto => segments.is_dir(),
+        };
+        let data_dir = if packed { &segments } else { &objects };
+        for dir in [data_dir, &root.join("tmp")] {
+            fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
         }
-        let store = Self {
+        let mut store = Self {
             root: root.to_path_buf(),
             sink,
             faults,
+            packed: None,
         };
+        if packed {
+            let (state, stats) = store.packed_scan_state(&segments)?;
+            store.add(
+                ct_obs::names::STORE_SEGMENT_FOOTER_LOADS,
+                stats.footer_loads as u64,
+            );
+            store.add(ct_obs::names::STORE_SEGMENT_SCANS, stats.scans as u64);
+            store.add(
+                ct_obs::names::STORE_SEGMENT_TRUNCATED_TAILS,
+                stats.truncated_tails as u64,
+            );
+            store.packed = Some(Arc::new(PackedBackend {
+                dir: segments,
+                options: options.unwrap_or_else(PackedOptions::from_env),
+                state: Mutex::new(state),
+            }));
+        }
         // Crashed writers leave staging files behind forever otherwise;
         // the age threshold keeps us clear of any live writer. Sweep
         // failures must not fail `open` — the store works regardless.
@@ -205,14 +345,21 @@ impl Store {
         Ok(store)
     }
 
+    /// Whether this store uses the packed segment layout.
+    pub fn is_packed(&self) -> bool {
+        self.packed.is_some()
+    }
+
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
     }
 
-    /// The on-disk path a record for `key` lives at (whether or not it
-    /// exists yet). Exposed for tests and tooling that inspect or
-    /// damage records deliberately.
+    /// The on-disk path a record for `key` lives at in the **loose**
+    /// layout (whether or not it exists yet). Exposed for tests and
+    /// tooling that inspect or damage records deliberately; packed
+    /// stores keep no per-record files — damage those through their
+    /// `segments/seg-<nnnn>.ctseg` files instead.
     pub fn record_path(&self, key: &Digest) -> PathBuf {
         let hex = key.to_hex();
         self.root
@@ -258,21 +405,41 @@ impl Store {
     }
 
     /// Runs `op`, retrying transient I/O errors with exponential
-    /// backoff up to the configured budget. Non-transient errors and
-    /// exhausted budgets surface unchanged.
+    /// backoff while the next planned sleep still fits the
+    /// per-operation deadline budget ([`retry_budget_ms`]).
+    /// Non-transient errors and exhausted budgets surface unchanged;
+    /// each backoff sleep is observed on the `store.retry_wait_ms`
+    /// histogram so retry latency (p50/p99) is visible in `--metrics`
+    /// snapshots.
     fn retry_transient<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
-        let budget = retry_budget();
-        let mut attempt = 0;
+        let budget = retry_budget_ms();
+        let mut spent: u64 = 0;
+        let mut attempt: u32 = 0;
         loop {
             match op() {
-                Err(e) if attempt < budget && is_transient(&e) => {
+                Err(e) if is_transient(&e) => {
+                    let wait = 1u64 << attempt.min(6);
+                    if spent + wait > budget {
+                        return Err(e);
+                    }
                     attempt += 1;
+                    spent += wait;
                     self.add(ct_obs::names::STORE_RETRIES, 1);
-                    std::thread::sleep(Duration::from_millis(1 << (attempt - 1).min(6)));
+                    self.observe_retry_wait(wait);
+                    std::thread::sleep(Duration::from_millis(wait));
                 }
                 other => return other,
             }
         }
+    }
+
+    fn observe_retry_wait(&self, wait_ms: u64) {
+        let bounds = &ct_obs::names::STORE_RETRY_WAIT_MS_BOUNDS;
+        let h = match &self.sink {
+            MetricsSink::Global => ct_obs::histogram(ct_obs::names::STORE_RETRY_WAIT_MS, bounds),
+            MetricsSink::Local(r) => r.histogram(ct_obs::names::STORE_RETRY_WAIT_MS, bounds),
+        };
+        h.observe(wait_ms as f64);
     }
 
     /// Fetches the payload stored under `key`.
@@ -289,6 +456,9 @@ impl Store {
     /// (e.g. permission errors) that survive the transient-retry
     /// budget — never for corrupt content.
     pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.packed.is_some() {
+            return self.packed_get(key);
+        }
         let path = self.record_path(key);
         let read = self.retry_transient(|| {
             let fault = self.injected_fault(faults::sites::STORE_GET_READ);
@@ -387,6 +557,9 @@ impl Store {
     /// Returns [`StoreError::Io`] when staging, renaming, or the
     /// directory fsync fails past the transient-retry budget.
     pub fn put(&self, key: &Digest, payload: &[u8]) -> Result<(), StoreError> {
+        if self.packed.is_some() {
+            return self.packed_put(key, payload);
+        }
         let path = self.record_path(key);
         let dir = path.parent().expect("record path has a parent");
         fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
@@ -433,6 +606,10 @@ impl Store {
     /// Returns [`StoreError::Io`] when the removal itself fails.
     pub fn invalidate(&self, key: &Digest) -> Result<(), StoreError> {
         self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+        if self.packed.is_some() {
+            self.packed_tombstone(key)?;
+            return Ok(());
+        }
         self.remove_file(&self.record_path(key))
     }
 
@@ -443,6 +620,9 @@ impl Store {
     /// Returns [`StoreError::Io`] when the removal fails for a reason
     /// other than the record being absent.
     pub fn evict(&self, key: &Digest) -> Result<bool, StoreError> {
+        if self.packed.is_some() {
+            return self.packed_tombstone(key);
+        }
         let path = self.record_path(key);
         if !path.exists() {
             return Ok(false);
@@ -515,6 +695,23 @@ impl Store {
     /// unlistable directory, an unreadable record). Corruption is
     /// never an error: it is what the walk exists to count.
     pub fn fsck(&self, options: &FsckOptions) -> Result<FsckReport, StoreError> {
+        let mut report = if self.packed.is_some() {
+            self.packed_fsck(options)?
+        } else {
+            self.loose_fsck(options)?
+        };
+        let tmp_dir = self.root.join("tmp");
+        report.tmp_files = fs::read_dir(&tmp_dir)
+            .map_err(|e| StoreError::io(&tmp_dir, &e))?
+            .count();
+        if options.repair {
+            report.tmp_swept = self.sweep_tmp(options.tmp_max_age)?;
+        }
+        Ok(report)
+    }
+
+    /// The record walk of [`Store::fsck`] for the loose layout.
+    fn loose_fsck(&self, options: &FsckOptions) -> Result<FsckReport, StoreError> {
         let mut report = FsckReport::default();
         let objects = self.root.join("objects");
         let shards = fs::read_dir(&objects).map_err(|e| StoreError::io(&objects, &e))?;
@@ -530,6 +727,21 @@ impl Store {
                 report.records_scanned += 1;
                 report.bytes_scanned += bytes.len() as u64;
                 if decode_record(&bytes).is_ok() {
+                    // A valid record can still be *stale*: age-based
+                    // pruning removes records not rewritten within the
+                    // caller's bound, keeping long-lived stores bounded.
+                    let stale = options.prune_max_age.is_some_and(|age| {
+                        record
+                            .metadata()
+                            .and_then(|m| m.modified())
+                            .ok()
+                            .and_then(|t| t.elapsed().ok())
+                            .is_some_and(|a| a >= age)
+                    });
+                    if stale {
+                        self.remove_file(&path)?;
+                        report.pruned += 1;
+                    }
                     continue;
                 }
                 report.corrupt_records += 1;
@@ -540,15 +752,552 @@ impl Store {
                 }
             }
         }
-        let tmp_dir = self.root.join("tmp");
-        report.tmp_files = fs::read_dir(&tmp_dir)
-            .map_err(|e| StoreError::io(&tmp_dir, &e))?
-            .count();
+        Ok(report)
+    }
+}
+
+/// The packed-layout implementation. Same public contract as the
+/// loose paths ([`Store::get`]/[`Store::put`]/… dispatch here when
+/// the backend is packed); see [`crate::segment`] for the on-disk
+/// format and recovery rules.
+impl Store {
+    /// Rebuilds the in-memory index by walking `dir`'s segments in id
+    /// order: sealed segments load their footer (O(1) entries read
+    /// per record, no payload I/O), unsealed ones are frame-scanned,
+    /// and a torn tail is truncated back to the last clean entry
+    /// boundary. The last unsealed segment becomes the append target;
+    /// a fresh one is created when every segment is sealed.
+    fn packed_scan_state(&self, dir: &Path) -> Result<(PackedState, OpenStats), StoreError> {
+        let mut stats = OpenStats::default();
+        let mut ids: Vec<u32> = Vec::new();
+        let listing = fs::read_dir(dir).map_err(|e| StoreError::io(dir, &e))?;
+        for entry in listing.flatten() {
+            if let Some(id) = entry
+                .file_name()
+                .to_str()
+                .and_then(segment::parse_segment_id)
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        let mut index = HashMap::new();
+        let mut files = BTreeMap::new();
+        let mut active: Option<ActiveSegment> = None;
+        for (i, &id) in ids.iter().enumerate() {
+            let path = segment::segment_path(dir, id);
+            let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+            let file = fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .map_err(|e| StoreError::io(&path, &e))?;
+            if let Some(footer) = segment::decode_footer(&bytes) {
+                stats.footer_loads += 1;
+                for e in &footer.entries {
+                    segment::apply_entry(&mut index, id, e);
+                }
+            } else {
+                stats.scans += 1;
+                let scan = segment::scan_entries(&bytes, bytes.len() as u64);
+                if scan.truncated {
+                    stats.truncated_tails += 1;
+                    file.set_len(scan.clean_len)
+                        .map_err(|e| StoreError::io(&path, &e))?;
+                }
+                for e in &scan.entries {
+                    segment::apply_entry(&mut index, id, e);
+                }
+                if i == ids.len() - 1 {
+                    active = Some(ActiveSegment {
+                        id,
+                        len: scan.clean_len,
+                        unsynced: 0,
+                        pending: scan.entries,
+                    });
+                }
+            }
+            files.insert(id, Arc::new(file));
+        }
+        let active = match active {
+            Some(a) => a,
+            None => {
+                let id = ids.last().map_or(0, |last| last + 1);
+                let path = segment::segment_path(dir, id);
+                let file = fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(&path)
+                    .map_err(|e| StoreError::io(&path, &e))?;
+                files.insert(id, Arc::new(file));
+                ActiveSegment {
+                    id,
+                    len: 0,
+                    unsynced: 0,
+                    pending: Vec::new(),
+                }
+            }
+        };
+        Ok((
+            PackedState {
+                index,
+                files,
+                active,
+            },
+            stats,
+        ))
+    }
+
+    fn backend(&self) -> Arc<PackedBackend> {
+        Arc::clone(self.packed.as_ref().expect("packed backend present"))
+    }
+
+    /// Appends one entry to the active segment and indexes it, then
+    /// group-syncs and seals when the byte thresholds say so. Caller
+    /// holds the state lock. The `segment.append` failpoint sits at
+    /// the top: `io`/`enospc` fail before any byte lands, `torn`
+    /// writes half the entry past the logical end (where the next
+    /// append overwrites it — exactly a crash mid-append), `corrupt`
+    /// mangles a byte and "succeeds" for the frame checksum to catch
+    /// on read.
+    fn packed_append_locked(
+        &self,
+        backend: &PackedBackend,
+        state: &mut PackedState,
+        key: &Digest,
+        kind: u8,
+        frame: &[u8],
+    ) -> std::io::Result<()> {
+        let ts = segment::now_unix_secs();
+        let mut entry = segment::encode_entry(key, kind, ts, frame);
+        let file = Arc::clone(state.files.get(&state.active.id).expect("active file"));
+        match self.injected_fault(faults::sites::SEGMENT_APPEND) {
+            Some(k @ (FaultKind::Io | FaultKind::Enospc)) => return Err(k.io_error()),
+            Some(FaultKind::PartialWrite) => {
+                file.write_all_at(&entry[..entry.len() / 2], state.active.len)?;
+                return Err(FaultKind::PartialWrite.io_error());
+            }
+            Some(FaultKind::Corruption) => {
+                if let Some(b) = entry.last_mut() {
+                    *b ^= 0x01;
+                }
+            }
+            None => {}
+        }
+        let offset = state.active.len;
+        file.write_all_at(&entry, offset)?;
+        let meta = EntryMeta {
+            key: *key,
+            kind,
+            ts,
+            offset,
+            len: entry.len() as u64,
+        };
+        segment::apply_entry(&mut state.index, state.active.id, &meta);
+        state.active.pending.push(meta);
+        state.active.len += entry.len() as u64;
+        state.active.unsynced += entry.len() as u64;
+        self.add(ct_obs::names::STORE_SEGMENT_APPENDS, 1);
+        if state.active.unsynced >= backend.options.sync_bytes {
+            self.packed_group_sync_locked(state)?;
+        }
+        if state.active.len >= backend.options.roll_bytes {
+            self.packed_seal_locked(backend, state)?;
+        }
+        Ok(())
+    }
+
+    /// The group fsync: one `fdatasync` covering every append since
+    /// the last one. A failure errors the put that tripped the
+    /// threshold (the entry stays indexed and readable — mirroring
+    /// the loose layout's dir-fsync semantics, where the record is
+    /// visible but not yet provably durable); `unsynced` is reset
+    /// only on success so the next put retries the sync.
+    fn packed_group_sync_locked(&self, state: &mut PackedState) -> std::io::Result<()> {
+        if let Some(k) = self.injected_fault(faults::sites::SEGMENT_SYNC) {
+            return Err(k.io_error());
+        }
+        state
+            .files
+            .get(&state.active.id)
+            .expect("active file")
+            .sync_data()?;
+        state.active.unsynced = 0;
+        self.add(ct_obs::names::STORE_SEGMENT_GROUP_SYNCS, 1);
+        Ok(())
+    }
+
+    /// Seals the active segment — truncate torn garbage, append the
+    /// footer, fsync file and directory — and rolls to a fresh one.
+    /// On failure the segment stays active and over-threshold, so the
+    /// next put retries the seal.
+    fn packed_seal_locked(
+        &self,
+        backend: &PackedBackend,
+        state: &mut PackedState,
+    ) -> std::io::Result<()> {
+        if let Some(k) = self.injected_fault(faults::sites::SEGMENT_FOOTER) {
+            return Err(k.io_error());
+        }
+        let file = Arc::clone(state.files.get(&state.active.id).expect("active file"));
+        // Drop any torn bytes past the logical end first, so the
+        // footer trailer becomes the physical end of the file.
+        file.set_len(state.active.len)?;
+        let footer = segment::encode_footer(&state.active.pending);
+        file.write_all_at(&footer, state.active.len)?;
+        file.sync_data()?;
+        fsync_dir(&backend.dir)?;
+        state.active.unsynced = 0;
+        self.add(ct_obs::names::STORE_SEGMENT_SEALS, 1);
+        let id = state.active.id + 1;
+        let path = segment::segment_path(&backend.dir, id);
+        let fresh = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        files_insert_fresh(state, id, fresh);
+        Ok(())
+    }
+
+    fn packed_put(&self, key: &Digest, payload: &[u8]) -> Result<(), StoreError> {
+        let backend = self.backend();
+        let frame = encode_record(payload);
+        let written = self.retry_transient(|| {
+            let mut state = backend.state.lock().expect("packed store lock");
+            self.packed_append_locked(&backend, &mut state, key, segment::KIND_PUT, &frame)
+        });
+        if let Err(e) = written {
+            return Err(StoreError::io(&backend.dir, &e));
+        }
+        self.add(ct_obs::names::STORE_RECORDS_WRITTEN, 1);
+        self.observe_bytes(frame.len());
+        Ok(())
+    }
+
+    fn packed_get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
+        let backend = self.backend();
+        let located = {
+            let state = backend.state.lock().expect("packed store lock");
+            state.index.get(key).map(|e| {
+                let file = state.files.get(&e.seg).expect("indexed segment file");
+                (Arc::clone(file), *e)
+            })
+        };
+        let Some((file, entry)) = located else {
+            self.add(ct_obs::names::STORE_MISSES, 1);
+            return Ok(None);
+        };
+        // The pread happens outside the lock: readers never serialize
+        // behind appends. (A concurrent compaction renames the file
+        // away, but this fd still reads the old, valid bytes.)
+        let read = self.retry_transient(|| {
+            let fault = self.injected_fault(faults::sites::STORE_GET_READ);
+            if let Some(kind @ (FaultKind::Io | FaultKind::Enospc)) = fault {
+                return Err(kind.io_error());
+            }
+            let mut bytes = vec![0u8; entry.len as usize];
+            file.read_exact_at(&mut bytes, entry.offset)?;
+            match fault {
+                Some(FaultKind::Corruption) => {
+                    if let Some(b) = bytes.last_mut() {
+                        *b ^= 0x01;
+                    }
+                }
+                Some(FaultKind::PartialWrite) => bytes.truncate(bytes.len() / 2),
+                _ => {}
+            }
+            Ok(bytes)
+        });
+        let bytes = match read {
+            Ok(b) => b,
+            // An index entry pointing past EOF is a truncated segment:
+            // corruption, not an environmental error.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+                self.packed_tombstone(key)?;
+                return Ok(None);
+            }
+            Err(e) => {
+                let path = segment::segment_path(&backend.dir, entry.seg);
+                return Err(StoreError::io(&path, &e));
+            }
+        };
+        match segment::validate_entry(&bytes, key) {
+            Some(payload) => {
+                self.add(ct_obs::names::STORE_HITS, 1);
+                Ok(Some(payload.to_vec()))
+            }
+            None => {
+                // Validate-or-evict, packed edition: the eviction is a
+                // tombstone masking the corrupt entry, and the caller
+                // sees a plain miss.
+                self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+                self.packed_tombstone(key)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Appends a tombstone masking `key` if it is live, returning
+    /// whether it was. The `store.evict.remove` failpoint guards the
+    /// operation for layout parity with loose eviction.
+    fn packed_tombstone(&self, key: &Digest) -> Result<bool, StoreError> {
+        let backend = self.backend();
+        let guarded =
+            self.retry_transient(
+                || match self.injected_fault(faults::sites::STORE_EVICT_REMOVE) {
+                    Some(kind) => Err(kind.io_error()),
+                    None => Ok(()),
+                },
+            );
+        if let Err(e) = guarded {
+            return Err(StoreError::io(&backend.dir, &e));
+        }
+        {
+            let state = backend.state.lock().expect("packed store lock");
+            if !state.index.contains_key(key) {
+                return Ok(false);
+            }
+        }
+        let frame = encode_record(&[]);
+        let appended = self.retry_transient(|| {
+            let mut state = backend.state.lock().expect("packed store lock");
+            self.packed_append_locked(&backend, &mut state, key, segment::KIND_TOMBSTONE, &frame)
+        });
+        if let Err(e) = appended {
+            return Err(StoreError::io(&backend.dir, &e));
+        }
+        self.add(ct_obs::names::STORE_EVICTIONS, 1);
+        Ok(true)
+    }
+
+    /// The record walk of [`Store::fsck`] for the packed layout:
+    /// prune stale entries, validate every live entry end-to-end,
+    /// and — in repair mode — drop corrupt entries and compact every
+    /// segment that holds one (plus sealed segments whose live ratio
+    /// fell under [`segment::COMPACT_LIVE_RATIO`]).
+    fn packed_fsck(&self, options: &FsckOptions) -> Result<FsckReport, StoreError> {
+        let backend = self.backend();
+        let dir = backend.dir.clone();
+        let mut report = FsckReport::default();
+        let mut guard = backend.state.lock().expect("packed store lock");
+        let state = &mut *guard;
+
+        // Age-based pruning first: a pruned entry is tombstoned out of
+        // the index before the scan, so it is neither validated nor
+        // counted as live below.
+        if let Some(age) = options.prune_max_age {
+            let now = segment::now_unix_secs();
+            let mut stale: Vec<Digest> = state
+                .index
+                .iter()
+                .filter(|(_, e)| now.saturating_sub(e.ts) >= age.as_secs())
+                .map(|(k, _)| *k)
+                .collect();
+            stale.sort_unstable_by_key(|k| k.0);
+            let frame = encode_record(&[]);
+            for key in stale {
+                self.packed_append_locked(&backend, state, &key, segment::KIND_TOMBSTONE, &frame)
+                    .map_err(|e| StoreError::io(&dir, &e))?;
+                self.add(ct_obs::names::STORE_EVICTIONS, 1);
+                report.pruned += 1;
+            }
+        }
+
+        // Load every segment image once, then validate each live
+        // entry's bytes end-to-end (key, frame, checksum).
+        let ids: Vec<u32> = state.files.keys().copied().collect();
+        let mut images: HashMap<u32, Vec<u8>> = HashMap::new();
+        for &id in &ids {
+            let path = segment::segment_path(&dir, id);
+            let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+            report.segments_scanned += 1;
+            report.bytes_scanned += bytes.len() as u64;
+            images.insert(id, bytes);
+        }
+        let mut live: Vec<(Digest, IndexEntry)> =
+            state.index.iter().map(|(k, e)| (*k, *e)).collect();
+        live.sort_unstable_by_key(|(_, e)| (e.seg, e.offset));
+        let mut corrupt: Vec<Digest> = Vec::new();
+        let mut live_bytes: HashMap<u32, u64> = HashMap::new();
+        for (key, e) in live {
+            report.records_scanned += 1;
+            let ok = images[&e.seg]
+                .get(e.offset as usize..(e.offset + e.len) as usize)
+                .and_then(|b| segment::validate_entry(b, &key))
+                .is_some();
+            if ok {
+                *live_bytes.entry(e.seg).or_default() += e.len;
+            } else {
+                report.corrupt_records += 1;
+                corrupt.push(key);
+            }
+        }
+
         if options.repair {
-            report.tmp_swept = self.sweep_tmp(options.tmp_max_age)?;
+            // Drop each corrupt entry and *tombstone* it, so the
+            // repair survives a crash before compaction: replaying
+            // the log can never resurrect an entry fsck dropped.
+            let mut dirty: BTreeSet<u32> = BTreeSet::new();
+            let frame = encode_record(&[]);
+            for key in &corrupt {
+                if let Some(e) = state.index.remove(key) {
+                    dirty.insert(e.seg);
+                    self.packed_append_locked(
+                        &backend,
+                        state,
+                        key,
+                        segment::KIND_TOMBSTONE,
+                        &frame,
+                    )
+                    .map_err(|e| StoreError::io(&dir, &e))?;
+                    self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+                    self.add(ct_obs::names::STORE_EVICTIONS, 1);
+                    report.repaired += 1;
+                }
+            }
+            for &id in &ids {
+                let image = &images[&id];
+                if image.is_empty() {
+                    continue;
+                }
+                let live = *live_bytes.get(&id).unwrap_or(&0) as f64;
+                let low_ratio = id != state.active.id
+                    && live / (image.len() as f64) < segment::COMPACT_LIVE_RATIO;
+                if dirty.contains(&id) || low_ratio {
+                    self.packed_compact_locked(&backend, state, id, &mut report)?;
+                }
+            }
         }
         Ok(report)
     }
+
+    /// Rewrites segment `id` keeping only its live entries (and the
+    /// tombstones still masking older puts in lower segments),
+    /// sealed with a fresh footer, via stage-then-rename under `tmp/`
+    /// — a crash mid-compaction leaves the original segment
+    /// untouched. Caller holds the state lock.
+    fn packed_compact_locked(
+        &self,
+        backend: &PackedBackend,
+        state: &mut PackedState,
+        id: u32,
+        report: &mut FsckReport,
+    ) -> Result<(), StoreError> {
+        let path = segment::segment_path(&backend.dir, id);
+        if let Some(kind) = self.injected_fault(faults::sites::SEGMENT_COMPACT) {
+            return Err(StoreError::io(&path, &kind.io_error()));
+        }
+        // Read the segment fresh — repair tombstones may have landed
+        // after any earlier image was taken.
+        let image = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+        let image = image.as_slice();
+        // The full entry list: the active segment's pending list is
+        // authoritative (= its scan); sealed segments use the footer,
+        // and anything else is frame-scanned.
+        let entries: Vec<EntryMeta> = if id == state.active.id {
+            state.active.pending.clone()
+        } else if let Some(footer) = segment::decode_footer(image) {
+            footer.entries
+        } else {
+            segment::scan_entries(image, image.len() as u64).entries
+        };
+        let mut out: Vec<u8> = Vec::new();
+        let mut metas: Vec<EntryMeta> = Vec::new();
+        for e in entries {
+            let keep = if e.kind == segment::KIND_TOMBSTONE {
+                // Dropping a tombstone for a dead key could resurrect
+                // an older put in a lower segment on the next replay;
+                // a live key's tombstones are superseded and safe to
+                // drop.
+                !state.index.contains_key(&e.key)
+            } else {
+                state.index.get(&e.key)
+                    == Some(&IndexEntry {
+                        seg: id,
+                        offset: e.offset,
+                        len: e.len,
+                        ts: e.ts,
+                    })
+            };
+            if !keep {
+                continue;
+            }
+            let Some(bytes) = image.get(e.offset as usize..(e.offset + e.len) as usize) else {
+                continue;
+            };
+            if e.kind == segment::KIND_PUT && segment::validate_entry(bytes, &e.key).is_none() {
+                continue;
+            }
+            let offset = out.len() as u64;
+            out.extend_from_slice(bytes);
+            metas.push(EntryMeta { offset, ..e });
+        }
+        out.extend_from_slice(&segment::encode_footer(&metas));
+        let tmp = self.root.join("tmp").join(format!(
+            "seg-{id:04}.compact.{}.{:016x}.{}.tmp",
+            std::process::id(),
+            startup_nonce(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let staged = (|| -> std::io::Result<fs::File> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)?;
+            fsync_dir(&backend.dir)?;
+            fs::OpenOptions::new().read(true).write(true).open(&path)
+        })();
+        let file = match staged {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                return Err(StoreError::io(&path, &e));
+            }
+        };
+        state.files.insert(id, Arc::new(file));
+        for m in &metas {
+            if m.kind != segment::KIND_PUT {
+                continue;
+            }
+            if let Some(ie) = state.index.get_mut(&m.key) {
+                if ie.seg == id {
+                    ie.offset = m.offset;
+                }
+            }
+        }
+        self.add(ct_obs::names::STORE_SEGMENT_COMPACTIONS, 1);
+        self.add(ct_obs::names::STORE_SEGMENT_SEALS, 1);
+        report.segments_compacted += 1;
+        if id == state.active.id {
+            // The active segment is sealed now; appends need a fresh
+            // target.
+            let next = state.files.keys().max().copied().unwrap_or(0) + 1;
+            let npath = segment::segment_path(&backend.dir, next);
+            let nfile = fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&npath)
+                .map_err(|e| StoreError::io(&npath, &e))?;
+            files_insert_fresh(state, next, nfile);
+        }
+        Ok(())
+    }
+}
+
+/// Registers a brand-new empty segment as the append target.
+fn files_insert_fresh(state: &mut PackedState, id: u32, file: fs::File) {
+    state.files.insert(id, Arc::new(file));
+    state.active = ActiveSegment {
+        id,
+        len: 0,
+        unsynced: 0,
+        pending: Vec::new(),
+    };
 }
 
 /// What [`Store::fsck`] is allowed to do.
@@ -560,6 +1309,11 @@ pub struct FsckOptions {
     /// Minimum age before a `tmp/` staging file counts as orphaned
     /// (see [`Store::sweep_tmp`]).
     pub tmp_max_age: Duration,
+    /// When set, *prune* valid records at least this old (loose: by
+    /// file mtime; packed: by entry write timestamp). Pruning acts
+    /// whenever set — with or without `repair` — because passing an
+    /// age is already an explicit destructive request.
+    pub prune_max_age: Option<Duration>,
 }
 
 impl Default for FsckOptions {
@@ -567,6 +1321,7 @@ impl Default for FsckOptions {
         Self {
             repair: false,
             tmp_max_age: DEFAULT_TMP_MAX_AGE,
+            prune_max_age: None,
         }
     }
 }
@@ -587,6 +1342,13 @@ pub struct FsckReport {
     pub tmp_files: usize,
     /// Staging files swept as orphans (repair mode only).
     pub tmp_swept: usize,
+    /// Segment files walked (packed layout only).
+    pub segments_scanned: usize,
+    /// Segments rewritten by compaction (packed repair mode only).
+    pub segments_compacted: usize,
+    /// Valid-but-stale records pruned by age
+    /// ([`FsckOptions::prune_max_age`]).
+    pub pruned: usize,
 }
 
 impl FsckReport {
@@ -606,13 +1368,19 @@ impl FsckReport {
              fsck,corrupt_records,{}\n\
              fsck,repaired,{}\n\
              fsck,tmp_files,{}\n\
-             fsck,tmp_swept,{}\n",
+             fsck,tmp_swept,{}\n\
+             fsck,segments_scanned,{}\n\
+             fsck,segments_compacted,{}\n\
+             fsck,pruned,{}\n",
             self.records_scanned,
             self.bytes_scanned,
             self.corrupt_records,
             self.repaired,
             self.tmp_files,
-            self.tmp_swept
+            self.tmp_swept,
+            self.segments_scanned,
+            self.segments_compacted,
+            self.pruned
         )
     }
 }
@@ -860,7 +1628,8 @@ mod tests {
         store.put(&key("a"), b"payload").unwrap();
         faults.arm(FaultSpec::every(sites::STORE_GET_READ, 1, FaultKind::Io));
         assert!(store.get(&key("a")).is_err(), "budget exhausted → error");
-        // Default budget is 2 extra attempts → 2 retries counted.
+        // The default 3 ms deadline admits the 1 ms and 2 ms backoffs
+        // (1 + 2 = 3) and rejects the 4 ms one → exactly 2 retries.
         assert_eq!(counter(&reg, ct_obs::names::STORE_RETRIES), 2);
         assert_eq!(counter(&reg, ct_obs::names::FAULTS_FIRED), 3);
         let _ = fs::remove_dir_all(root);
@@ -914,6 +1683,7 @@ mod tests {
             .fsck(&FsckOptions {
                 repair: true,
                 tmp_max_age: Duration::ZERO,
+                prune_max_age: None,
             })
             .unwrap();
         assert_eq!(report.corrupt_records, 2);
@@ -948,5 +1718,320 @@ mod tests {
             "open-time sweep must never race a live writer's fresh file"
         );
         let _ = fs::remove_dir_all(root);
+    }
+
+    /// A packed scratch store with tiny thresholds so tests exercise
+    /// rolls and group syncs without megabytes of payload.
+    fn packed_scratch(
+        tag: &str,
+        options: PackedOptions,
+    ) -> (Store, Arc<ct_obs::Registry>, Arc<FaultRegistry>, PathBuf) {
+        let root =
+            std::env::temp_dir().join(format!("ct-store-packed-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let registry = Arc::new(ct_obs::Registry::new());
+        let faults = Arc::new(FaultRegistry::with_obs(Arc::clone(&registry)));
+        let store = Store::open_packed_with_options(
+            &root,
+            Arc::clone(&registry),
+            Arc::clone(&faults),
+            options,
+        )
+        .unwrap();
+        (store, registry, faults, root)
+    }
+
+    const SMALL_SEGMENTS: PackedOptions = PackedOptions {
+        roll_bytes: 512,
+        sync_bytes: 128,
+    };
+
+    #[test]
+    fn packed_round_trip_overwrite_and_counters() {
+        let (store, reg, _, root) = packed_scratch("round-trip", SMALL_SEGMENTS);
+        assert!(store.is_packed());
+        let k = key("a");
+        assert_eq!(store.get(&k).unwrap(), None);
+        store.put(&k, b"v1").unwrap();
+        store.put(&k, b"v2").unwrap();
+        assert_eq!(store.get(&k).unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(counter(&reg, ct_obs::names::STORE_MISSES), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_HITS), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_RECORDS_WRITTEN), 2);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_SEGMENT_APPENDS), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_rolls_segments_and_reopens_from_footers() {
+        let (store, reg, _, root) = packed_scratch("roll", SMALL_SEGMENTS);
+        for i in 0..12u8 {
+            store.put(&key(&format!("k{i}")), &[i; 100]).unwrap();
+        }
+        let seals = counter(&reg, ct_obs::names::STORE_SEGMENT_SEALS);
+        assert!(
+            seals >= 2,
+            "100-byte payloads at roll=512 must seal: {seals}"
+        );
+        assert!(counter(&reg, ct_obs::names::STORE_SEGMENT_GROUP_SYNCS) >= seals);
+        drop(store);
+
+        // Reopen (auto-detected): sealed segments load from footers,
+        // only the unsealed tail is frame-scanned, and every record
+        // survives bit-for-bit.
+        let registry = Arc::new(ct_obs::Registry::new());
+        let reopened = Store::open_with_registry(&root, Arc::clone(&registry)).unwrap();
+        assert!(reopened.is_packed());
+        assert_eq!(
+            counter(&registry, ct_obs::names::STORE_SEGMENT_FOOTER_LOADS),
+            seals
+        );
+        assert!(counter(&registry, ct_obs::names::STORE_SEGMENT_SCANS) <= 1);
+        for i in 0..12u8 {
+            assert_eq!(
+                reopened.get(&key(&format!("k{i}"))).unwrap(),
+                Some(vec![i; 100]),
+                "record k{i} must survive reopen"
+            );
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_evict_tombstones_across_reopen() {
+        let (store, reg, _, root) = packed_scratch("evict", SMALL_SEGMENTS);
+        let k = key("a");
+        assert!(!store.evict(&k).unwrap());
+        store.put(&k, b"x").unwrap();
+        assert!(store.evict(&k).unwrap());
+        assert_eq!(store.get(&k).unwrap(), None);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 1);
+        drop(store);
+        // The tombstone replays on reopen: the key must stay dead.
+        let reopened = Store::open(&root).unwrap();
+        assert_eq!(reopened.get(&k).unwrap(), None);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_truncated_tail_recovers_clean_prefix() {
+        let (store, _, _, root) = packed_scratch("torn-tail", SMALL_SEGMENTS);
+        store.put(&key("a"), b"first").unwrap();
+        store.put(&key("b"), b"second").unwrap();
+        drop(store);
+        // Tear the tail of the active segment, as a crash mid-append
+        // would: the last entry loses its end.
+        let seg = root.join("segments").join("seg-0000.ctseg");
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 4]).unwrap();
+
+        let registry = Arc::new(ct_obs::Registry::new());
+        let reopened = Store::open_with_registry(&root, Arc::clone(&registry)).unwrap();
+        assert_eq!(
+            counter(&registry, ct_obs::names::STORE_SEGMENT_TRUNCATED_TAILS),
+            1
+        );
+        assert_eq!(reopened.get(&key("a")).unwrap(), Some(b"first".to_vec()));
+        assert_eq!(reopened.get(&key("b")).unwrap(), None, "torn entry gone");
+        // The store keeps working where the tail was truncated.
+        reopened.put(&key("b"), b"second again").unwrap();
+        assert_eq!(
+            reopened.get(&key("b")).unwrap(),
+            Some(b"second again".to_vec())
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_corrupt_entry_evicts_on_read_and_fsck_compacts() {
+        let (store, reg, _, root) = packed_scratch("bit-flip", SMALL_SEGMENTS);
+        store.put(&key("a"), b"aaaa").unwrap();
+        store.put(&key("b"), b"bbbb").unwrap();
+        drop(store);
+        // Flip one payload byte mid-segment (inside entry "a", whose
+        // frame starts after the 25-byte entry header).
+        let seg = root.join("segments").join("seg-0000.ctseg");
+        let mut bytes = fs::read(&seg).unwrap();
+        let target = crate::segment::ENTRY_HEADER_LEN + crate::format::HEADER_LEN;
+        bytes[target] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+
+        let reopened = Store::open_with_registry(&root, Arc::clone(&reg)).unwrap();
+        // fsck (read-only) sees exactly one corrupt live entry.
+        let report = reopened.fsck(&FsckOptions::default()).unwrap();
+        assert_eq!(report.records_scanned, 2);
+        assert_eq!(report.segments_scanned, 1);
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(report.segments_compacted, 0);
+        // Repair drops it and compacts the dirty segment.
+        let report = reopened
+            .fsck(&FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            })
+            .unwrap();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.segments_compacted, 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_SEGMENT_COMPACTIONS), 1);
+        // The survivor reads clean; the corrupt key is a plain miss;
+        // a third fsck is clean.
+        assert_eq!(reopened.get(&key("b")).unwrap(), Some(b"bbbb".to_vec()));
+        assert_eq!(reopened.get(&key("a")).unwrap(), None);
+        assert!(reopened.fsck(&FsckOptions::default()).unwrap().clean());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_read_path_evicts_corruption_like_loose() {
+        let (store, reg, faults, root) = packed_scratch("read-corrupt", SMALL_SEGMENTS);
+        store.put(&key("a"), b"payload").unwrap();
+        faults.arm(FaultSpec::once(
+            sites::STORE_GET_READ,
+            1,
+            FaultKind::Corruption,
+        ));
+        assert_eq!(store.get(&key("a")).unwrap(), None, "checksum catches it");
+        assert_eq!(counter(&reg, ct_obs::names::STORE_CORRUPT_RECORDS), 1);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 1);
+        // The eviction tombstoned the entry — and a fresh put heals.
+        store.put(&key("a"), b"payload").unwrap();
+        assert_eq!(store.get(&key("a")).unwrap(), Some(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_open_refuses_a_loose_root_and_vice_versa() {
+        let (_, _, root) = scratch("layout-conflict");
+        let e = Store::open_packed(&root).unwrap_err();
+        assert!(e.to_string().contains("loose store"), "{e}");
+        let _ = fs::remove_dir_all(&root);
+
+        // And auto-detection keeps opening packed roots as packed.
+        let (packed, _, _, proot) = packed_scratch("layout-auto", SMALL_SEGMENTS);
+        packed.put(&key("a"), b"x").unwrap();
+        drop(packed);
+        assert!(Store::open(&proot).unwrap().is_packed());
+        let _ = fs::remove_dir_all(proot);
+    }
+
+    #[test]
+    fn prune_removes_stale_records_in_both_layouts() {
+        // Loose: age zero prunes every valid record.
+        let (store, reg, root) = scratch("prune-loose");
+        for i in 0..3u8 {
+            store.put(&key(&format!("k{i}")), &[i; 16]).unwrap();
+        }
+        let report = store
+            .fsck(&FsckOptions {
+                prune_max_age: Some(Duration::ZERO),
+                ..FsckOptions::default()
+            })
+            .unwrap();
+        assert_eq!(report.pruned, 3);
+        assert_eq!(report.corrupt_records, 0);
+        assert_eq!(store.get(&key("k0")).unwrap(), None);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 3);
+        let _ = fs::remove_dir_all(root);
+
+        // Packed: same contract, tombstone-based.
+        let (store, reg, _, root) = packed_scratch("prune-packed", SMALL_SEGMENTS);
+        for i in 0..3u8 {
+            store.put(&key(&format!("k{i}")), &[i; 16]).unwrap();
+        }
+        let report = store
+            .fsck(&FsckOptions {
+                prune_max_age: Some(Duration::ZERO),
+                ..FsckOptions::default()
+            })
+            .unwrap();
+        assert_eq!(report.pruned, 3);
+        assert_eq!(store.get(&key("k0")).unwrap(), None);
+        assert_eq!(counter(&reg, ct_obs::names::STORE_EVICTIONS), 3);
+        // Future-dated records never prune; fresh ones survive a
+        // bounded age.
+        store.put(&key("fresh"), b"new").unwrap();
+        let report = store
+            .fsck(&FsckOptions {
+                prune_max_age: Some(Duration::from_secs(3600)),
+                ..FsckOptions::default()
+            })
+            .unwrap();
+        assert_eq!(report.pruned, 0);
+        assert_eq!(store.get(&key("fresh")).unwrap(), Some(b"new".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn packed_compaction_crash_leaves_original_segment_intact() {
+        let (store, _reg, faults, root) = packed_scratch("compact-crash", SMALL_SEGMENTS);
+        store.put(&key("a"), b"aaaa").unwrap();
+        store.put(&key("b"), b"bbbb").unwrap();
+        drop(store);
+        let seg = root.join("segments").join("seg-0000.ctseg");
+        let mut bytes = fs::read(&seg).unwrap();
+        let target = crate::segment::ENTRY_HEADER_LEN + crate::format::HEADER_LEN;
+        bytes[target] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+
+        let registry = Arc::new(ct_obs::Registry::new());
+        let store =
+            Store::open_with_faults(&root, Arc::clone(&registry), Arc::clone(&faults)).unwrap();
+        faults.arm(FaultSpec::once(
+            sites::SEGMENT_COMPACT,
+            1,
+            FaultKind::Enospc,
+        ));
+        assert!(
+            store
+                .fsck(&FsckOptions {
+                    repair: true,
+                    ..FsckOptions::default()
+                })
+                .is_err(),
+            "injected compaction crash must surface"
+        );
+        assert_eq!(
+            counter(&registry, ct_obs::names::STORE_SEGMENT_COMPACTIONS),
+            0
+        );
+        // The heal is already durable — the corrupt entry was
+        // tombstoned before compaction started — and nothing leaked
+        // into tmp/. The survivor reads clean, here and after reopen.
+        let report = store
+            .fsck(&FsckOptions {
+                repair: true,
+                tmp_max_age: Duration::ZERO,
+                prune_max_age: None,
+            })
+            .unwrap();
+        assert!(
+            report.clean(),
+            "store healed despite the crashed compaction"
+        );
+        assert_eq!(
+            report.tmp_swept, 0,
+            "crashed compaction must not leak tmp files"
+        );
+        assert_eq!(store.get(&key("b")).unwrap(), Some(b"bbbb".to_vec()));
+        assert_eq!(store.get(&key("a")).unwrap(), None);
+        drop(store);
+        let reopened = Store::open(&root).unwrap();
+        assert_eq!(reopened.get(&key("a")).unwrap(), None, "tombstone replays");
+        assert_eq!(reopened.get(&key("b")).unwrap(), Some(b"bbbb".to_vec()));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn fsck_csv_pins_the_extended_field_order() {
+        let report = FsckReport {
+            records_scanned: 7,
+            pruned: 2,
+            ..FsckReport::default()
+        };
+        let csv = report.to_csv();
+        assert!(csv.starts_with("fsck,records_scanned,7\n"));
+        assert!(
+            csv.ends_with("fsck,segments_scanned,0\nfsck,segments_compacted,0\nfsck,pruned,2\n")
+        );
     }
 }

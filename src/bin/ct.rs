@@ -61,6 +61,11 @@ const STORE: FlagSpec = FlagSpec {
     value_name: Some("dir"),
     help: "artifact store: reuse cached realizations, write new ones",
 };
+const PACKED: FlagSpec = FlagSpec {
+    name: "--packed",
+    value_name: None,
+    help: "create the store with the packed segment layout (existing stores auto-detect)",
+};
 const SHARDS: FlagSpec = FlagSpec {
     name: "--shards",
     value_name: Some("K"),
@@ -86,6 +91,11 @@ const TMP_AGE: FlagSpec = FlagSpec {
     value_name: Some("secs"),
     help: "min age before a tmp file counts as orphaned (default 3600)",
 };
+const PRUNE: FlagSpec = FlagSpec {
+    name: "--prune",
+    value_name: Some("secs"),
+    help: "also remove records older than this many seconds (destructive)",
+};
 
 /// Every `ct` subcommand; parsing, dispatch, and all help text derive
 /// from this table.
@@ -94,49 +104,49 @@ const COMMANDS: &[CommandSpec] = &[
         name: "figures",
         summary: "reproduce Figs. 6-11",
         positionals: &[],
-        flags: &[CSV, HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[CSV, HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
     CommandSpec {
         name: "figure",
         summary: "reproduce one figure (6..11)",
         positionals: &[("number", true)],
-        flags: &[CSV, HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[CSV, HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
     CommandSpec {
         name: "run",
         summary: "evaluate one shard of the ensemble into an artifact store",
         positionals: &[],
-        flags: &[STORE, SHARDS, SHARD, HAZARD, REALIZATIONS, METRICS],
+        flags: &[STORE, PACKED, SHARDS, SHARD, HAZARD, REALIZATIONS, METRICS],
     },
     CommandSpec {
         name: "merge",
         summary: "assemble a sharded run from the store and print the figures",
         positionals: &[],
-        flags: &[STORE, CSV, HAZARD, REALIZATIONS, METRICS],
+        flags: &[STORE, PACKED, CSV, HAZARD, REALIZATIONS, METRICS],
     },
     CommandSpec {
         name: "fsck",
         summary: "validate every store record; --repair heals what it finds",
         positionals: &[],
-        flags: &[STORE, REPAIR, TMP_AGE, METRICS],
+        flags: &[STORE, PACKED, REPAIR, TMP_AGE, PRUNE, METRICS],
     },
     CommandSpec {
         name: "placement",
         summary: "rank backup control sites",
         positionals: &[("config", true), ("scenario", true)],
-        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
     CommandSpec {
         name: "downtime",
         summary: "expected downtime per event (site: waiau|kahe)",
         positionals: &[("site", false)],
-        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
     CommandSpec {
         name: "grid",
         summary: "grid-impact summary",
         positionals: &[],
-        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
     CommandSpec {
         name: "crossval",
@@ -154,13 +164,13 @@ const COMMANDS: &[CommandSpec] = &[
         name: "hazard",
         summary: "flood probabilities (or inundation matrix) as CSV",
         positionals: &[],
-        flags: &[FULL, HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[FULL, HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
     CommandSpec {
         name: "report",
         summary: "full case-study report (markdown)",
         positionals: &[],
-        flags: &[HAZARD, REALIZATIONS, STORE, METRICS],
+        flags: &[HAZARD, REALIZATIONS, STORE, PACKED, METRICS],
     },
 ];
 
@@ -176,7 +186,9 @@ fn usage() -> String {
          hazards:   surge | wind | compound\n\
          env:       CT_THREADS=<n> caps the worker-thread count\n\
          \x20          CT_FAULTS=site:nth:kind[:limit],... arms deterministic failpoints\n\
-         \x20          CT_STORE_RETRIES=<n> extra attempts on transient store I/O (default 2)",
+         \x20          CT_STORE_RETRY_BUDGET_MS=<ms> backoff budget for transient store I/O (default 3)\n\
+         \x20          CT_SEGMENT_ROLL_BYTES=<n> packed-store segment roll threshold (default 64 MiB)\n\
+         \x20          CT_SEGMENT_SYNC_BYTES=<n> packed-store group-fsync threshold (default 8 MiB)",
     );
     s
 }
@@ -193,9 +205,17 @@ fn study_config(args: &CliArgs) -> Result<CaseStudyConfig, Box<dyn std::error::E
     Ok(builder.build()?)
 }
 
-/// Opens the artifact store named by `--store`, if any.
+/// Opens the artifact store named by `--store`, if any. `--packed`
+/// selects the packed segment layout for a fresh root; existing
+/// stores auto-detect their layout either way (opening an existing
+/// loose root with `--packed` is an error, never a silent rewrite).
 fn open_store(args: &CliArgs) -> Result<Option<Store>, Box<dyn std::error::Error>> {
-    Ok(args.value("--store").map(Store::open).transpose()?)
+    let open = if args.flag("--packed") {
+        Store::open_packed
+    } else {
+        Store::open
+    };
+    Ok(args.value("--store").map(open).transpose()?)
 }
 
 /// Opens the artifact store named by `--store`, required.
@@ -347,6 +367,9 @@ fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 tmp_max_age: std::time::Duration::from_secs(
                     args.parsed::<u64>("--tmp-age")?.unwrap_or(3600),
                 ),
+                prune_max_age: args
+                    .parsed::<u64>("--prune")?
+                    .map(std::time::Duration::from_secs),
             };
             let report = store.fsck(&options)?;
             print!("{}", report.to_csv());

@@ -217,6 +217,68 @@ fn store_keeps_hazard_records_apart_and_warm_hits_within_a_hazard() {
     assert_ne!(keys[1], keys[2]);
 }
 
+/// The batched SoA wind kernel (`DamageModel::peak_winds_at`, used by
+/// `WindFragilityHazard::evaluate` and the line-fragility sampler) is
+/// bit-identical to the per-POI scalar scan over the pipeline's real
+/// POIs and sampled ensemble storms, and a compound evaluation built
+/// on batched parts stays the exact per-asset max of those parts.
+#[test]
+fn batched_hazard_evaluation_is_bit_identical_to_the_per_poi_path() {
+    use ct_grid::{fragility_draw, DamageModel};
+    use ct_hazard::{wind::MAX_SEVERITY_M, CompoundHazard, HazardModel, WindFragilityHazard};
+    use ct_hydro::{EnsembleConfig, FloodThreshold, TrackEnsemble};
+
+    let cfg = config(HazardSpec::Wind, 6);
+    let dem = synthesize_oahu(&cfg.terrain);
+    let pois = ct_scada::oahu::case_study_pois(&dem).unwrap();
+    let storms = TrackEnsemble::new(EnsembleConfig {
+        realizations: 6,
+        ..EnsembleConfig::default()
+    })
+    .unwrap()
+    .generate();
+
+    let wind = WindFragilityHazard::default();
+    let damage = *wind.damage();
+    let switch_height_m = FloodThreshold::default().depth_m();
+    for (i, storm) in storms.iter().enumerate() {
+        let batched = wind.evaluate(i, storm, &pois).unwrap();
+        assert_eq!(batched.inundation_m.len(), pois.len());
+        for (j, poi) in pois.iter().enumerate() {
+            // Per-POI reference path: the scalar gust scan plus the
+            // documented severity mapping, asset by asset.
+            let gust = wind.peak_gust_ms(storm, poi);
+            let p = damage.line_failure_probability(gust);
+            let u = fragility_draw(damage.seed, i as u64, j as u64);
+            let severity = (switch_height_m * p / u.max(f64::MIN_POSITIVE)).min(MAX_SEVERITY_M);
+            assert_eq!(
+                severity.to_bits(),
+                batched.inundation_m[j].to_bits(),
+                "storm {i}, asset {j}: batched severity diverged from the scalar path"
+            );
+        }
+    }
+
+    // Compound over batched parts keeps exact union (max) semantics.
+    let reseeded = WindFragilityHazard::new(DamageModel {
+        seed: damage.seed + 1,
+        ..damage
+    });
+    let compound = CompoundHazard::union(vec![Box::new(wind), Box::new(reseeded)]).unwrap();
+    for (i, storm) in storms.iter().enumerate() {
+        let a = wind.evaluate(i, storm, &pois).unwrap();
+        let b = reseeded.evaluate(i, storm, &pois).unwrap();
+        let c = compound.evaluate(i, storm, &pois).unwrap();
+        for j in 0..pois.len() {
+            assert_eq!(
+                c.inundation_m[j].to_bits(),
+                a.inundation_m[j].max(b.inundation_m[j]).to_bits(),
+                "storm {i}, asset {j}: compound must be the bitwise max of its parts"
+            );
+        }
+    }
+}
+
 /// Sharded wind runs merge to the same answer as an unsharded wind
 /// build — the `ct merge` path is hazard-generic, not surge-only.
 #[test]

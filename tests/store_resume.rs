@@ -14,7 +14,7 @@ use compound_threats::prelude::*;
 use compound_threats::report::figure_csv;
 use ct_geo::terrain::synthesize_oahu;
 use ct_store::faults::sites;
-use ct_store::{FaultKind, FaultRegistry, FaultSpec, FsckOptions};
+use ct_store::{FaultKind, FaultRegistry, FaultSpec, FsckOptions, PackedOptions};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -383,6 +383,7 @@ fn fsck_reports_then_heals_a_damaged_store_exactly() {
         .fsck(&FsckOptions {
             repair: true,
             tmp_max_age: Duration::ZERO,
+            prune_max_age: None,
         })
         .unwrap();
     assert_eq!(report.corrupt_records, 3);
@@ -419,19 +420,22 @@ fn full_fault_campaign_still_merges_to_bit_identical_figures() {
     // Every store failpoint armed at once, firing every Nth hit with
     // coprime-ish periods so the failure pattern keeps shifting across
     // sites. Transient faults exercise the retry loop; the rest
-    // exercise degradation. The hydro sites are armed too (they simply
-    // never fire here — the case-study pipeline uses the parametric
-    // hazard, not the SWE cache — but arming them proves an armed
-    // plan over every site is harmless).
+    // exercise degradation. The hydro and packed-segment sites are
+    // armed too (they simply never fire here — the case-study pipeline
+    // uses the parametric hazard, not the SWE cache, and this store
+    // uses the loose layout — but arming them proves an armed plan
+    // over every site is harmless).
     let (store, registry, faults) = faulty_store(&scratch.0);
     let armed = faults
         .arm_plan(
             "store.put.write:3:io, store.put.rename:5:io, store.put.sync_dir:7:enospc, \
              store.get.read:3:io, store.evict.remove:2:io, \
-             hydro.cache.get:2:io, hydro.cache.put:2:io",
+             hydro.cache.get:2:io, hydro.cache.put:2:io, \
+             segment.append:3:io, segment.sync:2:enospc, segment.footer:2:io, \
+             segment.compact:1:io",
         )
         .unwrap();
-    assert_eq!(armed, 7);
+    assert_eq!(armed, 11, "every registered failpoint site arms");
 
     // A full sharded run under fire: both shards, then the merge.
     for index in 0..2 {
@@ -457,10 +461,263 @@ fn full_fault_campaign_still_merges_to_bit_identical_figures() {
         .fsck(&FsckOptions {
             repair: true,
             tmp_max_age: Duration::ZERO,
+            prune_max_age: None,
         })
         .unwrap();
     assert_eq!(report.repaired, report.corrupt_records);
     assert!(store.fsck(&FsckOptions::default()).unwrap().clean());
+}
+
+/// Tiny thresholds so a 24-realization run spans several segments and
+/// group syncs, exercising roll/seal/footer paths end to end.
+const TINY_SEGMENTS: PackedOptions = PackedOptions {
+    roll_bytes: 2048,
+    sync_bytes: 512,
+};
+
+/// A packed store with private metrics and fault registries.
+fn packed_faulty_store(
+    root: &std::path::Path,
+    options: PackedOptions,
+) -> (Store, Arc<ct_obs::Registry>, Arc<FaultRegistry>) {
+    let registry = Arc::new(ct_obs::Registry::new());
+    let faults = Arc::new(FaultRegistry::with_obs(Arc::clone(&registry)));
+    let store =
+        Store::open_packed_with_options(root, Arc::clone(&registry), Arc::clone(&faults), options)
+            .unwrap();
+    (store, registry, faults)
+}
+
+#[test]
+fn packed_store_is_bit_identical_to_loose_with_the_same_keys() {
+    let scratch = Scratch::new("packedloose");
+    let config = config();
+    let loose_root = scratch.0.join("loose");
+    let packed_root = scratch.0.join("packed");
+
+    let loose = Store::open(&loose_root).unwrap();
+    let packed = Store::open_packed(&packed_root).unwrap();
+    assert!(!loose.is_packed());
+    assert!(packed.is_packed());
+
+    // The same run through both layouts: identical ensembles and
+    // byte-identical figures.
+    let via_loose = CaseStudy::build_with_store(&config, Some(&loose)).unwrap();
+    let via_packed = CaseStudy::build_with_store(&config, Some(&packed)).unwrap();
+    assert_eq!(via_loose.realizations(), via_packed.realizations());
+    assert_eq!(figures_csv(&via_loose), figures_csv(&via_packed));
+
+    // Identical keys: every realization record is stored under the
+    // same digest in both layouts, with byte-identical payloads.
+    let dem = synthesize_oahu(&config.terrain);
+    let pois = ct_scada::oahu::case_study_pois(&dem).unwrap();
+    let hazard = config.hazard.build_model(&dem, config.calibration);
+    let base = ensemble_base_key(&config, &dem, &pois, hazard.as_ref());
+    for i in 0..REALIZATIONS {
+        let key = realization_key(&base, i);
+        let l = loose.get(&key).unwrap().expect("loose record present");
+        let p = packed.get(&key).unwrap().expect("packed record present");
+        assert_eq!(l, p, "payloads must match across layouts");
+    }
+
+    // Reopening the packed root without `--packed` auto-detects the
+    // layout, and a warm rebuild is all hits.
+    drop(packed);
+    let registry = Arc::new(ct_obs::Registry::new());
+    let reopened = Store::open_with_registry(&packed_root, Arc::clone(&registry)).unwrap();
+    assert!(reopened.is_packed());
+    CaseStudy::build_with_store(&config, Some(&reopened)).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(ct_obs::names::STORE_HITS),
+        Some(REALIZATIONS as u64)
+    );
+    assert_eq!(
+        snap.counter(ct_obs::names::STORE_RECORDS_WRITTEN)
+            .unwrap_or(0),
+        0
+    );
+}
+
+#[test]
+fn packed_damage_campaign_recovers_at_open_and_fsck_heals_exactly() {
+    let scratch = Scratch::new("packeddamage");
+    let config = config();
+
+    let (store, registry, _faults) = packed_faulty_store(&scratch.0, TINY_SEGMENTS);
+    let clean = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+    let clean_csv = figures_csv(&clean);
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert!(count(ct_obs::names::STORE_SEGMENT_APPENDS) >= REALIZATIONS as u64);
+    assert!(count(ct_obs::names::STORE_SEGMENT_SEALS) >= 2);
+    assert!(
+        count(ct_obs::names::STORE_SEGMENT_GROUP_SYNCS)
+            >= count(ct_obs::names::STORE_SEGMENT_SEALS)
+    );
+    drop(store); // final group sync
+
+    let seg_dir = scratch.0.join("segments");
+    let mut segments: Vec<std::path::PathBuf> = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    assert!(
+        segments.len() >= 3,
+        "tiny thresholds must produce several segments, got {}",
+        segments.len()
+    );
+    let sealed = segments.len() - 1;
+
+    // Damage one segment per recovery class:
+    // 1. a torn append past the active segment's last clean entry
+    //    (crash mid-write) — dropped by the open-time scan;
+    let garbage = b"torn!";
+    let mut tail = std::fs::read(segments.last().unwrap()).unwrap();
+    tail.extend_from_slice(garbage);
+    std::fs::write(segments.last().unwrap(), tail).unwrap();
+    // 2. a flipped checksum byte in the first sealed segment's first
+    //    entry (bit rot) — served from the index, caught on read;
+    let first = std::fs::read(&segments[0]).unwrap();
+    let entry = ct_store::segment::parse_entry(&first).expect("segment starts with an entry");
+    let victim_len = entry.len as usize;
+    let mut flipped = first;
+    flipped[victim_len - 1] ^= 0xff;
+    std::fs::write(&segments[0], flipped).unwrap();
+    // 3. a damaged footer trailer on the second sealed segment — its
+    //    index rebuilds by scanning frames instead.
+    let mut footerless = std::fs::read(&segments[1]).unwrap();
+    let n = footerless.len();
+    footerless[n - 5] ^= 0xff;
+    std::fs::write(&segments[1], footerless).unwrap();
+
+    // Reopen: sealed-minus-one footer loads, two scans (damaged footer
+    // + active), two truncated tails (torn append + chopped footer).
+    let registry = Arc::new(ct_obs::Registry::new());
+    let store = Store::open_with_registry(&scratch.0, Arc::clone(&registry)).unwrap();
+    assert!(store.is_packed());
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert_eq!(
+        count(ct_obs::names::STORE_SEGMENT_FOOTER_LOADS),
+        (sealed - 1) as u64
+    );
+    assert_eq!(count(ct_obs::names::STORE_SEGMENT_SCANS), 2);
+    assert_eq!(count(ct_obs::names::STORE_SEGMENT_TRUNCATED_TAILS), 2);
+
+    // Read-only fsck finds exactly the flipped record (the torn tail
+    // and footer were already dropped or rebuilt at open).
+    let report = store.fsck(&FsckOptions::default()).unwrap();
+    assert_eq!(report.segments_scanned, segments.len());
+    assert_eq!(report.corrupt_records, 1);
+    assert_eq!(report.repaired, 0);
+    assert_eq!(report.segments_compacted, 0);
+    assert!(!report.clean());
+
+    // Repair tombstones the corrupt record and compacts exactly the
+    // dirty segment.
+    let report = store
+        .fsck(&FsckOptions {
+            repair: true,
+            tmp_max_age: Duration::ZERO,
+            prune_max_age: None,
+        })
+        .unwrap();
+    assert_eq!(report.corrupt_records, 1);
+    assert_eq!(report.repaired, 1);
+    assert_eq!(report.segments_compacted, 1);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(ct_obs::names::STORE_SEGMENT_COMPACTIONS),
+        Some(1)
+    );
+    assert!(store.fsck(&FsckOptions::default()).unwrap().clean());
+
+    // A rebuild recomputes only what the damage cost and reproduces
+    // the figures byte-for-byte.
+    let rebuilt = CaseStudy::build_with_store(&config, Some(&store)).unwrap();
+    assert_eq!(figures_csv(&rebuilt), clean_csv);
+    assert!(store.fsck(&FsckOptions::default()).unwrap().clean());
+}
+
+#[test]
+fn packed_fault_campaign_merges_bit_identical_and_repairs() {
+    let scratch = Scratch::new("packedfire");
+    let config = config();
+    let clean = CaseStudy::build(&config).unwrap();
+    let clean_csv = figures_csv(&clean);
+
+    // Every packed-layout failpoint plus the shared read site, armed
+    // at once with shifting periods, over a sharded run that rolls and
+    // group-syncs constantly thanks to the tiny thresholds.
+    let (store, registry, faults) = packed_faulty_store(&scratch.0, TINY_SEGMENTS);
+    let armed = faults
+        .arm_plan(
+            "segment.append:3:io, segment.sync:2:enospc, segment.footer:2:io, store.get.read:4:io",
+        )
+        .unwrap();
+    assert_eq!(armed, 4);
+
+    for index in 0..2 {
+        let shard = ShardSpec::new(index, 2).unwrap();
+        run_shard(&config, &store, shard).unwrap();
+    }
+    let merged = CaseStudy::merge_from_store(&config, &store).unwrap();
+    let merged_csv = figures_csv(&merged);
+
+    let snap = registry.snapshot();
+    let count = |name| snap.counter(name).unwrap_or(0);
+    assert!(
+        count(ct_obs::names::FAULTS_FIRED) > 0,
+        "the campaign must actually have injected faults"
+    );
+    assert_eq!(merged.realizations(), clean.realizations());
+    assert_eq!(merged_csv, clean_csv);
+    faults.disarm_all();
+
+    // Crash-during-compaction: flip a record's checksum byte, then
+    // fail the repair's compaction once. The tombstone written before
+    // the crash makes the heal durable: the retried repair finds
+    // nothing left to fix, and the store is clean.
+    let seg_dir = scratch.0.join("segments");
+    let mut segments: Vec<std::path::PathBuf> = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    let first = std::fs::read(&segments[0]).unwrap();
+    let entry = ct_store::segment::parse_entry(&first).expect("segment starts with an entry");
+    let victim_len = entry.len as usize;
+    let mut flipped = first;
+    flipped[victim_len - 1] ^= 0xff;
+    std::fs::write(&segments[0], flipped).unwrap();
+
+    let store = Store::open_with_registry(&scratch.0, Arc::new(ct_obs::Registry::new())).unwrap();
+    drop(store);
+    let (store, _registry, faults) = {
+        let registry = Arc::new(ct_obs::Registry::new());
+        let faults = Arc::new(FaultRegistry::with_obs(Arc::clone(&registry)));
+        let store = Store::open_with_faults(&scratch.0, Arc::clone(&registry), Arc::clone(&faults))
+            .unwrap();
+        (store, registry, faults)
+    };
+    faults.arm(FaultSpec::once(sites::SEGMENT_COMPACT, 1, FaultKind::Io));
+    let repair = FsckOptions {
+        repair: true,
+        tmp_max_age: Duration::ZERO,
+        prune_max_age: None,
+    };
+    assert!(
+        store.fsck(&repair).is_err(),
+        "the injected compaction crash must surface"
+    );
+    store.fsck(&repair).unwrap();
+    assert!(store.fsck(&FsckOptions::default()).unwrap().clean());
+
+    // The record the damage cost is recomputed; figures still match.
+    let remerged = CaseStudy::merge_from_store(&config, &store).unwrap();
+    assert_eq!(figures_csv(&remerged), clean_csv);
 }
 
 fn count_records(root: &std::path::Path) -> usize {
