@@ -291,6 +291,103 @@ fn store_probe() {
     std::fs::remove_dir_all(&scratch).ok();
 }
 
+fn remote_probe() {
+    // The serving-tier claims behind `BENCH_store.json`'s remote
+    // section: put/get throughput through a loopback `ct serve`
+    // daemon (one TCP connection per operation, the wire contract),
+    // and /probe latency percentiles under 64 concurrent connections
+    // hammering a cached study.
+    use compound_threats::serve::{ServeOptions, Server};
+    use ct_store::remote::{read_response, write_request};
+    use ct_store::{RemoteStore, StableHasher, StoreBackend};
+
+    let scratch = std::env::temp_dir().join(format!("ct-remote-probe-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let server = Server::bind(
+        &scratch,
+        &ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            packed: true,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let remote = RemoteStore::connect(server.addr().to_string());
+
+    let n = 2000usize;
+    let payload = vec![0xA5u8; 256];
+    let key = |tag: u64, i: usize| {
+        let mut h = StableHasher::new();
+        h.write_u64(0xCAFE);
+        h.write_u64(tag);
+        h.write_u64(i as u64);
+        h.finish()
+    };
+    let reps = 3;
+    let mut round = 0u64;
+    let put = time(reps, || {
+        round += 1;
+        for i in 0..n {
+            remote.put(&key(round, i), &payload).unwrap();
+        }
+        round
+    });
+    let get = time(reps, || {
+        (0..n)
+            .map(|i| remote.get(&key(round, i)).unwrap().unwrap().len())
+            .sum::<usize>()
+    });
+
+    // Probe latency under 64 concurrent loopback connections. The
+    // first probe builds and caches the study; the measured requests
+    // are all served from it.
+    let addr = server.addr();
+    let target = "/probe?scenario=compound&site=waiau&realizations=12";
+    let probe_once = || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write_request(&mut stream, "GET", target, &[]).unwrap();
+        let (status, body) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        body.len()
+    };
+    probe_once();
+    let clients = 64usize;
+    let per_client = 25usize;
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    (0..per_client)
+                        .map(|_| {
+                            let t0 = Instant::now();
+                            probe_once();
+                            t0.elapsed().as_secs_f64()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    println!(
+        "remote n={n} 256B loopback: put {:.0}/s get {:.0}/s; probe x{} ({} clients x{}): p50 {:.2}ms p99 {:.2}ms",
+        n as f64 / put,
+        n as f64 / get,
+        latencies.len(),
+        clients,
+        per_client,
+        pct(0.50) * 1e3,
+        pct(0.99) * 1e3,
+    );
+    drop(server);
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 fn main() {
     swe_probe_domain("wet20pct", 16.0);
     swe_probe_domain("wet75pct", 60.0);
@@ -298,4 +395,5 @@ fn main() {
     profile_probe();
     hazard_probe();
     store_probe();
+    remote_probe();
 }

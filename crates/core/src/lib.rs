@@ -59,6 +59,7 @@ pub mod prelude;
 pub mod profile;
 pub mod report;
 pub mod sensitivity;
+pub mod serve;
 pub mod summary;
 
 pub use error::CoreError;

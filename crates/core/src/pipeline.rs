@@ -12,7 +12,7 @@ use ct_hydro::{
     TrackEnsemble,
 };
 use ct_scada::{oahu, Architecture, SitePlan, Topology};
-use ct_store::{Digest, Store};
+use ct_store::{Digest, StoreBackend};
 use ct_threat::{
     classify, post_disaster_histogram, post_disaster_states, Attacker, PostDisasterState,
     ThreatScenario, WorstCaseAttacker,
@@ -230,10 +230,12 @@ pub struct ShardReport {
 
 /// Store handle plus the run's base content address; carried by a
 /// store-backed [`CaseStudy`] so plan histograms can be cached
-/// on disk too.
+/// on disk too. The handle is whatever [`StoreBackend`] the study was
+/// built through — local or remote — retained via
+/// [`StoreBackend::clone_handle`].
 #[derive(Debug, Clone)]
 struct StoreContext {
-    store: Store,
+    store: Arc<dyn StoreBackend>,
     base: Digest,
 }
 
@@ -335,7 +337,7 @@ fn evaluate_one(
     hazard: &dyn HazardModel,
     hazard_id: &str,
     pois: &[Poi],
-    store: Option<(&Store, &Digest)>,
+    store: Option<(&dyn StoreBackend, &Digest)>,
     reused: &AtomicUsize,
 ) -> Result<Realization, CoreError> {
     let key = store.map(|(_, base)| artifact::realization_key(base, index));
@@ -375,7 +377,7 @@ fn evaluate_one(
 fn evaluate_indexed(
     prepared: &Prepared,
     indexed: &[(usize, ct_hydro::StormParams)],
-    store: Option<(&Store, &Digest)>,
+    store: Option<(&dyn StoreBackend, &Digest)>,
     reused: &AtomicUsize,
 ) -> Result<Vec<Realization>, CoreError> {
     // Dynamic scheduling: storm cost varies with track/intensity,
@@ -422,7 +424,7 @@ fn evaluate_indexed(
 /// merge.
 pub fn run_shard(
     config: &CaseStudyConfig,
-    store: &Store,
+    store: &dyn StoreBackend,
     shard: ShardSpec,
 ) -> Result<ShardReport, CoreError> {
     let shard_span = ct_obs::span("shard_run");
@@ -479,7 +481,7 @@ impl CaseStudy {
     /// abort a build.
     pub fn build_with_store(
         config: &CaseStudyConfig,
-        store: Option<&Store>,
+        store: Option<&dyn StoreBackend>,
     ) -> Result<Self, CoreError> {
         let build_span = ct_obs::span("build");
         let topology = {
@@ -520,7 +522,7 @@ impl CaseStudy {
             set,
             histograms: Mutex::new(HashMap::new()),
             store: store_ctx.map(|(s, b)| StoreContext {
-                store: s.clone(),
+                store: s.clone_handle(),
                 base: b,
             }),
         })
@@ -579,7 +581,10 @@ impl CaseStudy {
     ///
     /// Propagates terrain/hazard errors; store I/O failures never
     /// abort a merge.
-    pub fn merge_from_store(config: &CaseStudyConfig, store: &Store) -> Result<Self, CoreError> {
+    pub fn merge_from_store(
+        config: &CaseStudyConfig,
+        store: &dyn StoreBackend,
+    ) -> Result<Self, CoreError> {
         let _s = ct_obs::span("merge");
         Self::build_with_store(config, Some(store))
     }

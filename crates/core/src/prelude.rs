@@ -23,7 +23,8 @@ pub use crate::pipeline::{
     run_shard, CaseStudy, CaseStudyConfig, CaseStudyConfigBuilder, ShardReport, ShardSpec,
 };
 pub use crate::profile::OutcomeProfile;
+pub use crate::serve::{ServeOptions, Server};
 pub use ct_hazard::{CompoundHazard, HazardModel, HazardSpec, SurgeHazard, WindFragilityHazard};
 pub use ct_scada::{oahu::SiteChoice, Architecture};
-pub use ct_store::Store;
+pub use ct_store::{RemoteStore, Store, StoreBackend, StoreUrl};
 pub use ct_threat::ThreatScenario;

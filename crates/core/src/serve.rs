@@ -1,0 +1,478 @@
+//! `ct serve`: hosting an artifact store over HTTP/1.1.
+//!
+//! A serving store lets shard runs on disjoint machines share one
+//! cache: each shard points `--store http://host:port` at the daemon
+//! and the pipeline's [`ct_store::StoreBackend`] calls travel the wire
+//! instead of the local filesystem. The daemon itself is std-only — a
+//! [`std::net::TcpListener`] drained by a small fixed pool of worker
+//! threads, one request per connection (see [`ct_store::remote`] for
+//! the wire protocol and why keep-alive is deliberately absent).
+//!
+//! Beyond raw object traffic, the server answers *analysis* questions
+//! directly: `GET /probe?scenario=…&site=…` returns the outcome
+//! probabilities (green/orange/red/gray per architecture) computed
+//! from the ensemble artifacts it hosts — building and caching the
+//! case study on first use, so a fleet of dashboards can poll
+//! state probabilities without shipping realizations around.
+//!
+//! Operational guardrails:
+//!
+//! - a [`ServeLock`] sentinel in the store root keeps destructive
+//!   `fsck --repair`/`--prune` off the store while it is served (and
+//!   keeps a second server off the same root);
+//! - hot object reads are answered from a byte-budgeted
+//!   [`ByteLru`] of *framed* records, so a warm `GET` costs no disk
+//!   I/O and no re-checksumming;
+//! - malformed requests are answered with 4xx and counted
+//!   (`serve.bad_requests`); they never kill a worker.
+
+use crate::error::CoreError;
+use crate::pipeline::{CaseStudy, CaseStudyConfig};
+use ct_hazard::HazardSpec;
+use ct_scada::Architecture;
+use ct_store::format::{decode_record, encode_record};
+use ct_store::remote::{query_param, read_request, write_response, Request, RequestError};
+use ct_store::{ByteLru, Digest, ServeLock, Store};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default in-memory cache budget: 256 MiB of framed records.
+pub const DEFAULT_CACHE_BYTES: u64 = 256 * 1024 * 1024;
+/// Default bind address (loopback; front with a tunnel to go wider).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+/// Default worker-thread count. Small on purpose: requests are short
+/// (one object or one cached probe), so a handful of workers saturate
+/// a NIC long before they saturate a core; the kernel accept queue
+/// absorbs bursts.
+pub const DEFAULT_THREADS: usize = 4;
+
+/// Ensemble size a `/probe` uses when the query does not say
+/// (deliberately smaller than the paper's 1000: a probe is a live
+/// question, not a reproduction run).
+pub const DEFAULT_PROBE_REALIZATIONS: usize = 60;
+
+/// How long a worker waits on a request before giving up on the
+/// client (a stalled sender must not pin a worker forever).
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `host:port` to listen on; port 0 picks a free port
+    /// (query [`Server::addr`] for the result).
+    pub addr: String,
+    /// Open the store in the packed segment layout. This is the
+    /// *server's* choice — remote clients never see the layout.
+    pub packed: bool,
+    /// Byte budget for the in-memory record cache.
+    pub cache_bytes: u64,
+    /// Worker-thread count (minimum 1).
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: DEFAULT_ADDR.to_string(),
+            packed: false,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            threads: DEFAULT_THREADS,
+        }
+    }
+}
+
+/// Cache key for a built probe study: hazard keyword + ensemble size.
+type StudyKey = (&'static str, usize);
+
+/// State shared by every worker thread.
+#[derive(Debug)]
+struct Shared {
+    store: Store,
+    cache: ByteLru,
+    /// Case studies built for `/probe`, keyed by what changes the
+    /// ensemble. Held across requests so a probe is cheap after the
+    /// first; the lock is held *during* a build so concurrent
+    /// identical probes dedup into one build instead of racing.
+    studies: Mutex<HashMap<StudyKey, Arc<CaseStudy>>>,
+    stop: AtomicBool,
+}
+
+/// A running `ct serve` daemon. Binding acquires the store's
+/// [`ServeLock`]; dropping the server shuts the workers down and
+/// releases it.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Held for the server's lifetime; its `Drop` removes the
+    /// sentinel after the workers are down.
+    _lock: ServeLock,
+}
+
+impl Server {
+    /// Opens the store at `root`, takes its serve lock, binds the
+    /// listener, and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Store-open and lock failures (including "already being
+    /// served"), and listener bind failures.
+    pub fn bind(root: &Path, options: &ServeOptions) -> Result<Self, CoreError> {
+        // The lock file lives inside the root, so serving a store that
+        // does not exist yet must create it first (as `Store::open`
+        // would a moment later).
+        std::fs::create_dir_all(root).map_err(|e| CoreError::Io {
+            path: root.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let lock = ServeLock::acquire(root)?;
+        let store = if options.packed {
+            Store::open_packed(root)?
+        } else {
+            Store::open(root)?
+        };
+        let listener = TcpListener::bind(&options.addr).map_err(|e| CoreError::Io {
+            path: options.addr.clone(),
+            message: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| CoreError::Io {
+            path: options.addr.clone(),
+            message: e.to_string(),
+        })?;
+        let shared = Arc::new(Shared {
+            store,
+            cache: ByteLru::new(options.cache_bytes),
+            studies: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..options.threads.max(1))
+            .map(|i| {
+                let listener = listener.try_clone().map_err(|e| CoreError::Io {
+                    path: options.addr.clone(),
+                    message: e.to_string(),
+                })?;
+                let shared = Arc::clone(&shared);
+                Ok(std::thread::Builder::new()
+                    .name(format!("ct-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &shared))
+                    .expect("spawning a worker thread"))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(Self {
+            addr,
+            listener,
+            shared,
+            workers,
+            _lock: lock,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `http://host:port` URL clients pass as `--store`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stops accepting, wakes every worker, and joins the pool.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // A blocked `accept` is only woken by a connection, so poke
+        // the listener until each worker has actually exited (a
+        // single poke can be consumed by the "wrong" worker). The
+        // nonblocking flip keeps woken workers from blocking again.
+        self.listener.set_nonblocking(true).ok();
+        let wake: SocketAddr = if self.addr.ip().is_unspecified() {
+            SocketAddr::new(
+                "127.0.0.1".parse().expect("loopback parses"),
+                self.addr.port(),
+            )
+        } else {
+            self.addr
+        };
+        for worker in self.workers.drain(..) {
+            while !worker.is_finished() {
+                TcpStream::connect_timeout(&wake, Duration::from_millis(100)).ok();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            worker.join().ok();
+        }
+    }
+
+    /// Blocks this thread until the process dies — the `ct serve`
+    /// foreground mode. The workers do all the accepting; this just
+    /// parks the main thread.
+    pub fn join_forever(self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let accepted = listener.accept();
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match accepted {
+            Ok((stream, _)) => handle(shared, stream),
+            // Transient accept errors (EMFILE, WouldBlock after a
+            // nonblocking flip lost a race) must not spin a core.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// One response, however the request went.
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Self {
+        Reply {
+            status,
+            reason,
+            content_type: "text/plain",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn record(frame: Vec<u8>) -> Self {
+        Reply {
+            status: 200,
+            reason: "OK",
+            content_type: "application/octet-stream",
+            body: frame,
+        }
+    }
+
+    fn no_content() -> Self {
+        Reply::text(204, "No Content", "")
+    }
+
+    fn bad_request(message: &str) -> Self {
+        Reply::text(400, "Bad Request", format!("{message}\n"))
+    }
+
+    fn server_error(e: &CoreError) -> Self {
+        Reply::text(500, "Internal Server Error", format!("{e}\n"))
+    }
+}
+
+/// Serves one connection: read, route, respond, close. Every path —
+/// including garbage and oversized requests — ends in a response (or
+/// a dead transport) and a returning worker.
+fn handle(shared: &Shared, mut stream: TcpStream) {
+    let started = Instant::now();
+    ct_obs::add(ct_obs::names::SERVE_REQUESTS, 1);
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT)).ok();
+    let reply = match read_request(&mut stream) {
+        Ok(request) => route(shared, &request),
+        Err(e) => {
+            let Some((status, reason)) = e.status() else {
+                // The transport died mid-request; nobody to answer.
+                return;
+            };
+            ct_obs::add(ct_obs::names::SERVE_BAD_REQUESTS, 1);
+            let detail = match e {
+                RequestError::BadRequest(why) => why,
+                _ => "request exceeds protocol limits",
+            };
+            Reply::text(status, reason, format!("{detail}\n"))
+        }
+    };
+    if reply.status == 400 || reply.status == 404 {
+        ct_obs::add(ct_obs::names::SERVE_BAD_REQUESTS, 1);
+    }
+    write_response(
+        &mut stream,
+        reply.status,
+        reply.reason,
+        reply.content_type,
+        &reply.body,
+    )
+    .ok();
+    ct_obs::histogram(
+        ct_obs::names::SERVE_REQUEST_MS,
+        &ct_obs::names::SERVE_REQUEST_MS_BOUNDS,
+    )
+    .observe(started.elapsed().as_secs_f64() * 1000.0);
+}
+
+fn route(shared: &Shared, request: &Request) -> Reply {
+    let (path, query) = request.split_target();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Reply::text(200, "OK", "ok\n"),
+        ("GET", "/metricsz") => Reply::text(200, "OK", ct_obs::snapshot().to_csv()),
+        ("GET", "/probe") => probe(shared, query),
+        (_, p) if p.starts_with("/objects/") => {
+            objects(shared, request, &p["/objects/".len()..], query)
+        }
+        _ => Reply::text(404, "Not Found", "unknown path\n"),
+    }
+}
+
+/// `/objects/<hex32>`: the [`ct_store::StoreBackend`] verbs over the
+/// wire. Bodies are CTSTORE1 frames end to end, so the record
+/// checksum rides along and wire damage is caught by whoever decodes.
+fn objects(shared: &Shared, request: &Request, hex: &str, query: &str) -> Reply {
+    let Some(key) = Digest::from_hex(hex) else {
+        return Reply::bad_request("malformed object key (want 32 lower-case hex chars)");
+    };
+    match request.method.as_str() {
+        "GET" => {
+            if let Some(frame) = shared.cache.get(&key) {
+                return Reply::record(frame.to_vec());
+            }
+            match shared.store.get(&key) {
+                Ok(Some(payload)) => {
+                    let frame = encode_record(&payload);
+                    shared.cache.put(&key, frame.clone());
+                    Reply::record(frame)
+                }
+                Ok(None) => Reply::text(404, "Not Found", "no such object\n"),
+                Err(e) => Reply::server_error(&e.into()),
+            }
+        }
+        "PUT" => {
+            // Validate the frame *before* storing: a client whose
+            // record was damaged in flight gets a 400 now instead of
+            // a corrupt-record eviction later.
+            let Ok(payload) = decode_record(&request.body) else {
+                return Reply::bad_request("record frame failed validation");
+            };
+            match shared.store.put(&key, payload) {
+                Ok(()) => {
+                    shared.cache.put(&key, request.body.clone());
+                    Reply::no_content()
+                }
+                Err(e) => Reply::server_error(&e.into()),
+            }
+        }
+        "DELETE" => {
+            shared.cache.remove(&key);
+            if query_param(query, "corrupt") == Some("1") {
+                match shared.store.invalidate(&key) {
+                    Ok(()) => Reply::no_content(),
+                    Err(e) => Reply::server_error(&e.into()),
+                }
+            } else {
+                match shared.store.evict(&key) {
+                    Ok(existed) => Reply::text(200, "OK", if existed { "1" } else { "0" }),
+                    Err(e) => Reply::server_error(&e.into()),
+                }
+            }
+        }
+        _ => Reply::text(
+            405,
+            "Method Not Allowed",
+            "objects support GET/PUT/DELETE\n",
+        ),
+    }
+}
+
+/// `GET /probe?scenario=…&site=…[&hazard=…][&realizations=N]`:
+/// outcome probabilities per architecture, answered from the hosted
+/// ensemble artifacts (built and cached on first use).
+fn probe(shared: &Shared, query: &str) -> Reply {
+    ct_obs::add(ct_obs::names::SERVE_PROBES, 1);
+    let Some(scenario) = query_param(query, "scenario") else {
+        return Reply::bad_request("probe needs scenario= (e.g. hurricane-intrusion-isolation)");
+    };
+    let scenario: ct_threat::ThreatScenario = match scenario.parse() {
+        Ok(s) => s,
+        Err(e) => return Reply::bad_request(&e.to_string()),
+    };
+    let Some(site) = query_param(query, "site") else {
+        return Reply::bad_request("probe needs site= (waiau | kahe)");
+    };
+    let site: ct_scada::oahu::SiteChoice = match site.parse() {
+        Ok(s) => s,
+        Err(e) => return Reply::bad_request(&e.to_string()),
+    };
+    let hazard = match query_param(query, "hazard") {
+        None => HazardSpec::default(),
+        Some(h) => match h.parse::<HazardSpec>() {
+            Ok(h) => h,
+            Err(e) => return Reply::bad_request(&e.to_string()),
+        },
+    };
+    let realizations = match query_param(query, "realizations") {
+        None => DEFAULT_PROBE_REALIZATIONS,
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Reply::bad_request("realizations= must be a positive integer"),
+        },
+    };
+    let study = match cached_study(shared, hazard, realizations) {
+        Ok(s) => s,
+        Err(CoreError::InvalidConfig { field, reason }) => {
+            return Reply::bad_request(&format!("{field}: {reason}"))
+        }
+        Err(e) => return Reply::server_error(&e),
+    };
+    let mut body = String::from("architecture,green,orange,red,gray\n");
+    for architecture in Architecture::ALL {
+        match study.profile(architecture, scenario, site) {
+            Ok(p) => {
+                use std::fmt::Write;
+                writeln!(
+                    body,
+                    "{},{},{},{},{}",
+                    architecture.label(),
+                    p.green(),
+                    p.orange(),
+                    p.red(),
+                    p.gray()
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Err(e) => return Reply::server_error(&e),
+        }
+    }
+    Reply::text(200, "OK", body)
+}
+
+/// The cached study for `(hazard, realizations)`, building through
+/// the hosted store on a miss (counted as `serve.probe_builds`).
+fn cached_study(
+    shared: &Shared,
+    hazard: HazardSpec,
+    realizations: usize,
+) -> Result<Arc<CaseStudy>, CoreError> {
+    let key: StudyKey = (hazard.keyword(), realizations);
+    let mut studies = shared.studies.lock().expect("probe study lock");
+    if let Some(study) = studies.get(&key) {
+        return Ok(Arc::clone(study));
+    }
+    ct_obs::add(ct_obs::names::SERVE_PROBE_BUILDS, 1);
+    let config = CaseStudyConfig::builder()
+        .realizations(realizations)
+        .hazard(hazard)
+        .build()?;
+    let study = Arc::new(CaseStudy::build_with_store(&config, Some(&shared.store))?);
+    studies.insert(key, Arc::clone(&study));
+    Ok(study)
+}

@@ -6,15 +6,15 @@
 //! parameters. [`ShallowWaterSolver::run_cached`] keys the outcome by
 //! a stable hash of exactly those inputs (plus
 //! [`crate::HYDRO_KERNEL_VERSION`], so numerics changes invalidate by
-//! construction) and round-trips it through a [`ct_store::Store`]
-//! bit-exactly — `f64` fields travel as raw bit patterns, never
+//! construction) and round-trips it through any
+//! [`ct_store::StoreBackend`] bit-exactly — `f64` fields travel as raw bit patterns, never
 //! through text formatting.
 
 use crate::ensemble::StormParams;
 use crate::error::HydroError;
 use crate::swe::{ShallowWaterSolver, SurgeOutcome, SweWorkspace};
 use ct_geo::{EnuKm, Grid};
-use ct_store::{Digest, StableHasher, Store};
+use ct_store::{Digest, StableHasher, StoreBackend};
 
 impl ShallowWaterSolver {
     /// The content address of this solver's outcome for `storm`:
@@ -78,7 +78,7 @@ impl ShallowWaterSolver {
     /// store failures never surface.
     pub fn run_cached(
         &self,
-        store: &Store,
+        store: &dyn StoreBackend,
         ws: &mut SweWorkspace,
         storm: &StormParams,
     ) -> Result<SurgeOutcome, HydroError> {
@@ -217,6 +217,7 @@ mod tests {
     use crate::ensemble::{EnsembleConfig, TrackEnsemble};
     use crate::swe::ShallowWaterConfig;
     use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+    use ct_store::Store;
 
     fn solver_and_storm() -> (ShallowWaterSolver, StormParams) {
         let dem = synthesize_oahu(&OahuTerrainConfig::default());

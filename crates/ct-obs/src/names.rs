@@ -81,6 +81,35 @@ pub const STORE_SEGMENT_SCANS: &str = "store.segment.scans";
 pub const STORE_SEGMENT_TRUNCATED_TAILS: &str = "store.segment.truncated_tails";
 /// Segments rewritten by `fsck --repair` compaction.
 pub const STORE_SEGMENT_COMPACTIONS: &str = "store.segment.compactions";
+/// Remote-store `get` round-trips issued by the HTTP client backend.
+pub const STORE_REMOTE_GETS: &str = "store.remote.gets";
+/// Remote-store `put` round-trips issued by the HTTP client backend.
+pub const STORE_REMOTE_PUTS: &str = "store.remote.puts";
+/// Remote-store gets answered with a record by the server.
+pub const STORE_REMOTE_HITS: &str = "store.remote.hits";
+/// Remote-store gets answered with a 404 miss by the server.
+pub const STORE_REMOTE_MISSES: &str = "store.remote.misses";
+/// Remote-store evict/invalidate round-trips issued by the client.
+pub const STORE_REMOTE_EVICTIONS: &str = "store.remote.evictions";
+/// Remote-store operations that failed after the retry budget was
+/// exhausted (callers degrade to compute-without-cache).
+pub const STORE_REMOTE_ERRORS: &str = "store.remote.errors";
+/// Serving-cache lookups satisfied from the in-memory LRU.
+pub const STORE_LRU_HITS: &str = "store.lru.hits";
+/// Serving-cache lookups that fell through to the backing store.
+pub const STORE_LRU_MISSES: &str = "store.lru.misses";
+/// Entries dropped from the serving cache to honor the byte budget.
+pub const STORE_LRU_EVICTIONS: &str = "store.lru.evictions";
+/// HTTP requests accepted by `ct serve` (all routes).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Malformed, oversized, or unroutable requests answered with a 4xx
+/// status (the worker survives and keeps serving).
+pub const SERVE_BAD_REQUESTS: &str = "serve.bad_requests";
+/// `/probe` queries answered (cached or computed).
+pub const SERVE_PROBES: &str = "serve.probes";
+/// Case studies built to answer a `/probe` miss (subsequent probes of
+/// the same tuple hit the in-memory study cache).
+pub const SERVE_PROBE_BUILDS: &str = "serve.probe_builds";
 /// Failpoints armed on a fault registry (test- or `CT_FAULTS`-driven).
 pub const FAULTS_ARMED: &str = "faults.armed";
 /// Failpoint firings: armed faults actually injected at their site.
@@ -96,6 +125,12 @@ pub const STORE_RECORD_BYTES: &str = "store.record_bytes";
 /// Histogram: milliseconds slept per store retry (deadline-budgeted
 /// backoff; p50/p99 readable from the bucket rows).
 pub const STORE_RETRY_WAIT_MS: &str = "store.retry_wait_ms";
+/// Histogram: round-trip milliseconds per remote-store operation
+/// (connect + request + response, as seen by the client).
+pub const STORE_REMOTE_RTT_MS: &str = "store.remote.rtt_ms";
+/// Histogram: milliseconds to serve one HTTP request (read to flush,
+/// as seen by the server worker).
+pub const SERVE_REQUEST_MS: &str = "serve.request_ms";
 
 /// Bucket bounds for [`SWE_STEPS_PER_SOLVE`].
 pub const SWE_STEPS_PER_SOLVE_BOUNDS: [f64; 6] = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
@@ -105,6 +140,10 @@ pub const PROFILE_PATTERNS_PER_PLAN_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0
 pub const STORE_RECORD_BYTES_BOUNDS: [f64; 6] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
 /// Bucket bounds for [`STORE_RETRY_WAIT_MS`].
 pub const STORE_RETRY_WAIT_MS_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// Bucket bounds for [`STORE_REMOTE_RTT_MS`].
+pub const STORE_REMOTE_RTT_MS_BOUNDS: [f64; 8] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0];
+/// Bucket bounds for [`SERVE_REQUEST_MS`].
+pub const SERVE_REQUEST_MS_BOUNDS: [f64; 8] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 64.0, 1000.0];
 
 /// Registers the full canonical metric set on `registry` so
 /// snapshots list every standard counter even when a run never
@@ -145,6 +184,19 @@ pub fn register_defaults(registry: &crate::Registry) {
         STORE_SEGMENT_SCANS,
         STORE_SEGMENT_TRUNCATED_TAILS,
         STORE_SEGMENT_COMPACTIONS,
+        STORE_REMOTE_GETS,
+        STORE_REMOTE_PUTS,
+        STORE_REMOTE_HITS,
+        STORE_REMOTE_MISSES,
+        STORE_REMOTE_EVICTIONS,
+        STORE_REMOTE_ERRORS,
+        STORE_LRU_HITS,
+        STORE_LRU_MISSES,
+        STORE_LRU_EVICTIONS,
+        SERVE_REQUESTS,
+        SERVE_BAD_REQUESTS,
+        SERVE_PROBES,
+        SERVE_PROBE_BUILDS,
         FAULTS_ARMED,
         FAULTS_FIRED,
     ] {
@@ -155,6 +207,8 @@ pub fn register_defaults(registry: &crate::Registry) {
     registry.histogram(PROFILE_PATTERNS_PER_PLAN, &PROFILE_PATTERNS_PER_PLAN_BOUNDS);
     registry.histogram(STORE_RECORD_BYTES, &STORE_RECORD_BYTES_BOUNDS);
     registry.histogram(STORE_RETRY_WAIT_MS, &STORE_RETRY_WAIT_MS_BOUNDS);
+    registry.histogram(STORE_REMOTE_RTT_MS, &STORE_REMOTE_RTT_MS_BOUNDS);
+    registry.histogram(SERVE_REQUEST_MS, &SERVE_REQUEST_MS_BOUNDS);
 }
 
 #[cfg(test)]
@@ -166,7 +220,10 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 35);
+        assert_eq!(snap.counters.len(), 48);
+        assert_eq!(snap.counter(STORE_REMOTE_GETS), Some(0));
+        assert_eq!(snap.counter(SERVE_REQUESTS), Some(0));
+        assert_eq!(snap.counter(STORE_LRU_EVICTIONS), Some(0));
         assert_eq!(snap.counter(FAULTS_FIRED), Some(0));
         assert_eq!(snap.counter(STORE_DEGRADED), Some(0));
         assert_eq!(snap.counter(SWE_STEPS), Some(0));
@@ -175,6 +232,6 @@ mod tests {
         assert_eq!(snap.counter(STORE_SEGMENT_APPENDS), Some(0));
         assert_eq!(snap.counter(STORE_SEGMENT_COMPACTIONS), Some(0));
         assert_eq!(snap.gauge(BUILD_THREADS), Some(0.0));
-        assert_eq!(snap.histograms.len(), 4);
+        assert_eq!(snap.histograms.len(), 6);
     }
 }

@@ -29,6 +29,28 @@ impl Digest {
         s
     }
 
+    /// Parses the [`Digest::to_hex`] form back into a digest: exactly
+    /// 32 lower-case hex characters. The inverse the serving tier
+    /// needs to turn a `/objects/<hex>` path back into an address;
+    /// anything else — wrong length, upper case, non-hex — is `None`,
+    /// so a malformed request can never alias a real record.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 32 {
+            return None;
+        }
+        let nibble = |b: u8| match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            _ => None,
+        };
+        let mut out = [0u8; 16];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            out[i] = nibble(pair[0])? << 4 | nibble(pair[1])?;
+        }
+        Some(Digest(out))
+    }
+
     /// Derives a child address: the digest of `(self, label)`. Used to
     /// key individual records under a run-level base address.
     pub fn derive(&self, label: &str) -> Digest {
@@ -187,6 +209,23 @@ mod tests {
         let d = StableHasher::new().finish();
         assert_eq!(d.to_hex().len(), 32);
         assert_eq!(d.to_string(), d.to_hex());
+    }
+
+    #[test]
+    fn from_hex_inverts_to_hex_and_rejects_noise() {
+        let mut h = StableHasher::new();
+        h.write_str("round-trip");
+        let d = h.finish();
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        for bad in [
+            "",
+            "00",
+            "zz028e3d489f170cd1c2779c42ccfa8c",
+            "D1C2779C42CCFA8C59028E3D489F170C",
+            "d1c2779c42ccfa8c59028e3d489f170c0", // 33 chars
+        ] {
+            assert_eq!(Digest::from_hex(bad), None, "input {bad:?}");
+        }
     }
 
     #[test]

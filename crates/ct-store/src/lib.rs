@@ -25,6 +25,21 @@
 //!   (`CT_FAULTS=site:nth:kind`) so every crash path above is
 //!   testable on demand.
 //!
+//! Since the serving tier landed, the *pipeline* is written against
+//! the [`StoreBackend`] trait rather than [`Store`] directly:
+//!
+//! - [`StoreBackend`]: the get/put/evict/degrade contract both
+//!   backends satisfy;
+//! - [`RemoteStore`] + [`mod@remote`]: a zero-dependency HTTP/1.1
+//!   client (and the shared wire codec) for a store hosted by
+//!   `ct serve`;
+//! - [`StoreUrl`]: `--store` argument parsing — bare path,
+//!   `file://path`, or `http://host:port` — selecting the backend;
+//! - [`ByteLru`]: the byte-budgeted in-memory cache the server
+//!   answers hot reads from;
+//! - [`ServeLock`]: the serve-side sentinel that keeps destructive
+//!   `fsck` off a store while it is being served.
+//!
 //! Zero dependencies beyond [`ct_obs`], matching the workspace's
 //! hand-rolled-serialization policy.
 //!
@@ -49,15 +64,27 @@
 
 pub mod faults;
 pub mod format;
+pub mod remote;
 pub mod segment;
 
+mod backend;
 mod error;
 mod hash;
+mod lock;
+mod lru;
+mod metrics;
+mod retry;
 mod store;
+mod url;
 
+pub use backend::StoreBackend;
 pub use error::StoreError;
 pub use faults::{FaultKind, FaultRegistry, FaultSpec};
 pub use format::{Corruption, FORMAT_VERSION};
 pub use hash::{checksum64, Digest, StableHasher};
+pub use lock::{served_by, ServeLock, SERVE_LOCK_FILE};
+pub use lru::ByteLru;
+pub use remote::RemoteStore;
 pub use segment::PackedOptions;
 pub use store::{FsckOptions, FsckReport, Store, DEFAULT_TMP_MAX_AGE};
+pub use url::StoreUrl;

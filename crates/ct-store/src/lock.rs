@@ -1,0 +1,162 @@
+//! The serving lock: a flock-style PID sentinel that marks a store
+//! root as owned by a live `ct serve` daemon.
+//!
+//! The packed layout's single-writer assumption and `fsck`'s
+//! destructive modes (`--repair` compaction, `--prune`) both require
+//! exclusive access; a long-running server makes "nobody else is
+//! writing" a property that must be *checked*, not assumed. The lock
+//! is a `serve.lock` file under the store root holding the server's
+//! PID, created with `create_new` (atomic on every platform) and
+//! removed on drop. A crashed server leaves the file behind; the next
+//! acquirer (or fsck) reads the PID, sees the process is gone, and
+//! treats the lock as stale — so a `kill -9` never bricks a store.
+
+use crate::error::StoreError;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Name of the sentinel file under the store root.
+pub const SERVE_LOCK_FILE: &str = "serve.lock";
+
+/// An acquired serving lock; releases (removes the sentinel) on drop.
+#[derive(Debug)]
+pub struct ServeLock {
+    path: PathBuf,
+}
+
+/// The PID recorded in `root`'s sentinel, if the file exists and
+/// parses. An unreadable or garbled sentinel reads as `None` — it
+/// cannot name a live owner, so it is treated as stale.
+fn recorded_pid(root: &Path) -> Option<u32> {
+    let raw = fs::read_to_string(root.join(SERVE_LOCK_FILE)).ok()?;
+    raw.trim().parse().ok()
+}
+
+/// Whether `pid` names a live process. Uses `/proc` where it exists;
+/// on systems without it the answer is a conservative `true`, so a
+/// sentinel is never treated as stale on evidence we cannot check.
+fn process_alive(pid: u32) -> bool {
+    if !Path::new("/proc").is_dir() {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// The PID of the live process serving `root`, if any: the sentinel
+/// exists and its recorded PID is alive. Used by [`crate::Store::fsck`]
+/// to refuse destructive maintenance on a served store.
+pub fn served_by(root: &Path) -> Option<u32> {
+    recorded_pid(root).filter(|&pid| process_alive(pid))
+}
+
+impl ServeLock {
+    /// Takes the serving lock on `root`, writing this process's PID
+    /// into the sentinel. A sentinel naming a live process is a
+    /// loud error; a stale one (dead PID, or unparseable residue) is
+    /// removed and re-acquired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when another live process holds the
+    /// lock, or when the sentinel cannot be created.
+    pub fn acquire(root: &Path) -> Result<Self, StoreError> {
+        let path = root.join(SERVE_LOCK_FILE);
+        // Two rounds: one steal of a stale sentinel, then surrender.
+        // A loop could livelock against another acquirer; two
+        // acquirers racing for one stale lock resolves in two rounds.
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let write = f
+                        .write_all(std::process::id().to_string().as_bytes())
+                        .and_then(|()| f.sync_all());
+                    if let Err(e) = write {
+                        let _ = fs::remove_file(&path);
+                        return Err(StoreError::io(&path, &e));
+                    }
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if let Some(pid) = served_by(root) {
+                        let e = std::io::Error::other(format!(
+                            "store is already being served by pid {pid}; \
+                             stop that server (or remove a stale {SERVE_LOCK_FILE}) first"
+                        ));
+                        return Err(StoreError::io(&path, &e));
+                    }
+                    // Stale: the recorded owner is gone. Remove and retry.
+                    let _ = fs::remove_file(&path);
+                }
+                Err(e) => return Err(StoreError::io(&path, &e)),
+            }
+        }
+        let e = std::io::Error::other("lost the race for the serve lock twice; try again");
+        Err(StoreError::io(&path, &e))
+    }
+
+    /// The sentinel's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ServeLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ct-lock-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let root = scratch("cycle");
+        let lock = ServeLock::acquire(&root).unwrap();
+        assert_eq!(served_by(&root), Some(std::process::id()));
+        drop(lock);
+        assert_eq!(served_by(&root), None);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn second_acquire_fails_loudly_while_held() {
+        let root = scratch("held");
+        let _lock = ServeLock::acquire(&root).unwrap();
+        let err = ServeLock::acquire(&root).unwrap_err();
+        assert!(err.to_string().contains("already being served"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_sentinel_is_stolen() {
+        let root = scratch("stale");
+        // PID u32::MAX is above every kernel's default pid_max.
+        fs::write(root.join(SERVE_LOCK_FILE), u32::MAX.to_string()).unwrap();
+        let lock = ServeLock::acquire(&root).unwrap();
+        assert_eq!(served_by(&root), Some(std::process::id()));
+        drop(lock);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn garbled_sentinel_reads_as_stale() {
+        let root = scratch("garbled");
+        fs::write(root.join(SERVE_LOCK_FILE), "not a pid").unwrap();
+        assert_eq!(served_by(&root), None);
+        let _lock = ServeLock::acquire(&root).unwrap();
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,575 @@
+//! The remote store: a hand-rolled HTTP/1.1 wire protocol and the
+//! client backend that speaks it.
+//!
+//! `ct serve` exposes a store over plain HTTP/1.1 so shards can run
+//! on disjoint machines against one shared store. The protocol is
+//! deliberately minimal — no dependencies, no keep-alive, no chunked
+//! encoding — because the workload is small framed records, not web
+//! traffic:
+//!
+//! ```text
+//! GET    /objects/<hex32>            200 body = CTSTORE1 frame | 404 miss
+//! PUT    /objects/<hex32>  frame →   204 stored
+//! DELETE /objects/<hex32>            200 body = "1" | "0"  (evicted?)
+//! DELETE /objects/<hex32>?corrupt=1  204 invalidated
+//! GET    /probe?...                  200 state-probability CSV
+//! GET    /healthz                    200 "ok\n"
+//! GET    /metricsz                   200 ct-obs snapshot CSV
+//! ```
+//!
+//! Object bodies are the [`crate::format`] CTSTORE1 frame — the same
+//! bytes the loose layout stores on disk — so the record checksum
+//! protects the payload *end to end*: a bit flipped on the wire is
+//! caught by the receiver exactly like a bit rotted on disk. Every
+//! request and response carries `Content-Length` and
+//! `Connection: close`; one request per connection keeps the server's
+//! fixed worker pool starvation-free under arbitrarily many clients
+//! (the kernel accept queue is the fair scheduler).
+//!
+//! [`RemoteStore`] implements [`StoreBackend`] over this protocol
+//! with the store's budget-aware transient retries
+//! (`CT_STORE_RETRY_BUDGET_MS`, extended to connection-lifecycle
+//! errors) — so a briefly-restarting
+//! server costs milliseconds, and a dead one degrades callers to
+//! compute-without-cache exactly like a failing disk.
+
+use crate::backend::StoreBackend;
+use crate::error::StoreError;
+use crate::format::{decode_record, encode_record};
+use crate::hash::Digest;
+use crate::metrics::MetricsSink;
+use crate::retry;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cap on request/response head bytes (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on body bytes; far above any record the pipeline produces.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Generous because a cold `/probe` may build a whole case study.
+const IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verbatim (`GET`, `PUT`, `DELETE`, ...).
+    pub method: String,
+    /// The request target verbatim (path plus optional `?query`).
+    pub target: String,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target split at the first `?`: `(path, query)`, query
+    /// empty when absent.
+    pub fn split_target(&self) -> (&str, &str) {
+        match self.target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (self.target.as_str(), ""),
+        }
+    }
+}
+
+/// The value of `name` in an `a=1&b=2` query string.
+pub fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+/// Why a request could not be parsed; maps onto the 4xx the server
+/// answers with (the worker survives every variant).
+#[derive(Debug)]
+pub enum RequestError {
+    /// Garbage, truncation, or an unparsable frame: 400.
+    BadRequest(&'static str),
+    /// Head grew past [`MAX_HEAD_BYTES`]: 431.
+    HeadTooLarge,
+    /// `Content-Length` past [`MAX_BODY_BYTES`]: 413.
+    BodyTooLarge,
+    /// A transport error below HTTP; nothing to answer.
+    Io(std::io::Error),
+}
+
+impl RequestError {
+    /// The status line this error is answered with, or `None` when
+    /// the transport is already gone.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            RequestError::BadRequest(_) => Some((400, "Bad Request")),
+            RequestError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
+            RequestError::BodyTooLarge => Some((413, "Payload Too Large")),
+            RequestError::Io(_) => None,
+        }
+    }
+}
+
+/// Reads until the `\r\n\r\n` head terminator, returning the head
+/// (terminator excluded) and any body bytes already read past it.
+/// `Ok(None)` head means the head outgrew `cap`.
+#[allow(clippy::type_complexity)]
+fn read_head(stream: &mut impl Read, cap: usize) -> std::io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+    let mut head: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 2048];
+    loop {
+        if let Some(pos) = head.windows(4).position(|w| w == b"\r\n\r\n") {
+            let leftover = head.split_off(pos + 4);
+            head.truncate(pos);
+            return Ok(Some((head, leftover)));
+        }
+        if head.len() > cap {
+            return Ok(None);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the end of the message head",
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// The `Content-Length` among raw header lines, if present and valid.
+fn content_length(head: &[u8]) -> Result<Option<usize>, &'static str> {
+    for line in head.split(|&b| b == b'\n') {
+        let line = std::str::from_utf8(line).map_err(|_| "non-UTF-8 header line")?;
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            return value
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| "unparsable Content-Length");
+        }
+    }
+    Ok(None)
+}
+
+/// Reads the declared body: `leftover` bytes already consumed from
+/// the socket, plus exactly the remainder.
+fn read_body(
+    stream: &mut impl Read,
+    mut leftover: Vec<u8>,
+    declared: usize,
+) -> Result<Vec<u8>, RequestError> {
+    if leftover.len() > declared {
+        // One request per connection: bytes past the declared body
+        // are a protocol violation, not a pipelined friend.
+        return Err(RequestError::BadRequest("body longer than Content-Length"));
+    }
+    let offset = leftover.len();
+    leftover.resize(declared, 0);
+    stream
+        .read_exact(&mut leftover[offset..])
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                RequestError::BadRequest("connection closed mid-body")
+            }
+            _ => RequestError::Io(e),
+        })?;
+    Ok(leftover)
+}
+
+/// Reads and validates one request. See [`RequestError`] for the
+/// status each failure maps to.
+///
+/// # Errors
+///
+/// Any [`RequestError`]; malformed input is classified, not trusted.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let head = match read_head(stream, MAX_HEAD_BYTES) {
+        Ok(Some(parts)) => parts,
+        Ok(None) => return Err(RequestError::HeadTooLarge),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(RequestError::BadRequest("truncated request head"))
+        }
+        Err(e) => return Err(RequestError::Io(e)),
+    };
+    let (head, leftover) = head;
+    let mut lines = head.split(|&b| b == b'\n');
+    let request_line = lines.next().unwrap_or_default();
+    let request_line = std::str::from_utf8(request_line)
+        .map_err(|_| RequestError::BadRequest("non-UTF-8 request line"))?
+        .trim_end_matches('\r');
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(RequestError::BadRequest("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::BadRequest("unsupported protocol version"));
+    }
+    let declared = content_length(&head)
+        .map_err(RequestError::BadRequest)?
+        .unwrap_or(0);
+    if declared > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge);
+    }
+    if declared == 0 && !leftover.is_empty() {
+        return Err(RequestError::BadRequest("body without Content-Length"));
+    }
+    let body = read_body(stream, leftover, declared)?;
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        body,
+    })
+}
+
+/// Writes one request with `Content-Length` and `Connection: close`.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn write_request(
+    stream: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes one response with `Content-Length` and `Connection: close`.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads one response: `(status, body)`.
+///
+/// # Errors
+///
+/// Transport failures; a malformed response surfaces as
+/// `InvalidData`, which is *not* transient — a server speaking
+/// garbage will not improve on retry.
+pub fn read_response(stream: &mut impl Read) -> std::io::Result<(u16, Vec<u8>)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let (head, leftover) =
+        read_head(stream, MAX_HEAD_BYTES)?.ok_or_else(|| bad("response head too large"))?;
+    let mut lines = head.split(|&b| b == b'\n');
+    let status_line = std::str::from_utf8(lines.next().unwrap_or_default())
+        .map_err(|_| bad("non-UTF-8 status line"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let declared = content_length(&head).map_err(bad)?.unwrap_or(0);
+    if declared > MAX_BODY_BYTES {
+        return Err(bad("response body too large"));
+    }
+    let body = read_body(stream, leftover, declared).map_err(|e| match e {
+        RequestError::Io(io) => io,
+        _ => bad("truncated response body"),
+    })?;
+    Ok((status, body))
+}
+
+/// The HTTP client backend: a [`StoreBackend`] whose records live on
+/// a `ct serve` daemon. Cheap to clone; connections are per-operation
+/// (matching the server's one-request-per-connection model), with
+/// budget-aware retries for transient connect/transport errors and
+/// `store.remote.*` counters plus a round-trip-latency histogram on
+/// every operation.
+#[derive(Debug, Clone)]
+pub struct RemoteStore {
+    authority: String,
+    sink: MetricsSink,
+}
+
+impl RemoteStore {
+    /// A client for the server at `authority` (`host:port`). No I/O
+    /// happens until the first operation, so constructing a client
+    /// for a down server is fine — the first operation fails and the
+    /// caller degrades.
+    pub fn connect(authority: impl Into<String>) -> Self {
+        Self {
+            authority: authority.into(),
+            sink: MetricsSink::Global,
+        }
+    }
+
+    /// Like [`RemoteStore::connect`], counting to a caller-owned
+    /// registry — for tests that assert exact `store.remote.*` values.
+    pub fn connect_with_registry(
+        authority: impl Into<String>,
+        registry: Arc<ct_obs::Registry>,
+    ) -> Self {
+        Self {
+            authority: authority.into(),
+            sink: MetricsSink::Local(registry),
+        }
+    }
+
+    /// The `host:port` this client talks to.
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        self.sink.add(name, delta);
+    }
+
+    /// One connect-request-response cycle, no retries.
+    fn round_trip(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let addr = self
+            .authority
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("store authority resolved to no address"))?;
+        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        write_request(&mut stream, method, target, body)?;
+        read_response(&mut stream)
+    }
+
+    /// A full operation: retries transient transport errors under the
+    /// shared budget (counted like local retries), observes the
+    /// round-trip latency, and converts terminal failures into
+    /// [`StoreError`] after counting them as `store.remote.errors`.
+    fn op(&self, method: &str, target: &str, body: &[u8]) -> Result<(u16, Vec<u8>), StoreError> {
+        let started = Instant::now();
+        let result = retry::retry(
+            retry::is_remote_transient,
+            |wait_ms| {
+                self.add(ct_obs::names::STORE_RETRIES, 1);
+                self.sink.observe(
+                    ct_obs::names::STORE_RETRY_WAIT_MS,
+                    &ct_obs::names::STORE_RETRY_WAIT_MS_BOUNDS,
+                    wait_ms as f64,
+                );
+            },
+            || self.round_trip(method, target, body),
+        );
+        self.sink.observe(
+            ct_obs::names::STORE_REMOTE_RTT_MS,
+            &ct_obs::names::STORE_REMOTE_RTT_MS_BOUNDS,
+            started.elapsed().as_secs_f64() * 1000.0,
+        );
+        result.map_err(|e| self.fail(target, &e.to_string()))
+    }
+
+    /// Counts and builds the error for a failed operation.
+    fn fail(&self, target: &str, message: &str) -> StoreError {
+        self.add(ct_obs::names::STORE_REMOTE_ERRORS, 1);
+        StoreError::Io {
+            path: format!("http://{}{target}", self.authority),
+            message: message.to_string(),
+        }
+    }
+
+    fn object_target(key: &Digest) -> String {
+        format!("/objects/{}", key.to_hex())
+    }
+}
+
+impl StoreBackend for RemoteStore {
+    fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
+        self.add(ct_obs::names::STORE_REMOTE_GETS, 1);
+        let target = Self::object_target(key);
+        let (status, body) = self.op("GET", &target, &[])?;
+        match status {
+            200 => match decode_record(&body) {
+                Ok(payload) => {
+                    self.add(ct_obs::names::STORE_REMOTE_HITS, 1);
+                    Ok(Some(payload.to_vec()))
+                }
+                // The frame checksum caught wire damage: report a
+                // miss so the caller recomputes, exactly like a
+                // corrupt record on local disk.
+                Err(_) => {
+                    self.add(ct_obs::names::STORE_CORRUPT_RECORDS, 1);
+                    Ok(None)
+                }
+            },
+            404 => {
+                self.add(ct_obs::names::STORE_REMOTE_MISSES, 1);
+                Ok(None)
+            }
+            s => Err(self.fail(&target, &format!("unexpected status {s} for GET"))),
+        }
+    }
+
+    fn put(&self, key: &Digest, payload: &[u8]) -> Result<(), StoreError> {
+        self.add(ct_obs::names::STORE_REMOTE_PUTS, 1);
+        let target = Self::object_target(key);
+        let frame = encode_record(payload);
+        let (status, _) = self.op("PUT", &target, &frame)?;
+        match status {
+            204 => Ok(()),
+            s => Err(self.fail(&target, &format!("unexpected status {s} for PUT"))),
+        }
+    }
+
+    fn evict(&self, key: &Digest) -> Result<bool, StoreError> {
+        self.add(ct_obs::names::STORE_REMOTE_EVICTIONS, 1);
+        let target = Self::object_target(key);
+        let (status, body) = self.op("DELETE", &target, &[])?;
+        match (status, body.as_slice()) {
+            (200, b"1") => Ok(true),
+            (200, b"0") => Ok(false),
+            (s, _) => Err(self.fail(&target, &format!("unexpected status {s} for DELETE"))),
+        }
+    }
+
+    fn invalidate(&self, key: &Digest) -> Result<(), StoreError> {
+        self.add(ct_obs::names::STORE_REMOTE_EVICTIONS, 1);
+        let target = format!("{}?corrupt=1", Self::object_target(key));
+        let (status, _) = self.op("DELETE", &target, &[])?;
+        match status {
+            204 => Ok(()),
+            s => Err(self.fail(&target, &format!("unexpected status {s} for DELETE"))),
+        }
+    }
+
+    fn note_degraded(&self) {
+        self.add(ct_obs::names::STORE_DEGRADED, 1);
+    }
+
+    fn clone_handle(&self) -> Arc<dyn StoreBackend> {
+        Arc::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trips a request through the writer and the parser.
+    fn reparse(method: &str, target: &str, body: &[u8]) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, method, target, body).unwrap();
+        read_request(&mut wire.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn request_codec_round_trips() {
+        let req = reparse("PUT", "/objects/00ff", b"framed-bytes");
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.target, "/objects/00ff");
+        assert_eq!(req.body, b"framed-bytes");
+        let (path, query) = req.split_target();
+        assert_eq!((path, query), ("/objects/00ff", ""));
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let req = reparse("GET", "/probe?hazard=wind&realizations=60", &[]);
+        let (path, query) = req.split_target();
+        assert_eq!(path, "/probe");
+        assert_eq!(query_param(query, "hazard"), Some("wind"));
+        assert_eq!(query_param(query, "realizations"), Some("60"));
+        assert_eq!(query_param(query, "scenario"), None);
+    }
+
+    #[test]
+    fn response_codec_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "OK", "text/plain", b"ok\n").unwrap();
+        let (status, body) = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"ok\n");
+    }
+
+    #[test]
+    fn garbage_is_classified_not_trusted() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"nonsense\r\n\r\n", 400),
+            (b"GET\r\n\r\n", 400),
+            (b"GET /x SPDY/3\r\n\r\n", 400),
+            (b"GET x HTTP/1.1\r\n\r\n", 400),
+            (b"truncated-no-terminator", 400),
+            (b"GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab", 400),
+            (b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+        ];
+        for (wire, want) in cases {
+            let err = read_request(&mut &wire[..]).unwrap_err();
+            let (status, _) = err.status().expect("answerable error");
+            assert_eq!(status, *want, "wire {:?}", String::from_utf8_lossy(wire));
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_without_reading() {
+        let wire = format!(
+            "PUT /objects/00 HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut wire.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+
+        let mut huge_head = b"GET /x HTTP/1.1\r\n".to_vec();
+        huge_head.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 2));
+        let err = read_request(&mut huge_head.as_slice()).unwrap_err();
+        assert_eq!(err.status(), Some((431, "Request Header Fields Too Large")));
+    }
+
+    #[test]
+    fn down_server_degrades_with_counted_error() {
+        let reg = Arc::new(ct_obs::Registry::new());
+        // Reserve a port nobody is listening on by binding and
+        // dropping; racy in principle, fine in practice.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let remote =
+            RemoteStore::connect_with_registry(format!("127.0.0.1:{port}"), Arc::clone(&reg));
+        let key = {
+            let mut h = crate::hash::StableHasher::new();
+            h.write_str("down");
+            h.finish()
+        };
+        let backend: &dyn StoreBackend = &remote;
+        assert!(backend.get(&key).is_err());
+        backend.note_degraded();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(ct_obs::names::STORE_REMOTE_GETS), Some(1));
+        assert_eq!(snap.counter(ct_obs::names::STORE_REMOTE_ERRORS), Some(1));
+        assert_eq!(snap.counter(ct_obs::names::STORE_DEGRADED), Some(1));
+        // Connection-refused is transient: the default 3 ms budget
+        // admits exactly two retries (1 ms + 2 ms).
+        assert_eq!(snap.counter(ct_obs::names::STORE_RETRIES), Some(2));
+    }
+}

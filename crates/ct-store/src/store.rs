@@ -56,6 +56,8 @@ use crate::error::StoreError;
 use crate::faults::{self, FaultKind, FaultRegistry};
 use crate::format::{decode_record, encode_record};
 use crate::hash::Digest;
+use crate::metrics::MetricsSink;
+use crate::retry;
 use crate::segment::{
     self, ActiveSegment, EntryMeta, IndexEntry, OpenStats, PackedBackend, PackedOptions,
     PackedState,
@@ -68,16 +70,6 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
-
-/// Where a store reports its metrics.
-#[derive(Debug, Clone)]
-enum MetricsSink {
-    /// The process-global [`ct_obs`] registry (the default).
-    Global,
-    /// A caller-owned registry — used by tests that need exact counter
-    /// assertions without racing other threads on the global registry.
-    Local(Arc<ct_obs::Registry>),
-}
 
 /// Which fault registry a store's failpoints consult.
 #[derive(Debug, Clone)]
@@ -138,36 +130,6 @@ fn startup_nonce() -> u64 {
         seed.extend_from_slice(&(startup_nonce as fn() -> u64 as usize as u64).to_le_bytes());
         crate::hash::checksum64(&seed)
     })
-}
-
-/// The per-operation backoff budget, in milliseconds of *planned*
-/// sleep, that `get`/`put`/`evict` may spend absorbing transient I/O
-/// errors before surfacing them (configurable via
-/// `CT_STORE_RETRY_BUDGET_MS`; default 3, which admits exactly two
-/// retries of the 1, 2, 4, ... ms backoff schedule). Budgeting the
-/// planned sleep rather than wall-clock time keeps retry counts
-/// deterministic under scheduler noise, which the fault-campaign
-/// tests rely on.
-fn retry_budget_ms() -> u64 {
-    static BUDGET: OnceLock<u64> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
-        std::env::var("CT_STORE_RETRY_BUDGET_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(3)
-    })
-}
-
-/// The error classes worth retrying: scheduler noise and timeouts.
-/// Disk-full, permissions, and corruption are not transient — retrying
-/// them only delays the caller's degradation path.
-fn is_transient(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::Interrupted
-            | std::io::ErrorKind::TimedOut
-            | std::io::ErrorKind::WouldBlock
-    )
 }
 
 /// Opens `dir` and fsyncs it, making a just-renamed directory entry
@@ -369,19 +331,15 @@ impl Store {
     }
 
     fn add(&self, name: &str, delta: u64) {
-        match &self.sink {
-            MetricsSink::Global => ct_obs::add(name, delta),
-            MetricsSink::Local(r) => r.counter(name).add(delta),
-        }
+        self.sink.add(name, delta);
     }
 
     fn observe_bytes(&self, len: usize) {
-        let bounds = &ct_obs::names::STORE_RECORD_BYTES_BOUNDS;
-        let h = match &self.sink {
-            MetricsSink::Global => ct_obs::histogram(ct_obs::names::STORE_RECORD_BYTES, bounds),
-            MetricsSink::Local(r) => r.histogram(ct_obs::names::STORE_RECORD_BYTES, bounds),
-        };
-        h.observe(len as f64);
+        self.sink.observe(
+            ct_obs::names::STORE_RECORD_BYTES,
+            &ct_obs::names::STORE_RECORD_BYTES_BOUNDS,
+            len as f64,
+        );
     }
 
     /// Consults this store's fault registry for `site`. Public so the
@@ -406,40 +364,24 @@ impl Store {
 
     /// Runs `op`, retrying transient I/O errors with exponential
     /// backoff while the next planned sleep still fits the
-    /// per-operation deadline budget ([`retry_budget_ms`]).
-    /// Non-transient errors and exhausted budgets surface unchanged;
-    /// each backoff sleep is observed on the `store.retry_wait_ms`
-    /// histogram so retry latency (p50/p99) is visible in `--metrics`
-    /// snapshots.
-    fn retry_transient<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
-        let budget = retry_budget_ms();
-        let mut spent: u64 = 0;
-        let mut attempt: u32 = 0;
-        loop {
-            match op() {
-                Err(e) if is_transient(&e) => {
-                    let wait = 1u64 << attempt.min(6);
-                    if spent + wait > budget {
-                        return Err(e);
-                    }
-                    attempt += 1;
-                    spent += wait;
-                    self.add(ct_obs::names::STORE_RETRIES, 1);
-                    self.observe_retry_wait(wait);
-                    std::thread::sleep(Duration::from_millis(wait));
-                }
-                other => return other,
-            }
-        }
-    }
-
-    fn observe_retry_wait(&self, wait_ms: u64) {
-        let bounds = &ct_obs::names::STORE_RETRY_WAIT_MS_BOUNDS;
-        let h = match &self.sink {
-            MetricsSink::Global => ct_obs::histogram(ct_obs::names::STORE_RETRY_WAIT_MS, bounds),
-            MetricsSink::Local(r) => r.histogram(ct_obs::names::STORE_RETRY_WAIT_MS, bounds),
-        };
-        h.observe(wait_ms as f64);
+    /// per-operation deadline budget (`CT_STORE_RETRY_BUDGET_MS`; see
+    /// [`crate::retry`]). Non-transient errors and exhausted budgets
+    /// surface unchanged; each backoff sleep is observed on the
+    /// `store.retry_wait_ms` histogram so retry latency (p50/p99) is
+    /// visible in `--metrics` snapshots.
+    fn retry_transient<T>(&self, op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        retry::retry(
+            retry::is_transient,
+            |wait_ms| {
+                self.add(ct_obs::names::STORE_RETRIES, 1);
+                self.sink.observe(
+                    ct_obs::names::STORE_RETRY_WAIT_MS,
+                    &ct_obs::names::STORE_RETRY_WAIT_MS_BOUNDS,
+                    wait_ms as f64,
+                );
+            },
+            op,
+        )
     }
 
     /// Fetches the payload stored under `key`.
@@ -687,14 +629,32 @@ impl Store {
     /// Walks the whole store, validating every record frame, and —
     /// in repair mode — evicts corrupt records and sweeps orphaned
     /// staging files. The read-only mode modifies nothing and is safe
-    /// to run against a store in active use.
+    /// to run against a store in active use; the *destructive* modes
+    /// (`--repair` eviction/compaction, `--prune`) assume exclusive
+    /// access and refuse when a live `ct serve` daemon holds the
+    /// store's serving lock ([`crate::lock::ServeLock`]).
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] for environmental failures (an
-    /// unlistable directory, an unreadable record). Corruption is
-    /// never an error: it is what the walk exists to count.
+    /// unlistable directory, an unreadable record), and for a
+    /// destructive fsck of a store that is currently being served.
+    /// Corruption is never an error: it is what the walk exists to
+    /// count.
     pub fn fsck(&self, options: &FsckOptions) -> Result<FsckReport, StoreError> {
+        if options.repair || options.prune_max_age.is_some() {
+            if let Some(pid) = crate::lock::served_by(&self.root) {
+                let e = std::io::Error::other(format!(
+                    "store is being served by pid {pid}: fsck --repair/--prune \
+                     would compact or delete records under a live server; \
+                     stop `ct serve` first (read-only fsck is always safe)"
+                ));
+                return Err(StoreError::io(
+                    &self.root.join(crate::lock::SERVE_LOCK_FILE),
+                    &e,
+                ));
+            }
+        }
         let mut report = if self.packed.is_some() {
             self.packed_fsck(options)?
         } else {

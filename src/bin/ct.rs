@@ -6,12 +6,18 @@
 //! from behavior.
 //!
 //! Ensemble evaluation can run through a content-addressed artifact
-//! store (`--store <dir>`): records already on disk are loaded
+//! store (`--store <url>`): records already stored are loaded
 //! bit-exactly instead of recomputed. `ct run --shards K --shard I`
 //! evaluates one interleaved slice of the ensemble into the store
 //! (resumable after interruption), and `ct merge` assembles the full
 //! study from the store, computing anything missing — its output is
 //! identical to `ct figures` without a store.
+//!
+//! A store URL is a local directory (`path` or `file://path`) or a
+//! `ct serve` endpoint (`http://host:port`): `ct serve --store <dir>`
+//! hosts a local store over HTTP so shards on other machines can
+//! share it, and answers `GET /probe` state-probability queries from
+//! the artifacts it hosts.
 //!
 //! Worker-thread count comes from the `CT_THREADS` environment
 //! variable (default: all cores, capped at 16).
@@ -26,7 +32,9 @@ use compound_threats::error::CoreError;
 use compound_threats::figures::{reproduce, reproduce_all, Figure};
 use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
 use compound_threats::placement::rank_backup_sites;
-use compound_threats::prelude::{run_shard, HazardSpec, ShardSpec, Store};
+use compound_threats::prelude::{
+    run_shard, HazardSpec, ServeOptions, Server, ShardSpec, Store, StoreBackend, StoreUrl,
+};
 use compound_threats::report::{figure_csv, figure_table, profile_bar};
 use compound_threats::{CaseStudy, CaseStudyConfig};
 use compound_threats_suite::cli::{CliArgs, CommandSpec, FlagSpec};
@@ -58,8 +66,18 @@ const CSV: FlagSpec = FlagSpec {
 };
 const STORE: FlagSpec = FlagSpec {
     name: "--store",
-    value_name: Some("dir"),
-    help: "artifact store: reuse cached realizations, write new ones",
+    value_name: Some("url"),
+    help: "artifact store: a directory, file://dir, or http://host:port (ct serve)",
+};
+const ADDR: FlagSpec = FlagSpec {
+    name: "--addr",
+    value_name: Some("host:port"),
+    help: "serve: bind address (default 127.0.0.1:7171; port 0 picks a free port)",
+};
+const CACHE_BYTES: FlagSpec = FlagSpec {
+    name: "--cache-bytes",
+    value_name: Some("N"),
+    help: "serve: in-memory record-cache budget in bytes (default 256 MiB)",
 };
 const PACKED: FlagSpec = FlagSpec {
     name: "--packed",
@@ -131,6 +149,12 @@ const COMMANDS: &[CommandSpec] = &[
         flags: &[STORE, PACKED, REPAIR, TMP_AGE, PRUNE, METRICS],
     },
     CommandSpec {
+        name: "serve",
+        summary: "host a local store over http for remote shards and probes",
+        positionals: &[],
+        flags: &[STORE, PACKED, ADDR, CACHE_BYTES],
+    },
+    CommandSpec {
         name: "placement",
         summary: "rank backup control sites",
         positionals: &[("config", true), ("scenario", true)],
@@ -184,6 +208,7 @@ fn usage() -> String {
          scenarios: hurricane | intrusion | isolation | compound\n\
          configs:   2 | 2-2 | 6 | 6-6 | 6+6+6\n\
          hazards:   surge | wind | compound\n\
+         stores:    --store <dir> | file://<dir> | http://host:port (see 'ct serve')\n\
          env:       CT_THREADS=<n> caps the worker-thread count\n\
          \x20          CT_FAULTS=site:nth:kind[:limit],... arms deterministic failpoints\n\
          \x20          CT_STORE_RETRY_BUDGET_MS=<ms> backoff budget for transient store I/O (default 3)\n\
@@ -205,23 +230,50 @@ fn study_config(args: &CliArgs) -> Result<CaseStudyConfig, Box<dyn std::error::E
     Ok(builder.build()?)
 }
 
-/// Opens the artifact store named by `--store`, if any. `--packed`
-/// selects the packed segment layout for a fresh root; existing
-/// stores auto-detect their layout either way (opening an existing
-/// loose root with `--packed` is an error, never a silent rewrite).
-fn open_store(args: &CliArgs) -> Result<Option<Store>, Box<dyn std::error::Error>> {
-    let open = if args.flag("--packed") {
-        Store::open_packed
-    } else {
-        Store::open
-    };
-    Ok(args.value("--store").map(open).transpose()?)
+/// The parsed `--store` URL, if any. Unknown schemes and malformed
+/// authorities are loud parse errors, never silent paths.
+fn store_url(args: &CliArgs) -> Result<Option<StoreUrl>, Box<dyn std::error::Error>> {
+    Ok(args.parsed::<StoreUrl>("--store")?)
 }
 
-/// Opens the artifact store named by `--store`, required.
-fn require_store(args: &CliArgs) -> Result<Store, Box<dyn std::error::Error>> {
+/// Opens the store backend named by `--store`, if any: local for a
+/// directory URL, the HTTP client for `http://host:port`. `--packed`
+/// selects the packed segment layout for a fresh local root; existing
+/// stores auto-detect their layout either way (opening an existing
+/// loose root with `--packed` is an error, never a silent rewrite).
+fn open_store(
+    args: &CliArgs,
+) -> Result<Option<std::sync::Arc<dyn StoreBackend>>, Box<dyn std::error::Error>> {
+    match store_url(args)? {
+        Some(url) => Ok(Some(url.open(args.flag("--packed"))?)),
+        None => Ok(None),
+    }
+}
+
+/// Opens the store backend named by `--store`, required.
+fn require_store(
+    args: &CliArgs,
+) -> Result<std::sync::Arc<dyn StoreBackend>, Box<dyn std::error::Error>> {
     match open_store(args)? {
         Some(store) => Ok(store),
+        None => Err(format!("'{}' requires --store <url>", args.spec().name).into()),
+    }
+}
+
+/// The local root named by `--store`, for commands that own the bytes
+/// on disk (`fsck`, `serve`) and therefore cannot run against an
+/// `http://` URL.
+fn require_local_root(args: &CliArgs) -> Result<std::path::PathBuf, Box<dyn std::error::Error>> {
+    match store_url(args)? {
+        Some(url) => match url.local_root() {
+            Some(root) => Ok(root.to_path_buf()),
+            None => Err(format!(
+                "'{}' operates on the store's local files and cannot target {url}; \
+                 run it on the serving machine with a directory --store",
+                args.spec().name
+            )
+            .into()),
+        },
         None => Err(format!("'{}' requires --store <dir>", args.spec().name).into()),
     }
 }
@@ -232,7 +284,7 @@ fn build_study(args: &CliArgs) -> Result<CaseStudy, Box<dyn std::error::Error>> 
     let config = study_config(args)?;
     Ok(CaseStudy::build_with_store(
         &config,
-        open_store(args)?.as_ref(),
+        open_store(args)?.as_deref(),
     )?)
 }
 
@@ -348,7 +400,7 @@ fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let shards = args.parsed::<usize>("--shards")?.unwrap_or(1);
             let index = args.parsed::<usize>("--shard")?.unwrap_or(0);
             let shard = ShardSpec::new(index, shards)?;
-            let report = run_shard(&config, &store, shard)?;
+            let report = run_shard(&config, store.as_ref(), shard)?;
             println!(
                 "shard {index}/{shards}: {} computed, {} reused, {} records total",
                 report.computed, report.reused, report.total
@@ -357,11 +409,40 @@ fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "merge" => {
             let store = require_store(args)?;
             let config = study_config(args)?;
-            let study = CaseStudy::merge_from_store(&config, &store)?;
+            let study = CaseStudy::merge_from_store(&config, store.as_ref())?;
             print_figures(&study, args.flag("--csv"))?;
         }
+        "serve" => {
+            let root = require_local_root(args)?;
+            let mut options = ServeOptions {
+                packed: args.flag("--packed"),
+                ..ServeOptions::default()
+            };
+            if let Some(addr) = args.value("--addr") {
+                options.addr = addr.to_string();
+            }
+            if let Some(bytes) = args.parsed::<u64>("--cache-bytes")? {
+                options.cache_bytes = bytes;
+            }
+            let server = Server::bind(&root, &options)?;
+            println!(
+                "serving {} at {} ({} workers, {} byte cache); GET /healthz, /metricsz, /probe",
+                root.display(),
+                server.url(),
+                options.threads,
+                options.cache_bytes,
+            );
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+            server.join_forever();
+        }
         "fsck" => {
-            let store = require_store(args)?;
+            let root = require_local_root(args)?;
+            let store = if args.flag("--packed") {
+                Store::open_packed(&root)?
+            } else {
+                Store::open(&root)?
+            };
             let options = ct_store::FsckOptions {
                 repair: args.flag("--repair"),
                 tmp_max_age: std::time::Duration::from_secs(

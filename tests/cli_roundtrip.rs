@@ -6,10 +6,11 @@
 //! exhaustive: every variant, every case mix, and a corpus of
 //! near-miss junk.
 
-use compound_threats::prelude::HazardSpec;
+use compound_threats::prelude::{HazardSpec, StoreUrl};
 use ct_scada::oahu::SiteChoice;
 use ct_threat::ThreatScenario;
 use proptest::prelude::*;
+use std::path::Path;
 
 const SITES: [SiteChoice; 2] = [SiteChoice::Waiau, SiteChoice::Kahe];
 
@@ -107,6 +108,94 @@ fn junk_is_rejected_with_the_input_quoted() {
     for s in ["surge+wind", "windd", "flood", "hurricane"] {
         let e = s.parse::<HazardSpec>().unwrap_err();
         assert!(e.to_string().contains(s), "must quote {s:?}: {e}");
+    }
+}
+
+#[test]
+fn store_url_forms_round_trip() {
+    // The three accepted forms, and what each resolves to.
+    let local: StoreUrl = "runs/store".parse().unwrap();
+    assert_eq!(local.local_root(), Some(Path::new("runs/store")));
+    let explicit: StoreUrl = "file:///var/ct/store".parse().unwrap();
+    assert_eq!(explicit.local_root(), Some(Path::new("/var/ct/store")));
+    let remote: StoreUrl = "http://127.0.0.1:7171".parse().unwrap();
+    assert_eq!(remote.local_root(), None);
+    assert_eq!(remote.to_string(), "http://127.0.0.1:7171");
+
+    // Display → parse → Display is the identity, so a parsed URL can
+    // be re-rendered into a child process's argv unchanged.
+    for input in [
+        "runs/store",
+        "/abs/store",
+        "file:///abs/store",
+        "http://127.0.0.1:7171",
+        "http://[::1]:80/",
+        "http://shard-host.internal:9000",
+    ] {
+        let url: StoreUrl = input.parse().unwrap();
+        let reparsed: StoreUrl = url.to_string().parse().unwrap();
+        assert_eq!(url, reparsed, "round-trip of {input:?}");
+        assert_eq!(url.to_string(), reparsed.to_string());
+    }
+}
+
+#[test]
+fn store_url_rejections_are_loud_and_specific() {
+    // A typo'd scheme must never be mistaken for a relative path
+    // (silently creating a directory literally named `https:/host`).
+    for (input, fragment) in [
+        ("https://h:1", "unsupported store url scheme"),
+        ("ssh://h:1", "unsupported store url scheme"),
+        ("", "empty"),
+        ("file://", "names no path"),
+        ("http://", "host:port"),
+        ("http://hostonly", "missing its port"),
+        ("http://:7171", "missing its host"),
+        ("http://h:99999", "not a valid port"),
+        ("http://h:1/objects/abc", "got a path"),
+    ] {
+        let err = input.parse::<StoreUrl>().unwrap_err();
+        assert!(
+            err.contains(fragment),
+            "input {input:?}: error {err:?} should mention {fragment:?}"
+        );
+    }
+}
+
+/// Characters a store path plausibly contains.
+const PATH_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '-', '.', '/', 's', 't', 'o', 'r', 'e',
+];
+
+proptest! {
+    /// Any bare path without a scheme separator parses as a local
+    /// root and survives a Display → parse → Display cycle.
+    #[test]
+    fn bare_paths_are_local_stores(
+        chars in prop::collection::vec(prop::sample::select(PATH_CHARS.to_vec()), 1..40),
+    ) {
+        let path: String = chars.into_iter().collect();
+        prop_assume!(!path.contains("://"));
+        let url: StoreUrl = path.parse().unwrap();
+        prop_assert_eq!(url.local_root(), Some(Path::new(&path)));
+        let reparsed: StoreUrl = url.to_string().parse().unwrap();
+        prop_assert_eq!(url, reparsed);
+    }
+
+    /// Every scheme other than `file` and `http` is rejected, with
+    /// the scheme named in the error.
+    #[test]
+    fn unknown_schemes_never_parse(
+        chars in prop::collection::vec(
+            prop::sample::select("abcdefghijklmnopqrstuvwxyz".chars().collect::<Vec<_>>()),
+            2..8,
+        ),
+    ) {
+        let scheme: String = chars.into_iter().collect();
+        prop_assume!(scheme != "file" && scheme != "http");
+        let input = format!("{scheme}://host:1");
+        let err = input.parse::<StoreUrl>().unwrap_err();
+        prop_assert!(err.contains(&scheme), "error {err:?} should name {scheme:?}");
     }
 }
 
