@@ -345,10 +345,15 @@ fn remote_probe() {
     let target = "/probe?scenario=compound&site=waiau&realizations=12";
     let probe_once = || {
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
-        write_request(&mut stream, "GET", target, &[]).unwrap();
-        let (status, body) = read_response(&mut stream).unwrap();
-        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
-        body.len()
+        write_request(&mut stream, "GET", target, &[], false).unwrap();
+        let response = read_response(&mut stream).unwrap();
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        response.body.len()
     };
     probe_once();
     let clients = 64usize;

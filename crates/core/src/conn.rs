@@ -1,0 +1,442 @@
+//! The per-connection state machine behind `ct serve`'s readiness
+//! loop.
+//!
+//! A [`Conn`] owns one nonblocking accepted socket and three pieces
+//! of state: an input buffer the readiness loop fills, an output
+//! buffer it drains, and the keep-alive accounting (requests served,
+//! last activity, close-after-flush). Each time the
+//! [`Poller`](crate::event::Poller) reports the socket ready, the
+//! worker calls
+//! [`Conn::on_ready`], which
+//!
+//! 1. reads until `WouldBlock` (or EOF),
+//! 2. parses **every complete pipelined request** in the buffer with
+//!    [`ct_store::remote::parse_request`], routing each through the
+//!    [`Router`] and queueing its response — so pipelining costs no
+//!    extra wakeups,
+//! 3. writes queued bytes until `WouldBlock` or empty.
+//!
+//! Connection-mode rules, shared with the wire codec:
+//!
+//! - a routed response echoes the request's negotiated mode, so a
+//!   routed 4xx (bad object key, unknown path) **keeps the
+//!   connection alive** — the framing is intact, only the request
+//!   was wrong;
+//! - a *parse-level* 4xx (malformed head, oversized head or body)
+//!   answers and then closes: after garbage, the request boundary is
+//!   unknowable, so keeping the socket would misparse everything
+//!   after it;
+//! - the response to request number `max_requests` on one socket is
+//!   marked `Connection: close` and the socket drains and closes —
+//!   the bound that keeps one immortal client from pinning server
+//!   state forever.
+//!
+//! The worker loop owns policy outside the socket: accept, idle
+//! sweeps (`CT_SERVE_IDLE_MS`), lifetime histograms, and teardown.
+
+use crate::error::CoreError;
+use ct_store::remote::{encode_response, parse_request, Request};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One response, however the request went.
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Status-line reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    /// A plain-text reply.
+    pub fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Self {
+        Reply {
+            status,
+            reason,
+            content_type: "text/plain",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A framed store record.
+    pub fn record(frame: Vec<u8>) -> Self {
+        Reply {
+            status: 200,
+            reason: "OK",
+            content_type: "application/octet-stream",
+            body: frame,
+        }
+    }
+
+    /// An empty 204.
+    pub fn no_content() -> Self {
+        Reply::text(204, "No Content", "")
+    }
+
+    /// A 400 with a one-line explanation.
+    pub fn bad_request(message: &str) -> Self {
+        Reply::text(400, "Bad Request", format!("{message}\n"))
+    }
+
+    /// A 500 carrying the error's display form.
+    pub fn server_error(e: &CoreError) -> Self {
+        Reply::text(500, "Internal Server Error", format!("{e}\n"))
+    }
+}
+
+/// What the serving tier does with one parsed request. Implemented
+/// by the server's shared state; the connection state machine stays
+/// ignorant of routes.
+pub trait Router {
+    /// Routes one request to a reply. Must not panic on hostile
+    /// input — malformed *content* is a 4xx reply, not an error.
+    fn route(&self, request: &Request) -> Reply;
+}
+
+/// What the worker loop should do with the connection after an
+/// [`Conn::on_ready`] pass.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep the registration; re-arm with write interest iff
+    /// `want_write` (queued bytes the socket would not take yet).
+    KeepGoing {
+        /// Output is pending; poll for writability.
+        want_write: bool,
+    },
+    /// Drained, errored, or told to close: deregister and drop.
+    Close,
+}
+
+/// One kept-alive server connection.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Bytes of `outbuf` already written to the socket.
+    written: usize,
+    /// Requests answered on this socket (including parse-level 4xx).
+    requests: u64,
+    opened: Instant,
+    last_activity: Instant,
+    /// Answer what is queued, then close instead of reading more.
+    close_after_flush: bool,
+    /// The peer is gone; queued bytes are undeliverable.
+    peer_gone: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted socket; the caller has already set it
+    /// nonblocking and registered it readable.
+    pub fn new(stream: TcpStream) -> Self {
+        let now = Instant::now();
+        Self {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            requests: 0,
+            opened: now,
+            last_activity: now,
+            close_after_flush: false,
+            peer_gone: false,
+        }
+    }
+
+    /// The raw fd for poller registration.
+    pub fn fd(&self) -> i32 {
+        crate::event::source_fd(&self.stream)
+    }
+
+    /// How long this connection has been open, in milliseconds —
+    /// the `serve.conn_lifetime_ms` observation at close.
+    pub fn lifetime_ms(&self) -> f64 {
+        self.opened.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// How long since the peer last made progress (bytes read from
+    /// or written to it), as of `now`.
+    pub fn idle_for(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.last_activity)
+    }
+
+    /// Runs the read → parse/route → write cycle for one readiness
+    /// report. Never panics on wire input; a hostile byte stream
+    /// ends, at worst, in a 4xx and [`Verdict::Close`].
+    pub fn on_ready(&mut self, router: &impl Router, max_requests: u64) -> Verdict {
+        if self.fill() {
+            self.drain_requests(router, max_requests);
+        }
+        self.flush()
+    }
+
+    /// Reads until `WouldBlock`/EOF. Returns whether routing should
+    /// run (false once the connection is beyond reading).
+    fn fill(&mut self) -> bool {
+        if self.close_after_flush || self.peer_gone {
+            return false;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF. Anything already queued still flushes (a
+                    // half-closed client may be reading); a partial
+                    // request in the buffer is dealt with by the
+                    // parse loop's truncation answer below.
+                    self.peer_gone = self.inbuf.is_empty() && self.outbuf.len() == self.written;
+                    self.close_after_flush = true;
+                    return !self.inbuf.is_empty();
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.peer_gone = true;
+                    self.close_after_flush = true;
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Parses and routes every complete request in `inbuf`,
+    /// queueing responses. Stops at a partial request (need more
+    /// bytes), a parse error (answer, then close), or the
+    /// max-requests bound.
+    fn drain_requests(&mut self, router: &impl Router, max_requests: u64) {
+        loop {
+            if self.close_after_flush && self.inbuf.is_empty() {
+                return;
+            }
+            match parse_request(&self.inbuf) {
+                Ok(None) => {
+                    if self.close_after_flush && !self.inbuf.is_empty() {
+                        // EOF behind a partial request: answer the
+                        // truncation like the one-shot server did,
+                        // for clients that still read after shutdown.
+                        self.queue_bad(400, "Bad Request", "truncated request\n");
+                        self.inbuf.clear();
+                    }
+                    return;
+                }
+                Ok(Some((request, consumed))) => {
+                    self.inbuf.drain(..consumed);
+                    self.requests += 1;
+                    ct_obs::add(ct_obs::names::SERVE_REQUESTS, 1);
+                    if self.requests > 1 {
+                        ct_obs::add(ct_obs::names::SERVE_KEEPALIVE_REUSES, 1);
+                    }
+                    let started = Instant::now();
+                    let reply = router.route(&request);
+                    if reply.status == 400 || reply.status == 404 {
+                        ct_obs::add(ct_obs::names::SERVE_BAD_REQUESTS, 1);
+                    }
+                    let keep = request.keep_alive && self.requests < max_requests;
+                    self.outbuf.extend_from_slice(&encode_response(
+                        reply.status,
+                        reply.reason,
+                        reply.content_type,
+                        &reply.body,
+                        keep,
+                    ));
+                    ct_obs::histogram(
+                        ct_obs::names::SERVE_REQUEST_MS,
+                        &ct_obs::names::SERVE_REQUEST_MS_BOUNDS,
+                    )
+                    .observe(started.elapsed().as_secs_f64() * 1000.0);
+                    if !keep {
+                        self.close_after_flush = true;
+                        self.inbuf.clear();
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Parse-level failure: the request boundary is
+                    // lost, so answer (when answerable) and close.
+                    if let Some((status, reason)) = e.status() {
+                        let detail = e.detail();
+                        self.queue_bad(status, reason, &format!("{detail}\n"));
+                    } else {
+                        self.close_after_flush = true;
+                    }
+                    self.inbuf.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queues a parse-level 4xx (counted as a bad request) and marks
+    /// the connection for closing: after unframeable input, nothing
+    /// later on the socket can be trusted.
+    fn queue_bad(&mut self, status: u16, reason: &'static str, body: &str) {
+        self.requests += 1;
+        ct_obs::add(ct_obs::names::SERVE_REQUESTS, 1);
+        ct_obs::add(ct_obs::names::SERVE_BAD_REQUESTS, 1);
+        self.outbuf.extend_from_slice(&encode_response(
+            status,
+            reason,
+            "text/plain",
+            body.as_bytes(),
+            false,
+        ));
+        self.close_after_flush = true;
+    }
+
+    /// Writes queued bytes until `WouldBlock` or empty, then decides
+    /// the verdict.
+    fn flush(&mut self) -> Verdict {
+        if self.peer_gone {
+            return Verdict::Close;
+        }
+        while self.written < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.written..]) {
+                Ok(0) => return Verdict::Close,
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Verdict::Close,
+            }
+        }
+        if self.written == self.outbuf.len() {
+            self.outbuf.clear();
+            self.written = 0;
+            if self.close_after_flush {
+                return Verdict::Close;
+            }
+        }
+        Verdict::KeepGoing {
+            want_write: self.written < self.outbuf.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_store::remote::{parse_response, read_response, write_request, Response};
+    use std::net::TcpListener;
+
+    /// Reads `n` pipelined responses off one socket — [`read_response`]
+    /// deliberately rejects trailing bytes, so batched answers need
+    /// the incremental parser.
+    fn read_responses(client: &mut TcpStream, n: usize) -> Vec<Response> {
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while out.len() < n {
+            if let Some((response, used)) = parse_response(&buf).unwrap() {
+                buf.drain(..used);
+                out.push(response);
+                continue;
+            }
+            let got = client.read(&mut chunk).unwrap();
+            assert!(
+                got > 0,
+                "socket closed after {} of {n} responses",
+                out.len()
+            );
+            buf.extend_from_slice(&chunk[..got]);
+        }
+        out
+    }
+
+    /// Echoes the method and target; 404s a magic path.
+    struct EchoRouter;
+
+    impl Router for EchoRouter {
+        fn route(&self, request: &Request) -> Reply {
+            if request.target == "/missing" {
+                return Reply::text(404, "Not Found", "nope\n");
+            }
+            Reply::text(
+                200,
+                "OK",
+                format!("{} {}\n", request.method, request.target),
+            )
+        }
+    }
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        server_end.set_nonblocking(true).unwrap();
+        (client, Conn::new(server_end))
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order_on_one_socket() {
+        let (mut client, mut conn) = pair();
+        write_request(&mut client, "GET", "/a", &[], true).unwrap();
+        write_request(&mut client, "GET", "/missing", &[], true).unwrap();
+        write_request(&mut client, "GET", "/b", &[], true).unwrap();
+        // Allow loopback delivery before the readiness pass.
+        std::thread::sleep(Duration::from_millis(30));
+        let verdict = conn.on_ready(&EchoRouter, 1000);
+        assert_eq!(verdict, Verdict::KeepGoing { want_write: false });
+
+        let responses = read_responses(&mut client, 3);
+        assert_eq!((responses[0].status, responses[0].keep_alive), (200, true));
+        assert_eq!(responses[0].body, b"GET /a\n");
+        // The routed 404 keeps the connection alive: framing intact.
+        assert_eq!((responses[1].status, responses[1].keep_alive), (404, true));
+        assert_eq!(responses[2].body, b"GET /b\n");
+    }
+
+    #[test]
+    fn parse_garbage_answers_400_and_closes() {
+        let (mut client, mut conn) = pair();
+        client.write_all(b"florble grumble\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let verdict = conn.on_ready(&EchoRouter, 1000);
+        assert_eq!(verdict, Verdict::Close);
+        let response = read_response(&mut client).unwrap();
+        assert_eq!((response.status, response.keep_alive), (400, false));
+    }
+
+    #[test]
+    fn max_requests_bound_marks_the_last_response_close() {
+        let (mut client, mut conn) = pair();
+        write_request(&mut client, "GET", "/1", &[], true).unwrap();
+        write_request(&mut client, "GET", "/2", &[], true).unwrap();
+        write_request(&mut client, "GET", "/3", &[], true).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let verdict = conn.on_ready(&EchoRouter, 2);
+        // Request #2 hits the bound; #3 is never answered.
+        assert_eq!(verdict, Verdict::Close);
+        let responses = read_responses(&mut client, 2);
+        assert!(responses[0].keep_alive);
+        assert!(!responses[1].keep_alive);
+        drop(conn);
+        let mut rest = Vec::new();
+        client.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "socket must be closed with nothing queued");
+    }
+
+    #[test]
+    fn client_close_request_is_honored() {
+        let (mut client, mut conn) = pair();
+        write_request(&mut client, "GET", "/only", &[], false).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let verdict = conn.on_ready(&EchoRouter, 1000);
+        assert_eq!(verdict, Verdict::Close);
+        let response = read_response(&mut client).unwrap();
+        assert_eq!((response.status, response.keep_alive), (200, false));
+    }
+}

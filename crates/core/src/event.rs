@@ -1,0 +1,444 @@
+//! Readiness notification for the serving tier, with zero
+//! dependencies.
+//!
+//! The keep-alive server multiplexes hundreds of kept-alive sockets
+//! per worker thread, which needs the OS to say *which* sockets have
+//! bytes waiting. On Linux that is epoll — but the workspace links no
+//! `libc`, so [`Poller`] wraps the four syscalls it needs
+//! (`epoll_create1`, `epoll_ctl`, `epoll_pwait`, `close`) in inline
+//! assembly directly against the kernel ABI (x86_64 and aarch64).
+//! Everything above the syscall boundary is ordinary safe Rust.
+//!
+//! On any other platform the same [`Poller`] API is served by a
+//! *spurious-readiness* fallback: `wait` sleeps briefly and reports
+//! every registered source as ready. That is semantically a
+//! level-triggered poller with false positives — correct (the
+//! connection state machines treat `WouldBlock` as "not actually
+//! ready") but busier, which is an acceptable tax on platforms the
+//! serving tier does not target.
+//!
+//! Interest is level-triggered on both implementations: a readable
+//! socket keeps reporting readable until drained, so a state machine
+//! that processes one request per wakeup still drains its backlog.
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the source was registered with.
+    pub token: u64,
+    /// Bytes (or an accepted connection, or EOF) are waiting.
+    pub readable: bool,
+    /// The socket can accept more outgoing bytes.
+    pub writable: bool,
+    /// The peer hung up or the socket errored; read to find out.
+    pub hangup: bool,
+}
+
+/// The raw file descriptor of a socket-like source, for registration
+/// with a [`Poller`].
+#[cfg(unix)]
+pub fn source_fd(source: &impl std::os::fd::AsRawFd) -> i32 {
+    source.as_raw_fd()
+}
+
+/// Non-unix platforms have no raw fds; the fallback poller never
+/// looks at the value.
+#[cfg(not(unix))]
+pub fn source_fd<T>(_source: &T) -> i32 {
+    -1
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    //! epoll over raw syscalls: no libc, no crates.
+
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const CLOSE: usize = 3;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const CLOSE: usize = 57;
+    }
+
+    const EPOLL_CLOEXEC: usize = 0x80000;
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`. x86_64 packs it to 12
+    /// bytes (a pre-epoll-v2 ABI quirk unique to that arch); every
+    /// other architecture uses natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// `syscall(n, a, b, c, d, e, f)` against the raw kernel ABI;
+    /// returns the kernel's result, negative values meaning
+    /// `-errno`.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a as isize => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    /// Converts a raw syscall return into `io::Result`.
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    fn interest_mask(readable: bool, writable: bool) -> u32 {
+        let mut events = EPOLLRDHUP;
+        if readable {
+            events |= EPOLLIN;
+        }
+        if writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    /// A level-triggered epoll instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: i32,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            let epfd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+            Ok(Self { epfd: epfd as i32 })
+        }
+
+        fn ctl(&self, op: usize, fd: i32, event: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = event
+                .as_ref()
+                .map(|e| e as *const EpollEvent as usize)
+                .unwrap_or(0);
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    self.epfd as usize,
+                    op,
+                    fd as usize,
+                    ptr,
+                    0,
+                    0,
+                )
+            })
+            .map(|_| ())
+        }
+
+        pub fn add(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Some(EpollEvent {
+                    events: interest_mask(readable, writable),
+                    data: token,
+                }),
+            )
+        }
+
+        pub fn modify(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Some(EpollEvent {
+                    events: interest_mask(readable, writable),
+                    data: token,
+                }),
+            )
+        }
+
+        pub fn remove(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as usize;
+            let n = loop {
+                // NULL sigmask: plain epoll_wait semantics (the
+                // epoll_wait number does not exist on aarch64, so
+                // both arches use epoll_pwait).
+                match check(unsafe {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        self.epfd as usize,
+                        raw.as_mut_ptr() as usize,
+                        raw.len(),
+                        timeout_ms,
+                        0,
+                        8,
+                    )
+                }) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for slot in &raw[..n] {
+                let mask = slot.events;
+                events.push(Event {
+                    token: slot.data,
+                    readable: mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: mask & EPOLLOUT != 0,
+                    hangup: mask & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                syscall6(nr::CLOSE, self.epfd as usize, 0, 0, 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    //! Spurious-readiness fallback: report everything ready after a
+    //! short sleep. Correct against `WouldBlock`-tolerant state
+    //! machines, at the cost of idle wakeups.
+
+    use super::Event;
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<HashMap<i32, u64>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                registered: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub fn add(&self, fd: i32, token: u64, _readable: bool, _writable: bool) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller lock")
+                .insert(fd, token);
+            Ok(())
+        }
+
+        pub fn modify(
+            &self,
+            fd: i32,
+            token: u64,
+            _readable: bool,
+            _writable: bool,
+        ) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller lock")
+                .insert(fd, token);
+            Ok(())
+        }
+
+        pub fn remove(&self, fd: i32) -> io::Result<()> {
+            self.registered.lock().expect("poller lock").remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            events.clear();
+            std::thread::sleep(timeout.min(Duration::from_millis(2)));
+            for token in self.registered.lock().expect("poller lock").values() {
+                events.push(Event {
+                    token: *token,
+                    readable: true,
+                    writable: true,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use imp::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn listener_readiness_follows_connections() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.add(source_fd(&listener), 7, true, false).unwrap();
+
+        // Nothing pending: a short wait reports no *actionable*
+        // readiness (the fallback may report spuriously; accept then
+        // says WouldBlock, which is also a pass).
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        for event in &events {
+            assert_eq!(event.token, 7);
+        }
+
+        // A pending connection makes the listener readable.
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "listener never became readable"
+            );
+        }
+        let (accepted, _) = listener.accept().unwrap();
+        drop(client);
+        drop(accepted);
+    }
+
+    #[test]
+    fn stream_readiness_and_token_routing() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        server_end.set_nonblocking(true).unwrap();
+        poller.add(source_fd(&server_end), 42, true, false).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+            if events.iter().any(|e| e.token == 42 && e.readable) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stream never became readable"
+            );
+        }
+        let mut buf = [0u8; 16];
+        let mut reader = &server_end;
+        let n = reader.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Re-registration with write interest reports writable.
+        poller
+            .modify(source_fd(&server_end), 42, true, true)
+            .unwrap();
+        loop {
+            poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+            if events.iter().any(|e| e.token == 42 && e.writable) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stream never became writable"
+            );
+        }
+        poller.remove(source_fd(&server_end)).unwrap();
+        drop(client);
+    }
+}

@@ -48,19 +48,23 @@
 pub mod artifact;
 pub mod attacker_power;
 pub mod availability;
+pub mod conn;
 pub mod crossval;
 pub mod error;
+pub mod event;
 pub mod figures;
 pub mod grid_impact;
 pub mod parallel;
 pub mod pipeline;
 pub mod placement;
 pub mod prelude;
+pub mod probe;
 pub mod profile;
 pub mod report;
 pub mod sensitivity;
 pub mod serve;
 pub mod summary;
+pub mod traffic;
 
 pub use error::CoreError;
 pub use figures::{Figure, FigureData};

@@ -22,8 +22,10 @@ pub use crate::figures::{Figure, FigureData};
 pub use crate::pipeline::{
     run_shard, CaseStudy, CaseStudyConfig, CaseStudyConfigBuilder, ShardReport, ShardSpec,
 };
+pub use crate::probe::ProbeQuery;
 pub use crate::profile::OutcomeProfile;
 pub use crate::serve::{ServeOptions, Server};
+pub use crate::traffic::{bench_serve, BenchMode, BenchOp, BenchServeOptions};
 pub use ct_hazard::{CompoundHazard, HazardModel, HazardSpec, SurgeHazard, WindFragilityHazard};
 pub use ct_scada::{oahu::SiteChoice, Architecture};
 pub use ct_store::{RemoteStore, Store, StoreBackend, StoreUrl};

@@ -1,19 +1,26 @@
-//! `ct serve`: hosting an artifact store over HTTP/1.1.
+//! `ct serve`: hosting an artifact store over keep-alive HTTP/1.1.
 //!
 //! A serving store lets shard runs on disjoint machines share one
 //! cache: each shard points `--store http://host:port` at the daemon
 //! and the pipeline's [`ct_store::StoreBackend`] calls travel the wire
-//! instead of the local filesystem. The daemon itself is std-only — a
-//! [`std::net::TcpListener`] drained by a small fixed pool of worker
-//! threads, one request per connection (see [`ct_store::remote`] for
-//! the wire protocol and why keep-alive is deliberately absent).
+//! instead of the local filesystem. The daemon is std-only: a
+//! nonblocking [`std::net::TcpListener`] plus a small pool of worker
+//! threads, each running a readiness loop (epoll via
+//! [`crate::event::Poller`], with a portable fallback) over its own
+//! set of per-connection state machines ([`crate::conn::Conn`]).
+//! Connections are kept alive and pipelined per HTTP/1.1 semantics,
+//! bounded by an idle timeout (`CT_SERVE_IDLE_MS`) and a
+//! max-requests-per-connection cap, so a client pays the TCP dial
+//! once per *session*, not once per artifact — see DESIGN.md for the
+//! fairness argument versus the old accept-queue model.
 //!
 //! Beyond raw object traffic, the server answers *analysis* questions
-//! directly: `GET /probe?scenario=…&site=…` returns the outcome
-//! probabilities (green/orange/red/gray per architecture) computed
-//! from the ensemble artifacts it hosts — building and caching the
-//! case study on first use, so a fleet of dashboards can poll
-//! state probabilities without shipping realizations around.
+//! directly: `GET /probe?scenario=…&site=…` (parsed by
+//! [`crate::probe::ProbeQuery`]) returns the outcome probabilities
+//! (green/orange/red/gray per architecture) computed from the
+//! ensemble artifacts it hosts — building and caching the case study
+//! on first use, so a fleet of dashboards can poll state
+//! probabilities without shipping realizations around.
 //!
 //! Operational guardrails:
 //!
@@ -24,14 +31,18 @@
 //!   [`ByteLru`] of *framed* records, so a warm `GET` costs no disk
 //!   I/O and no re-checksumming;
 //! - malformed requests are answered with 4xx and counted
-//!   (`serve.bad_requests`); they never kill a worker.
+//!   (`serve.bad_requests`); they never kill a worker *or* the
+//!   readiness loop, and a routed 4xx never kills the connection.
 
+use crate::conn::{Conn, Reply, Router, Verdict};
 use crate::error::CoreError;
+use crate::event::{source_fd, Event, Poller};
 use crate::pipeline::{CaseStudy, CaseStudyConfig};
+use crate::probe::ProbeQuery;
 use ct_hazard::HazardSpec;
 use ct_scada::Architecture;
 use ct_store::format::{decode_record, encode_record};
-use ct_store::remote::{query_param, read_request, write_response, Request, RequestError};
+use ct_store::remote::{query_param, Request};
 use ct_store::{ByteLru, Digest, ServeLock, Store};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,20 +55,29 @@ use std::time::{Duration, Instant};
 pub const DEFAULT_CACHE_BYTES: u64 = 256 * 1024 * 1024;
 /// Default bind address (loopback; front with a tunnel to go wider).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
-/// Default worker-thread count. Small on purpose: requests are short
-/// (one object or one cached probe), so a handful of workers saturate
-/// a NIC long before they saturate a core; the kernel accept queue
-/// absorbs bursts.
+/// Default worker-thread count. Each worker is a readiness loop
+/// multiplexing many kept-alive connections, so a handful saturate a
+/// NIC long before they saturate a core.
 pub const DEFAULT_THREADS: usize = 4;
+/// Default idle timeout for kept-alive connections, in milliseconds
+/// (`CT_SERVE_IDLE_MS` overrides).
+pub const DEFAULT_IDLE_MS: u64 = 5_000;
+/// Requests served on one connection before the server closes it
+/// (the final response says `Connection: close`). Bounds per-socket
+/// server state; clients just redial.
+pub const DEFAULT_MAX_REQUESTS: u64 = 4_096;
 
 /// Ensemble size a `/probe` uses when the query does not say
 /// (deliberately smaller than the paper's 1000: a probe is a live
 /// question, not a reproduction run).
 pub const DEFAULT_PROBE_REALIZATIONS: usize = 60;
 
-/// How long a worker waits on a request before giving up on the
-/// client (a stalled sender must not pin a worker forever).
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+/// The readiness-loop tick: the longest a worker sleeps between
+/// stop-flag checks and idle sweeps.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// The poller token reserved for the shared listener.
+const LISTENER_TOKEN: u64 = 0;
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -70,8 +90,14 @@ pub struct ServeOptions {
     pub packed: bool,
     /// Byte budget for the in-memory record cache.
     pub cache_bytes: u64,
-    /// Worker-thread count (minimum 1).
+    /// Worker-thread count (minimum 1); each runs a readiness loop.
     pub threads: usize,
+    /// Close kept-alive connections idle longer than this
+    /// (default `CT_SERVE_IDLE_MS`, else [`DEFAULT_IDLE_MS`]).
+    pub idle_ms: u64,
+    /// Close a connection after this many requests
+    /// ([`DEFAULT_MAX_REQUESTS`]).
+    pub max_requests: u64,
 }
 
 impl Default for ServeOptions {
@@ -81,6 +107,11 @@ impl Default for ServeOptions {
             packed: false,
             cache_bytes: DEFAULT_CACHE_BYTES,
             threads: DEFAULT_THREADS,
+            idle_ms: std::env::var("CT_SERVE_IDLE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_IDLE_MS),
+            max_requests: DEFAULT_MAX_REQUESTS,
         }
     }
 }
@@ -99,6 +130,14 @@ struct Shared {
     /// identical probes dedup into one build instead of racing.
     studies: Mutex<HashMap<StudyKey, Arc<CaseStudy>>>,
     stop: AtomicBool,
+    idle: Duration,
+    max_requests: u64,
+}
+
+impl Router for Shared {
+    fn route(&self, request: &Request) -> Reply {
+        route(self, request)
+    }
 }
 
 /// A running `ct serve` daemon. Binding acquires the store's
@@ -107,7 +146,6 @@ struct Shared {
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
-    listener: TcpListener,
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     /// Held for the server's lifetime; its `Drop` removes the
@@ -137,26 +175,26 @@ impl Server {
         } else {
             Store::open(root)?
         };
-        let listener = TcpListener::bind(&options.addr).map_err(|e| CoreError::Io {
+        let io_error = |e: std::io::Error| CoreError::Io {
             path: options.addr.clone(),
             message: e.to_string(),
-        })?;
-        let addr = listener.local_addr().map_err(|e| CoreError::Io {
-            path: options.addr.clone(),
-            message: e.to_string(),
-        })?;
+        };
+        let listener = TcpListener::bind(&options.addr).map_err(io_error)?;
+        let addr = listener.local_addr().map_err(io_error)?;
+        // Every worker's poller watches the same listener; accepts
+        // must never block a readiness loop.
+        listener.set_nonblocking(true).map_err(io_error)?;
         let shared = Arc::new(Shared {
             store,
             cache: ByteLru::new(options.cache_bytes),
             studies: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
+            idle: Duration::from_millis(options.idle_ms.max(1)),
+            max_requests: options.max_requests.max(1),
         });
         let workers = (0..options.threads.max(1))
             .map(|i| {
-                let listener = listener.try_clone().map_err(|e| CoreError::Io {
-                    path: options.addr.clone(),
-                    message: e.to_string(),
-                })?;
+                let listener = listener.try_clone().map_err(io_error)?;
                 let shared = Arc::clone(&shared);
                 Ok(std::thread::Builder::new()
                     .name(format!("ct-serve-{i}"))
@@ -166,7 +204,6 @@ impl Server {
             .collect::<Result<Vec<_>, CoreError>>()?;
         Ok(Self {
             addr,
-            listener,
             shared,
             workers,
             _lock: lock,
@@ -187,11 +224,9 @@ impl Server {
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // A blocked `accept` is only woken by a connection, so poke
-        // the listener until each worker has actually exited (a
-        // single poke can be consumed by the "wrong" worker). The
-        // nonblocking flip keeps woken workers from blocking again.
-        self.listener.set_nonblocking(true).ok();
+        // A worker parked in `wait` is woken by its tick within
+        // [`WAIT_TICK`]; a connect poke makes the listener readable
+        // and wakes everyone sooner.
         let wake: SocketAddr = if self.addr.ip().is_unspecified() {
             SocketAddr::new(
                 "127.0.0.1".parse().expect("loopback parses"),
@@ -200,11 +235,8 @@ impl Server {
         } else {
             self.addr
         };
+        TcpStream::connect_timeout(&wake, Duration::from_millis(100)).ok();
         for worker in self.workers.drain(..) {
-            while !worker.is_finished() {
-                TcpStream::connect_timeout(&wake, Duration::from_millis(100)).ok();
-                std::thread::sleep(Duration::from_millis(1));
-            }
             worker.join().ok();
         }
     }
@@ -225,100 +257,116 @@ impl Drop for Server {
     }
 }
 
+/// One worker: a readiness loop over the shared listener and this
+/// worker's own connections. Every worker registers the listener
+/// (level-triggered), so an accept burst wakes them all and they
+/// split the backlog.
 fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    let Ok(poller) = Poller::new() else { return };
+    if poller
+        .add(source_fd(listener), LISTENER_TOKEN, true, false)
+        .is_err()
+    {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = LISTENER_TOKEN + 1;
+    let mut events: Vec<Event> = Vec::new();
     loop {
-        let accepted = listener.accept();
+        poller.wait(&mut events, WAIT_TICK).ok();
         if shared.stop.load(Ordering::SeqCst) {
+            for (_, conn) in conns.drain() {
+                close_conn(&poller, &conn, false);
+            }
             return;
         }
-        match accepted {
-            Ok((stream, _)) => handle(shared, stream),
-            // Transient accept errors (EMFILE, WouldBlock after a
-            // nonblocking flip lost a race) must not spin a core.
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        for event in &events {
+            if event.token == LISTENER_TOKEN {
+                accept_burst(listener, &poller, &mut conns, &mut next_token);
+                continue;
+            }
+            let verdict = match conns.get_mut(&event.token) {
+                Some(conn) => conn.on_ready(shared, shared.max_requests),
+                // A token can fire twice in one batch (read + hangup)
+                // after its first firing closed the connection.
+                None => continue,
+            };
+            match verdict {
+                Verdict::KeepGoing { want_write } => {
+                    let conn = &conns[&event.token];
+                    poller.modify(conn.fd(), event.token, true, want_write).ok();
+                }
+                Verdict::Close => {
+                    if let Some(conn) = conns.remove(&event.token) {
+                        close_conn(&poller, &conn, false);
+                    }
+                }
+            }
         }
+        sweep_idle(&poller, &mut conns, shared.idle);
     }
 }
 
-/// One response, however the request went.
-struct Reply {
-    status: u16,
-    reason: &'static str,
-    content_type: &'static str,
-    body: Vec<u8>,
-}
-
-impl Reply {
-    fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Self {
-        Reply {
-            status,
-            reason,
-            content_type: "text/plain",
-            body: body.into().into_bytes(),
-        }
-    }
-
-    fn record(frame: Vec<u8>) -> Self {
-        Reply {
-            status: 200,
-            reason: "OK",
-            content_type: "application/octet-stream",
-            body: frame,
-        }
-    }
-
-    fn no_content() -> Self {
-        Reply::text(204, "No Content", "")
-    }
-
-    fn bad_request(message: &str) -> Self {
-        Reply::text(400, "Bad Request", format!("{message}\n"))
-    }
-
-    fn server_error(e: &CoreError) -> Self {
-        Reply::text(500, "Internal Server Error", format!("{e}\n"))
-    }
-}
-
-/// Serves one connection: read, route, respond, close. Every path —
-/// including garbage and oversized requests — ends in a response (or
-/// a dead transport) and a returning worker.
-fn handle(shared: &Shared, mut stream: TcpStream) {
-    let started = Instant::now();
-    ct_obs::add(ct_obs::names::SERVE_REQUESTS, 1);
-    stream.set_read_timeout(Some(REQUEST_TIMEOUT)).ok();
-    stream.set_write_timeout(Some(REQUEST_TIMEOUT)).ok();
-    let reply = match read_request(&mut stream) {
-        Ok(request) => route(shared, &request),
-        Err(e) => {
-            let Some((status, reason)) = e.status() else {
-                // The transport died mid-request; nobody to answer.
+/// Accepts every pending connection (until `WouldBlock`) and
+/// registers each with this worker's poller.
+fn accept_burst(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                let conn = Conn::new(stream);
+                let token = *next_token;
+                *next_token += 1;
+                if poller.add(conn.fd(), token, true, false).is_ok() {
+                    conns.insert(token, conn);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Transient accept errors (EMFILE) must not spin a core.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
                 return;
-            };
-            ct_obs::add(ct_obs::names::SERVE_BAD_REQUESTS, 1);
-            let detail = match e {
-                RequestError::BadRequest(why) => why,
-                _ => "request exceeds protocol limits",
-            };
-            Reply::text(status, reason, format!("{detail}\n"))
+            }
         }
-    };
-    if reply.status == 400 || reply.status == 404 {
-        ct_obs::add(ct_obs::names::SERVE_BAD_REQUESTS, 1);
     }
-    write_response(
-        &mut stream,
-        reply.status,
-        reply.reason,
-        reply.content_type,
-        &reply.body,
-    )
-    .ok();
+}
+
+/// Closes connections whose peer has gone quiet for the idle
+/// timeout, counting `serve.idle_closes`.
+fn sweep_idle(poller: &Poller, conns: &mut HashMap<u64, Conn>, idle: Duration) {
+    let now = Instant::now();
+    let expired: Vec<u64> = conns
+        .iter()
+        .filter(|(_, conn)| conn.idle_for(now) >= idle)
+        .map(|(token, _)| *token)
+        .collect();
+    for token in expired {
+        if let Some(conn) = conns.remove(&token) {
+            close_conn(poller, &conn, true);
+        }
+    }
+}
+
+/// Deregisters and accounts one closing connection.
+fn close_conn(poller: &Poller, conn: &Conn, idle: bool) {
+    poller.remove(conn.fd()).ok();
+    if idle {
+        ct_obs::add(ct_obs::names::SERVE_IDLE_CLOSES, 1);
+    }
     ct_obs::histogram(
-        ct_obs::names::SERVE_REQUEST_MS,
-        &ct_obs::names::SERVE_REQUEST_MS_BOUNDS,
+        ct_obs::names::SERVE_CONN_LIFETIME_MS,
+        &ct_obs::names::SERVE_CONN_LIFETIME_MS_BOUNDS,
     )
-    .observe(started.elapsed().as_secs_f64() * 1000.0);
+    .observe(conn.lifetime_ms());
 }
 
 fn route(shared: &Shared, request: &Request) -> Reply {
@@ -395,38 +443,15 @@ fn objects(shared: &Shared, request: &Request, hex: &str, query: &str) -> Reply 
 
 /// `GET /probe?scenario=…&site=…[&hazard=…][&realizations=N]`:
 /// outcome probabilities per architecture, answered from the hosted
-/// ensemble artifacts (built and cached on first use).
+/// ensemble artifacts (built and cached on first use). The query
+/// grammar is [`ProbeQuery`]'s — shared verbatim with `ct probe`.
 fn probe(shared: &Shared, query: &str) -> Reply {
     ct_obs::add(ct_obs::names::SERVE_PROBES, 1);
-    let Some(scenario) = query_param(query, "scenario") else {
-        return Reply::bad_request("probe needs scenario= (e.g. hurricane-intrusion-isolation)");
+    let parsed: ProbeQuery = match query.parse() {
+        Ok(q) => q,
+        Err(e) => return Reply::bad_request(&e),
     };
-    let scenario: ct_threat::ThreatScenario = match scenario.parse() {
-        Ok(s) => s,
-        Err(e) => return Reply::bad_request(&e.to_string()),
-    };
-    let Some(site) = query_param(query, "site") else {
-        return Reply::bad_request("probe needs site= (waiau | kahe)");
-    };
-    let site: ct_scada::oahu::SiteChoice = match site.parse() {
-        Ok(s) => s,
-        Err(e) => return Reply::bad_request(&e.to_string()),
-    };
-    let hazard = match query_param(query, "hazard") {
-        None => HazardSpec::default(),
-        Some(h) => match h.parse::<HazardSpec>() {
-            Ok(h) => h,
-            Err(e) => return Reply::bad_request(&e.to_string()),
-        },
-    };
-    let realizations = match query_param(query, "realizations") {
-        None => DEFAULT_PROBE_REALIZATIONS,
-        Some(n) => match n.parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => return Reply::bad_request("realizations= must be a positive integer"),
-        },
-    };
-    let study = match cached_study(shared, hazard, realizations) {
+    let study = match cached_study(shared, parsed.hazard, parsed.realizations) {
         Ok(s) => s,
         Err(CoreError::InvalidConfig { field, reason }) => {
             return Reply::bad_request(&format!("{field}: {reason}"))
@@ -435,7 +460,7 @@ fn probe(shared: &Shared, query: &str) -> Reply {
     };
     let mut body = String::from("architecture,green,orange,red,gray\n");
     for architecture in Architecture::ALL {
-        match study.profile(architecture, scenario, site) {
+        match study.profile(architecture, parsed.scenario, parsed.site) {
             Ok(p) => {
                 use std::fmt::Write;
                 writeln!(

@@ -94,6 +94,18 @@ pub const STORE_REMOTE_EVICTIONS: &str = "store.remote.evictions";
 /// Remote-store operations that failed after the retry budget was
 /// exhausted (callers degrade to compute-without-cache).
 pub const STORE_REMOTE_ERRORS: &str = "store.remote.errors";
+/// Remote-store operations refused with a permanent 4xx status (the
+/// request itself is wrong; retrying would repeat the refusal, so the
+/// retry loop is skipped entirely).
+pub const STORE_REMOTE_PERMANENT: &str = "store.remote.permanent";
+/// Pooled connections checked out healthy and reused (no dial).
+pub const STORE_REMOTE_POOL_HITS: &str = "store.remote.pool.hits";
+/// Fresh TCP connections dialed by the client pool (pool empty, or
+/// every idle candidate was stale).
+pub const STORE_REMOTE_POOL_DIALS: &str = "store.remote.pool.dials";
+/// Idle pooled connections retired at checkout because the health
+/// probe saw EOF, buffered garbage, or a socket error.
+pub const STORE_REMOTE_POOL_RETIRED: &str = "store.remote.pool.retired";
 /// Serving-cache lookups satisfied from the in-memory LRU.
 pub const STORE_LRU_HITS: &str = "store.lru.hits";
 /// Serving-cache lookups that fell through to the backing store.
@@ -110,6 +122,12 @@ pub const SERVE_PROBES: &str = "serve.probes";
 /// Case studies built to answer a `/probe` miss (subsequent probes of
 /// the same tuple hit the in-memory study cache).
 pub const SERVE_PROBE_BUILDS: &str = "serve.probe_builds";
+/// Requests served on an already-established connection (request #2
+/// and beyond on a kept-alive socket; request #1 is never a reuse).
+pub const SERVE_KEEPALIVE_REUSES: &str = "serve.keepalive_reuses";
+/// Kept-alive connections closed by the server's idle sweep after
+/// `CT_SERVE_IDLE_MS` without a byte from the client.
+pub const SERVE_IDLE_CLOSES: &str = "serve.idle_closes";
 /// Failpoints armed on a fault registry (test- or `CT_FAULTS`-driven).
 pub const FAULTS_ARMED: &str = "faults.armed";
 /// Failpoint firings: armed faults actually injected at their site.
@@ -131,6 +149,9 @@ pub const STORE_REMOTE_RTT_MS: &str = "store.remote.rtt_ms";
 /// Histogram: milliseconds to serve one HTTP request (read to flush,
 /// as seen by the server worker).
 pub const SERVE_REQUEST_MS: &str = "serve.request_ms";
+/// Histogram: milliseconds a server connection stayed open, accept to
+/// close (keep-alive stretches the tail; one observation per socket).
+pub const SERVE_CONN_LIFETIME_MS: &str = "serve.conn_lifetime_ms";
 
 /// Bucket bounds for [`SWE_STEPS_PER_SOLVE`].
 pub const SWE_STEPS_PER_SOLVE_BOUNDS: [f64; 6] = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
@@ -144,6 +165,9 @@ pub const STORE_RETRY_WAIT_MS_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0
 pub const STORE_REMOTE_RTT_MS_BOUNDS: [f64; 8] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0];
 /// Bucket bounds for [`SERVE_REQUEST_MS`].
 pub const SERVE_REQUEST_MS_BOUNDS: [f64; 8] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 64.0, 1000.0];
+/// Bucket bounds for [`SERVE_CONN_LIFETIME_MS`].
+pub const SERVE_CONN_LIFETIME_MS_BOUNDS: [f64; 7] =
+    [1.0, 10.0, 100.0, 1000.0, 10000.0, 60000.0, 300000.0];
 
 /// Registers the full canonical metric set on `registry` so
 /// snapshots list every standard counter even when a run never
@@ -190,6 +214,10 @@ pub fn register_defaults(registry: &crate::Registry) {
         STORE_REMOTE_MISSES,
         STORE_REMOTE_EVICTIONS,
         STORE_REMOTE_ERRORS,
+        STORE_REMOTE_PERMANENT,
+        STORE_REMOTE_POOL_HITS,
+        STORE_REMOTE_POOL_DIALS,
+        STORE_REMOTE_POOL_RETIRED,
         STORE_LRU_HITS,
         STORE_LRU_MISSES,
         STORE_LRU_EVICTIONS,
@@ -197,6 +225,8 @@ pub fn register_defaults(registry: &crate::Registry) {
         SERVE_BAD_REQUESTS,
         SERVE_PROBES,
         SERVE_PROBE_BUILDS,
+        SERVE_KEEPALIVE_REUSES,
+        SERVE_IDLE_CLOSES,
         FAULTS_ARMED,
         FAULTS_FIRED,
     ] {
@@ -209,6 +239,7 @@ pub fn register_defaults(registry: &crate::Registry) {
     registry.histogram(STORE_RETRY_WAIT_MS, &STORE_RETRY_WAIT_MS_BOUNDS);
     registry.histogram(STORE_REMOTE_RTT_MS, &STORE_REMOTE_RTT_MS_BOUNDS);
     registry.histogram(SERVE_REQUEST_MS, &SERVE_REQUEST_MS_BOUNDS);
+    registry.histogram(SERVE_CONN_LIFETIME_MS, &SERVE_CONN_LIFETIME_MS_BOUNDS);
 }
 
 #[cfg(test)]
@@ -220,7 +251,10 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 48);
+        assert_eq!(snap.counters.len(), 54);
+        assert_eq!(snap.counter(SERVE_KEEPALIVE_REUSES), Some(0));
+        assert_eq!(snap.counter(STORE_REMOTE_POOL_HITS), Some(0));
+        assert_eq!(snap.counter(STORE_REMOTE_PERMANENT), Some(0));
         assert_eq!(snap.counter(STORE_REMOTE_GETS), Some(0));
         assert_eq!(snap.counter(SERVE_REQUESTS), Some(0));
         assert_eq!(snap.counter(STORE_LRU_EVICTIONS), Some(0));
@@ -232,6 +266,6 @@ mod tests {
         assert_eq!(snap.counter(STORE_SEGMENT_APPENDS), Some(0));
         assert_eq!(snap.counter(STORE_SEGMENT_COMPACTIONS), Some(0));
         assert_eq!(snap.gauge(BUILD_THREADS), Some(0.0));
-        assert_eq!(snap.histograms.len(), 6);
+        assert_eq!(snap.histograms.len(), 7);
     }
 }

@@ -21,6 +21,18 @@ pub enum StoreError {
         /// The underlying I/O error message.
         message: String,
     },
+    /// A remote server refused the request itself with a 4xx status
+    /// (other than a 404 miss, which is a cache state, not an
+    /// error). Permanent: retrying the identical request would
+    /// repeat the refusal, so the retry budget is never spent on it.
+    RemotePermanent {
+        /// The full `http://authority/target` that was refused.
+        url: String,
+        /// The 4xx status the server answered with.
+        status: u16,
+        /// The server's explanation (the response body, trimmed).
+        message: String,
+    },
 }
 
 impl StoreError {
@@ -36,6 +48,13 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io { path, message } => write!(f, "artifact store '{path}': {message}"),
+            StoreError::RemotePermanent {
+                url,
+                status,
+                message,
+            } => {
+                write!(f, "remote store refused '{url}' with {status}: {message}")
+            }
         }
     }
 }

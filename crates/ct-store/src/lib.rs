@@ -31,8 +31,9 @@
 //! - [`StoreBackend`]: the get/put/evict/degrade contract both
 //!   backends satisfy;
 //! - [`RemoteStore`] + [`mod@remote`]: a zero-dependency HTTP/1.1
-//!   client (and the shared wire codec) for a store hosted by
-//!   `ct serve`;
+//!   client (and the shared keep-alive wire codec) for a store
+//!   hosted by `ct serve`, drawing kept-alive sockets from the
+//!   bounded [`mod@pool`] (`CT_REMOTE_POOL`);
 //! - [`StoreUrl`]: `--store` argument parsing — bare path,
 //!   `file://path`, or `http://host:port` — selecting the backend;
 //! - [`ByteLru`]: the byte-budgeted in-memory cache the server
@@ -64,6 +65,7 @@
 
 pub mod faults;
 pub mod format;
+pub mod pool;
 pub mod remote;
 pub mod segment;
 

@@ -3,9 +3,8 @@
 //!
 //! `ct serve` exposes a store over plain HTTP/1.1 so shards can run
 //! on disjoint machines against one shared store. The protocol is
-//! deliberately minimal — no dependencies, no keep-alive, no chunked
-//! encoding — because the workload is small framed records, not web
-//! traffic:
+//! deliberately minimal — no dependencies, no chunked encoding —
+//! because the workload is small framed records, not web traffic:
 //!
 //! ```text
 //! GET    /objects/<hex32>            200 body = CTSTORE1 frame | 404 miss
@@ -21,37 +20,44 @@
 //! bytes the loose layout stores on disk — so the record checksum
 //! protects the payload *end to end*: a bit flipped on the wire is
 //! caught by the receiver exactly like a bit rotted on disk. Every
-//! request and response carries `Content-Length` and
-//! `Connection: close`; one request per connection keeps the server's
-//! fixed worker pool starvation-free under arbitrarily many clients
-//! (the kernel accept queue is the fair scheduler).
+//! message carries `Content-Length` and an explicit `Connection:`
+//! header; connections are **kept alive and pipelined** by default
+//! (HTTP/1.1 semantics: keep-alive unless either side says `close`,
+//! and HTTP/1.0 peers get one request per connection exactly as
+//! before). [`parse_request`] is the single incremental parser both
+//! the server's readiness loop and the blocking [`read_request`]
+//! helper build on, so framing limits ([`MAX_HEAD_BYTES`],
+//! [`MAX_BODY_BYTES`]) apply identically on the one-shot and the
+//! pipelined path.
 //!
 //! [`RemoteStore`] implements [`StoreBackend`] over this protocol
-//! with the store's budget-aware transient retries
-//! (`CT_STORE_RETRY_BUDGET_MS`, extended to connection-lifecycle
-//! errors) — so a briefly-restarting
-//! server costs milliseconds, and a dead one degrades callers to
-//! compute-without-cache exactly like a failing disk.
+//! through a bounded [`crate::pool::ConnPool`] of kept-alive sockets
+//! (`CT_REMOTE_POOL`), with the store's budget-aware transient
+//! retries (`CT_STORE_RETRY_BUDGET_MS`, extended to
+//! connection-lifecycle errors) — a stale pooled socket or a
+//! briefly-restarting server costs milliseconds, and a dead one
+//! degrades callers to compute-without-cache exactly like a failing
+//! disk. Server answers are classified by status: 5xx and transport
+//! failures are *transient* (retry-budget eligible), while any other
+//! 4xx than a miss is *permanent* — the request itself is wrong, so
+//! the retry loop is skipped and the refusal surfaces as
+//! [`StoreError::RemotePermanent`].
 
 use crate::backend::StoreBackend;
 use crate::error::StoreError;
 use crate::format::{decode_record, encode_record};
 use crate::hash::Digest;
 use crate::metrics::MetricsSink;
+use crate::pool::ConnPool;
 use crate::retry;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Cap on request/response head bytes (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Cap on body bytes; far above any record the pipeline produces.
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-
-const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
-/// Generous because a cold `/probe` may build a whole case study.
-const IO_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// One parsed HTTP/1.1 request.
 #[derive(Debug)]
@@ -62,6 +68,10 @@ pub struct Request {
     pub target: String,
     /// The body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// The negotiated connection mode: `Connection:` header if
+    /// present, else the version default (1.1 keeps alive, 1.0
+    /// closes). The response must echo this negotiation.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -73,6 +83,19 @@ impl Request {
             None => (self.target.as_str(), ""),
         }
     }
+}
+
+/// One parsed HTTP/1.1 response.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the server negotiated keeping the connection open
+    /// (same rules as requests); `false` means do not reuse the
+    /// socket — which is what a PR-7 server always answers.
+    pub keep_alive: bool,
 }
 
 /// The value of `name` in an `a=1&b=2` query string.
@@ -109,96 +132,84 @@ impl RequestError {
             RequestError::Io(_) => None,
         }
     }
+
+    /// The one-line detail the 4xx body carries.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            RequestError::BadRequest(why) => why,
+            _ => "request exceeds protocol limits",
+        }
+    }
 }
 
-/// Reads until the `\r\n\r\n` head terminator, returning the head
-/// (terminator excluded) and any body bytes already read past it.
-/// `Ok(None)` head means the head outgrew `cap`.
-#[allow(clippy::type_complexity)]
-fn read_head(stream: &mut impl Read, cap: usize) -> std::io::Result<Option<(Vec<u8>, Vec<u8>)>> {
-    let mut head: Vec<u8> = Vec::new();
-    let mut buf = [0u8; 2048];
-    loop {
-        if let Some(pos) = head.windows(4).position(|w| w == b"\r\n\r\n") {
-            let leftover = head.split_off(pos + 4);
-            head.truncate(pos);
-            return Ok(Some((head, leftover)));
-        }
-        if head.len() > cap {
-            return Ok(None);
-        }
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed before the end of the message head",
-            ));
-        }
-        head.extend_from_slice(&buf[..n]);
-    }
+/// The position of the `\r\n\r\n` head terminator in `buf`.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// The `Content-Length` among raw header lines, if present and valid.
 fn content_length(head: &[u8]) -> Result<Option<usize>, &'static str> {
+    match header_value(head, "content-length")? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| "unparsable Content-Length"),
+    }
+}
+
+/// The trimmed value of header `name` (ASCII case-insensitive) among
+/// raw header lines, or an error for a non-UTF-8 line.
+fn header_value<'a>(head: &'a [u8], name: &str) -> Result<Option<&'a str>, &'static str> {
     for line in head.split(|&b| b == b'\n') {
         let line = std::str::from_utf8(line).map_err(|_| "non-UTF-8 header line")?;
-        let Some((name, value)) = line.split_once(':') else {
+        let Some((n, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            return value
-                .trim()
-                .parse::<usize>()
-                .map(Some)
-                .map_err(|_| "unparsable Content-Length");
+        if n.trim().eq_ignore_ascii_case(name) {
+            return Ok(Some(value.trim_end_matches('\r').trim()));
         }
     }
     Ok(None)
 }
 
-/// Reads the declared body: `leftover` bytes already consumed from
-/// the socket, plus exactly the remainder.
-fn read_body(
-    stream: &mut impl Read,
-    mut leftover: Vec<u8>,
-    declared: usize,
-) -> Result<Vec<u8>, RequestError> {
-    if leftover.len() > declared {
-        // One request per connection: bytes past the declared body
-        // are a protocol violation, not a pipelined friend.
-        return Err(RequestError::BadRequest("body longer than Content-Length"));
+/// The negotiated connection mode for a message whose first line
+/// declared `version`: an explicit `Connection:` header wins, else
+/// HTTP/1.1 keeps alive and HTTP/1.0 closes.
+fn negotiated_keep_alive(head: &[u8], version: &str) -> bool {
+    match header_value(head, "connection") {
+        Ok(Some(v)) if v.eq_ignore_ascii_case("close") => false,
+        Ok(Some(v)) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version != "HTTP/1.0",
     }
-    let offset = leftover.len();
-    leftover.resize(declared, 0);
-    stream
-        .read_exact(&mut leftover[offset..])
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => {
-                RequestError::BadRequest("connection closed mid-body")
-            }
-            _ => RequestError::Io(e),
-        })?;
-    Ok(leftover)
 }
 
-/// Reads and validates one request. See [`RequestError`] for the
-/// status each failure maps to.
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a prefix of a request
+/// (read more and call again), or `Ok(Some((request, consumed)))`
+/// where `consumed` bytes belong to this request — anything after
+/// them is the next pipelined request. The head and body caps apply
+/// per request, so a pipelined stream obeys exactly the limits of
+/// the one-shot path.
 ///
 /// # Errors
 ///
-/// Any [`RequestError`]; malformed input is classified, not trusted.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
-    let head = match read_head(stream, MAX_HEAD_BYTES) {
-        Ok(Some(parts)) => parts,
-        Ok(None) => return Err(RequestError::HeadTooLarge),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-            return Err(RequestError::BadRequest("truncated request head"))
+/// Any [`RequestError`] except `Io` (this function does no I/O);
+/// malformed input is classified, not trusted.
+#[allow(clippy::type_complexity)]
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, RequestError> {
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
         }
-        Err(e) => return Err(RequestError::Io(e)),
+        return Ok(None);
     };
-    let (head, leftover) = head;
-    let mut lines = head.split(|&b| b == b'\n');
-    let request_line = lines.next().unwrap_or_default();
+    if head_len > MAX_HEAD_BYTES {
+        return Err(RequestError::HeadTooLarge);
+    }
+    let head = &buf[..head_len];
+    let request_line = head.split(|&b| b == b'\n').next().unwrap_or_default();
     let request_line = std::str::from_utf8(request_line)
         .map_err(|_| RequestError::BadRequest("non-UTF-8 request line"))?
         .trim_end_matches('\r');
@@ -210,24 +221,78 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     if !version.starts_with("HTTP/1.") {
         return Err(RequestError::BadRequest("unsupported protocol version"));
     }
-    let declared = content_length(&head)
+    let declared = content_length(head)
         .map_err(RequestError::BadRequest)?
         .unwrap_or(0);
     if declared > MAX_BODY_BYTES {
         return Err(RequestError::BodyTooLarge);
     }
-    if declared == 0 && !leftover.is_empty() {
-        return Err(RequestError::BadRequest("body without Content-Length"));
+    let body_start = head_len + 4;
+    let consumed = body_start + declared;
+    if buf.len() < consumed {
+        return Ok(None);
     }
-    let body = read_body(stream, leftover, declared)?;
-    Ok(Request {
-        method: method.to_string(),
-        target: target.to_string(),
-        body,
-    })
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            body: buf[body_start..consumed].to_vec(),
+            keep_alive: negotiated_keep_alive(head, version),
+        },
+        consumed,
+    )))
 }
 
-/// Writes one request with `Content-Length` and `Connection: close`.
+/// Reads and validates one request from a blocking stream — the
+/// one-shot convenience over [`parse_request`] used by tests and
+/// simple clients; the server's readiness loop drives the parser
+/// directly.
+///
+/// # Errors
+///
+/// Any [`RequestError`]; malformed input is classified, not trusted.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 2048];
+    loop {
+        if let Some((request, _)) = parse_request(&buf)? {
+            return Ok(request);
+        }
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::BadRequest(if head_end(&buf).is_some() {
+                "connection closed mid-body"
+            } else {
+                "truncated request head"
+            }));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// The header `Connection:` carries for a negotiated mode.
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Encodes one request with `Content-Length` and the negotiated
+/// `Connection:` header.
+pub fn encode_request(method: &str, target: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut wire = format!(
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        connection_header(keep_alive)
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// Writes one request ([`encode_request`]) to a blocking stream.
 ///
 /// # Errors
 ///
@@ -237,17 +302,34 @@ pub fn write_request(
     method: &str,
     target: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(&encode_request(method, target, body, keep_alive))?;
     stream.flush()
 }
 
-/// Writes one response with `Content-Length` and `Connection: close`.
+/// Encodes one response with `Content-Length` and the negotiated
+/// `Connection:` header — the header reflects what the server will
+/// actually do with the socket, never an unconditional `close`.
+pub fn encode_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut wire = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        connection_header(keep_alive)
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// Writes one response ([`encode_response`]) to a blocking stream.
 ///
 /// # Errors
 ///
@@ -258,57 +340,117 @@ pub fn write_response(
     reason: &str,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(&encode_response(
+        status,
+        reason,
+        content_type,
+        body,
+        keep_alive,
+    ))?;
     stream.flush()
 }
 
-/// Reads one response: `(status, body)`.
+/// Reads one response from a blocking stream.
 ///
 /// # Errors
 ///
 /// Transport failures; a malformed response surfaces as
 /// `InvalidData`, which is *not* transient — a server speaking
 /// garbage will not improve on retry.
-pub fn read_response(stream: &mut impl Read) -> std::io::Result<(u16, Vec<u8>)> {
+pub fn read_response(stream: &mut impl Read) -> std::io::Result<Response> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let (head, leftover) =
-        read_head(stream, MAX_HEAD_BYTES)?.ok_or_else(|| bad("response head too large"))?;
-    let mut lines = head.split(|&b| b == b'\n');
-    let status_line = std::str::from_utf8(lines.next().unwrap_or_default())
-        .map_err(|_| bad("non-UTF-8 status line"))?;
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 2048];
+    loop {
+        if let Some((response, used)) = parse_response(&buf)? {
+            if buf.len() > used {
+                // Bytes past the declared body would belong to a
+                // *pipelined response*, but this reader asked one
+                // question — a server volunteering extras is speaking
+                // garbage.
+                return Err(bad("response body longer than Content-Length"));
+            }
+            return Ok(response);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the end of the response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Tries to parse one complete response from the front of `buf`.
+///
+/// `Ok(None)` means the buffer holds a valid *prefix* — read more
+/// bytes and try again. `Ok(Some((response, used)))` consumed
+/// `buf[..used]`, leaving any pipelined successor in place — this is
+/// what lets a benchmark client keep several requests in flight on
+/// one socket and peel answers off as they land.
+///
+/// # Errors
+///
+/// `InvalidData` for oversized heads/bodies and malformed status
+/// lines: transport worked, the peer is not speaking our HTTP.
+pub fn parse_response(buf: &[u8]) -> std::io::Result<Option<(Response, usize)>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad("response head too large"));
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(bad("response head too large"));
+    }
+    let head = &buf[..head_len];
+    let status_line = std::str::from_utf8(head.split(|&b| b == b'\n').next().unwrap_or_default())
+        .map_err(|_| bad("non-UTF-8 status line"))?
+        .trim_end_matches('\r');
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or_default();
+    let status: u16 = parts
+        .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
-    let declared = content_length(&head).map_err(bad)?.unwrap_or(0);
+    let declared = content_length(head).map_err(bad)?.unwrap_or(0);
     if declared > MAX_BODY_BYTES {
         return Err(bad("response body too large"));
     }
-    let body = read_body(stream, leftover, declared).map_err(|e| match e {
-        RequestError::Io(io) => io,
-        _ => bad("truncated response body"),
-    })?;
-    Ok((status, body))
+    let body_start = head_len + 4;
+    if buf.len() < body_start + declared {
+        return Ok(None);
+    }
+    let body = buf[body_start..body_start + declared].to_vec();
+    Ok(Some((
+        Response {
+            status,
+            body,
+            keep_alive: negotiated_keep_alive(head, version),
+        },
+        body_start + declared,
+    )))
 }
 
 /// The HTTP client backend: a [`StoreBackend`] whose records live on
-/// a `ct serve` daemon. Cheap to clone; connections are per-operation
-/// (matching the server's one-request-per-connection model), with
-/// budget-aware retries for transient connect/transport errors and
-/// `store.remote.*` counters plus a round-trip-latency histogram on
-/// every operation.
+/// a `ct serve` daemon. Cheap to clone — clones share one bounded
+/// [`ConnPool`] of kept-alive sockets (`CT_REMOTE_POOL`,
+/// health-checked on checkout), so shard/merge runs stop paying a
+/// TCP dial per artifact. Budget-aware retries absorb transient
+/// connect/transport errors (a retired stale socket redials under
+/// the same budget), `store.remote.*` counters and a round-trip
+/// histogram cover every operation, and permanent 4xx refusals skip
+/// the retry loop entirely.
 #[derive(Debug, Clone)]
 pub struct RemoteStore {
     authority: String,
     sink: MetricsSink,
+    pool: Arc<ConnPool>,
 }
 
 impl RemoteStore {
@@ -317,10 +459,7 @@ impl RemoteStore {
     /// for a down server is fine — the first operation fails and the
     /// caller degrades.
     pub fn connect(authority: impl Into<String>) -> Self {
-        Self {
-            authority: authority.into(),
-            sink: MetricsSink::Global,
-        }
+        Self::with_sink(authority.into(), MetricsSink::Global)
     }
 
     /// Like [`RemoteStore::connect`], counting to a caller-owned
@@ -329,9 +468,15 @@ impl RemoteStore {
         authority: impl Into<String>,
         registry: Arc<ct_obs::Registry>,
     ) -> Self {
+        Self::with_sink(authority.into(), MetricsSink::Local(registry))
+    }
+
+    fn with_sink(authority: String, sink: MetricsSink) -> Self {
+        let pool = Arc::new(ConnPool::new(authority.clone(), sink.clone()));
         Self {
-            authority: authority.into(),
-            sink: MetricsSink::Local(registry),
+            authority,
+            sink,
+            pool,
         }
     }
 
@@ -344,29 +489,43 @@ impl RemoteStore {
         self.sink.add(name, delta);
     }
 
-    /// One connect-request-response cycle, no retries.
+    /// One request-response cycle on a pooled connection, no retries.
+    /// The socket goes back to the pool only after a clean exchange
+    /// on which the server negotiated keep-alive; every failure path
+    /// drops it, so a broken connection is never reused.
     fn round_trip(
         &self,
         method: &str,
         target: &str,
         body: &[u8],
     ) -> std::io::Result<(u16, Vec<u8>)> {
-        let addr = self
-            .authority
-            .to_socket_addrs()?
-            .next()
-            .ok_or_else(|| std::io::Error::other("store authority resolved to no address"))?;
-        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
-        write_request(&mut stream, method, target, body)?;
-        read_response(&mut stream)
+        let mut stream = self.pool.checkout()?;
+        let exchange = (|| {
+            write_request(&mut stream, method, target, body, true)?;
+            read_response(&mut stream)
+        })();
+        let response = exchange?;
+        if (500..=599).contains(&response.status) {
+            // A server-side failure is transient by classification:
+            // surface it as a retryable connection-lifecycle error so
+            // the retry budget applies, and drop the socket — the
+            // server's state is suspect.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                format!("server answered {} for {method}", response.status),
+            ));
+        }
+        if response.keep_alive {
+            self.pool.checkin(stream);
+        }
+        Ok((response.status, response.body))
     }
 
-    /// A full operation: retries transient transport errors under the
-    /// shared budget (counted like local retries), observes the
-    /// round-trip latency, and converts terminal failures into
+    /// A full operation: retries transient transport errors and 5xx
+    /// answers under the shared budget (counted like local retries),
+    /// observes the round-trip latency, classifies any 4xx other
+    /// than a miss as permanent (`store.remote.permanent`, no
+    /// retries), and converts terminal transport failures into
     /// [`StoreError`] after counting them as `store.remote.errors`.
     fn op(&self, method: &str, target: &str, body: &[u8]) -> Result<(u16, Vec<u8>), StoreError> {
         let started = Instant::now();
@@ -387,7 +546,19 @@ impl RemoteStore {
             &ct_obs::names::STORE_REMOTE_RTT_MS_BOUNDS,
             started.elapsed().as_secs_f64() * 1000.0,
         );
-        result.map_err(|e| self.fail(target, &e.to_string()))
+        let (status, body) = result.map_err(|e| self.fail(target, &e.to_string()))?;
+        if (400..=499).contains(&status) && status != 404 {
+            // The request itself was refused: retrying would repeat
+            // the refusal byte for byte, so it skips the retry loop
+            // and surfaces with the server's explanation attached.
+            self.add(ct_obs::names::STORE_REMOTE_PERMANENT, 1);
+            return Err(StoreError::RemotePermanent {
+                url: format!("http://{}{target}", self.authority),
+                status,
+                message: String::from_utf8_lossy(&body).trim().to_string(),
+            });
+        }
+        Ok((status, body))
     }
 
     /// Counts and builds the error for a failed operation.
@@ -479,7 +650,7 @@ mod tests {
     /// Round-trips a request through the writer and the parser.
     fn reparse(method: &str, target: &str, body: &[u8]) -> Request {
         let mut wire = Vec::new();
-        write_request(&mut wire, method, target, body).unwrap();
+        write_request(&mut wire, method, target, body, true).unwrap();
         read_request(&mut wire.as_slice()).unwrap()
     }
 
@@ -489,8 +660,62 @@ mod tests {
         assert_eq!(req.method, "PUT");
         assert_eq!(req.target, "/objects/00ff");
         assert_eq!(req.body, b"framed-bytes");
+        assert!(req.keep_alive);
         let (path, query) = req.split_target();
         assert_eq!((path, query), ("/objects/00ff", ""));
+    }
+
+    #[test]
+    fn connection_mode_negotiates_by_header_and_version() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET /x HTTP/1.1\r\n\r\n", true),
+            (b"GET /x HTTP/1.0\r\n\r\n", false),
+            (b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            (b"GET /x HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", false),
+        ];
+        for (wire, want) in cases {
+            let (req, _) = parse_request(wire).unwrap().expect("complete request");
+            assert_eq!(
+                req.keep_alive,
+                *want,
+                "wire {:?}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let mut wire = encode_request("GET", "/healthz", &[], true);
+        wire.extend(encode_request("PUT", "/objects/00ff", b"body!", true));
+        wire.extend(encode_request("GET", "/metricsz", &[], false));
+        let (first, used) = parse_request(&wire).unwrap().expect("first");
+        assert_eq!(first.target, "/healthz");
+        let (second, used2) = parse_request(&wire[used..]).unwrap().expect("second");
+        assert_eq!(second.target, "/objects/00ff");
+        assert_eq!(second.body, b"body!");
+        let (third, used3) = parse_request(&wire[used + used2..])
+            .unwrap()
+            .expect("third");
+        assert_eq!(third.target, "/metricsz");
+        assert!(!third.keep_alive);
+        assert_eq!(used + used2 + used3, wire.len());
+        // A trailing fragment of the next request is "need more
+        // bytes", never an error.
+        assert!(parse_request(&wire[used..used + 3]).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_reads_are_need_more_not_errors() {
+        let wire = encode_request("PUT", "/objects/00ff", b"framed-bytes", true);
+        for cut in 0..wire.len() {
+            let parsed = parse_request(&wire[..cut]).unwrap();
+            assert!(parsed.is_none(), "cut at {cut} should need more bytes");
+        }
+        let (req, consumed) = parse_request(&wire).unwrap().expect("complete");
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.body, b"framed-bytes");
     }
 
     #[test]
@@ -504,12 +729,15 @@ mod tests {
     }
 
     #[test]
-    fn response_codec_round_trips() {
-        let mut wire = Vec::new();
-        write_response(&mut wire, 200, "OK", "text/plain", b"ok\n").unwrap();
-        let (status, body) = read_response(&mut wire.as_slice()).unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(body, b"ok\n");
+    fn response_codec_round_trips_both_modes() {
+        for keep_alive in [true, false] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, 200, "OK", "text/plain", b"ok\n", keep_alive).unwrap();
+            let response = read_response(&mut wire.as_slice()).unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, b"ok\n");
+            assert_eq!(response.keep_alive, keep_alive);
+        }
     }
 
     #[test]
@@ -569,7 +797,66 @@ mod tests {
         assert_eq!(snap.counter(ct_obs::names::STORE_REMOTE_ERRORS), Some(1));
         assert_eq!(snap.counter(ct_obs::names::STORE_DEGRADED), Some(1));
         // Connection-refused is transient: the default 3 ms budget
-        // admits exactly two retries (1 ms + 2 ms).
+        // admits exactly two retries (1 ms + 2 ms), each a fresh dial
+        // through the pool.
         assert_eq!(snap.counter(ct_obs::names::STORE_RETRIES), Some(2));
+        assert_eq!(
+            snap.counter(ct_obs::names::STORE_REMOTE_POOL_DIALS),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter(ct_obs::names::STORE_REMOTE_PERMANENT)
+                .unwrap_or(0),
+            0
+        );
+    }
+
+    #[test]
+    fn permanent_refusals_skip_the_retry_loop() {
+        let reg = Arc::new(ct_obs::Registry::new());
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Answer every request with a 405 refusal, once each.
+            for _ in 0..1 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let _ = read_request(&mut stream).unwrap();
+                write_response(
+                    &mut stream,
+                    405,
+                    "Method Not Allowed",
+                    "text/plain",
+                    b"no",
+                    false,
+                )
+                .unwrap();
+            }
+        });
+        let remote = RemoteStore::connect_with_registry(addr.to_string(), Arc::clone(&reg));
+        let key = {
+            let mut h = crate::hash::StableHasher::new();
+            h.write_str("permanent");
+            h.finish()
+        };
+        let err = StoreBackend::get(&remote, &key).unwrap_err();
+        match &err {
+            StoreError::RemotePermanent { status, .. } => assert_eq!(*status, 405),
+            other => panic!("want RemotePermanent, got {other:?}"),
+        }
+        assert!(err.to_string().contains("405"), "got: {err}");
+        server.join().unwrap();
+        let snap = reg.snapshot();
+        // No retries: the refusal is permanent, one dial total.
+        assert_eq!(snap.counter(ct_obs::names::STORE_RETRIES).unwrap_or(0), 0);
+        assert_eq!(snap.counter(ct_obs::names::STORE_REMOTE_PERMANENT), Some(1));
+        assert_eq!(
+            snap.counter(ct_obs::names::STORE_REMOTE_POOL_DIALS),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(ct_obs::names::STORE_REMOTE_ERRORS)
+                .unwrap_or(0),
+            0
+        );
     }
 }

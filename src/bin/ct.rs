@@ -33,7 +33,8 @@ use compound_threats::figures::{reproduce, reproduce_all, Figure};
 use compound_threats::grid_impact::{grid_impact, GridImpactConfig};
 use compound_threats::placement::rank_backup_sites;
 use compound_threats::prelude::{
-    run_shard, HazardSpec, ServeOptions, Server, ShardSpec, Store, StoreBackend, StoreUrl,
+    bench_serve, run_shard, BenchMode, BenchOp, BenchServeOptions, HazardSpec, ProbeQuery,
+    ServeOptions, Server, ShardSpec, Store, StoreBackend, StoreUrl,
 };
 use compound_threats::report::{figure_csv, figure_table, profile_bar};
 use compound_threats::{CaseStudy, CaseStudyConfig};
@@ -83,6 +84,46 @@ const PACKED: FlagSpec = FlagSpec {
     name: "--packed",
     value_name: None,
     help: "create the store with the packed segment layout (existing stores auto-detect)",
+};
+const CONNECTIONS: FlagSpec = FlagSpec {
+    name: "--connections",
+    value_name: Some("N"),
+    help: "bench-serve: concurrent kept-alive connections (default 64)",
+};
+const INFLIGHT: FlagSpec = FlagSpec {
+    name: "--inflight",
+    value_name: Some("M"),
+    help: "bench-serve: pipelined requests per connection, closed mode (default 4)",
+};
+const SECONDS: FlagSpec = FlagSpec {
+    name: "--seconds",
+    value_name: Some("S"),
+    help: "bench-serve: measured duration per phase in seconds (default 5)",
+};
+const PAYLOAD_BYTES: FlagSpec = FlagSpec {
+    name: "--payload-bytes",
+    value_name: Some("N"),
+    help: "bench-serve: record payload size (default 256)",
+};
+const KEYS: FlagSpec = FlagSpec {
+    name: "--keys",
+    value_name: Some("N"),
+    help: "bench-serve: distinct object keys cycled through (default 1024)",
+};
+const MODE: FlagSpec = FlagSpec {
+    name: "--mode",
+    value_name: Some("m"),
+    help: "bench-serve: loop discipline, closed | open (default closed)",
+};
+const RATE: FlagSpec = FlagSpec {
+    name: "--rate",
+    value_name: Some("ops"),
+    help: "bench-serve: total offered ops/s in open mode (default 10000)",
+};
+const OP: FlagSpec = FlagSpec {
+    name: "--op",
+    value_name: Some("verb"),
+    help: "bench-serve: traffic to measure, put | get | both (default both)",
 };
 const SHARDS: FlagSpec = FlagSpec {
     name: "--shards",
@@ -155,6 +196,29 @@ const COMMANDS: &[CommandSpec] = &[
         flags: &[STORE, PACKED, ADDR, CACHE_BYTES],
     },
     CommandSpec {
+        name: "probe",
+        summary: "ask a serving store for one scenario's outcome profile",
+        positionals: &[("scenario", true), ("site", true)],
+        flags: &[STORE, HAZARD, REALIZATIONS, METRICS],
+    },
+    CommandSpec {
+        name: "bench-serve",
+        summary: "drive keep-alive load at a serving store and report latency",
+        positionals: &[],
+        flags: &[
+            STORE,
+            CONNECTIONS,
+            INFLIGHT,
+            SECONDS,
+            PAYLOAD_BYTES,
+            KEYS,
+            MODE,
+            RATE,
+            OP,
+            METRICS,
+        ],
+    },
+    CommandSpec {
         name: "placement",
         summary: "rank backup control sites",
         positionals: &[("config", true), ("scenario", true)],
@@ -212,6 +276,8 @@ fn usage() -> String {
          env:       CT_THREADS=<n> caps the worker-thread count\n\
          \x20          CT_FAULTS=site:nth:kind[:limit],... arms deterministic failpoints\n\
          \x20          CT_STORE_RETRY_BUDGET_MS=<ms> backoff budget for transient store I/O (default 3)\n\
+         \x20          CT_SERVE_IDLE_MS=<ms> serve: close kept-alive connections idle this long (default 5000)\n\
+         \x20          CT_REMOTE_POOL=<n> client: idle kept-alive sockets pooled per store (default 8)\n\
          \x20          CT_SEGMENT_ROLL_BYTES=<n> packed-store segment roll threshold (default 64 MiB)\n\
          \x20          CT_SEGMENT_SYNC_BYTES=<n> packed-store group-fsync threshold (default 8 MiB)",
     );
@@ -257,6 +323,21 @@ fn require_store(
     match open_store(args)? {
         Some(store) => Ok(store),
         None => Err(format!("'{}' requires --store <url>", args.spec().name).into()),
+    }
+}
+
+/// The `host:port` of the serving store named by `--store`, for
+/// commands that speak to a live `ct serve` daemon and nothing else.
+fn require_http_authority(args: &CliArgs) -> Result<String, Box<dyn std::error::Error>> {
+    match store_url(args)? {
+        Some(StoreUrl::Http { authority }) => Ok(authority),
+        Some(url) => Err(format!(
+            "'{}' talks to a serving store and cannot use {url}; \
+             pass --store http://host:port (see 'ct serve')",
+            args.spec().name
+        )
+        .into()),
+        None => Err(format!("'{}' requires --store http://host:port", args.spec().name).into()),
     }
 }
 
@@ -459,6 +540,82 @@ fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
             // scripts can gate on `ct fsck`.
             if !options.repair && !report.clean() {
                 return Ok(ExitCode::FAILURE);
+            }
+        }
+        "probe" => {
+            let authority = require_http_authority(args)?;
+            let scen_s = args.positional(0).expect("required positional");
+            let scenario: ThreatScenario = match scen_s.parse() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let site = match args
+                .positional(1)
+                .expect("required positional")
+                .parse::<oahu::SiteChoice>()
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let mut query = ProbeQuery {
+                scenario,
+                site,
+                hazard: HazardSpec::default(),
+                realizations: compound_threats::serve::DEFAULT_PROBE_REALIZATIONS,
+            };
+            if let Some(hazard) = args.parsed::<HazardSpec>("--hazard")? {
+                query.hazard = hazard;
+            }
+            if let Some(n) = args.parsed::<usize>("--realizations")? {
+                query.realizations = n;
+            }
+            println!("# GET {}", query.target());
+            print!("{}", query.fetch(&authority)?);
+        }
+        "bench-serve" => {
+            let authority = require_http_authority(args)?;
+            let mut options = BenchServeOptions {
+                authority,
+                ..BenchServeOptions::default()
+            };
+            if let Some(n) = args.parsed::<usize>("--connections")? {
+                options.connections = n;
+            }
+            if let Some(n) = args.parsed::<usize>("--inflight")? {
+                options.inflight = n;
+            }
+            if let Some(s) = args.parsed::<f64>("--seconds")? {
+                options.seconds = s;
+            }
+            if let Some(n) = args.parsed::<usize>("--payload-bytes")? {
+                options.payload_bytes = n;
+            }
+            if let Some(n) = args.parsed::<usize>("--keys")? {
+                options.keys = n;
+            }
+            if let Some(mode) = args.parsed::<BenchMode>("--mode")? {
+                options.mode = mode;
+            }
+            if let Some(rate) = args.parsed::<f64>("--rate")? {
+                options.rate = rate;
+            }
+            options.ops = match args.value("--op") {
+                None | Some("both") => vec![BenchOp::Put, BenchOp::Get],
+                Some("put") => vec![BenchOp::Put],
+                Some("get") => vec![BenchOp::Get],
+                Some(other) => {
+                    eprintln!("unknown --op '{other}' (put | get | both)");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            for row in bench_serve(&options)? {
+                println!("{}", row.to_csv());
             }
         }
         "placement" => {

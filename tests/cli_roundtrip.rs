@@ -6,7 +6,7 @@
 //! exhaustive: every variant, every case mix, and a corpus of
 //! near-miss junk.
 
-use compound_threats::prelude::{HazardSpec, StoreUrl};
+use compound_threats::prelude::{HazardSpec, ProbeQuery, StoreUrl};
 use ct_scada::oahu::SiteChoice;
 use ct_threat::ThreatScenario;
 use proptest::prelude::*;
@@ -196,6 +196,65 @@ proptest! {
         let input = format!("{scheme}://host:1");
         let err = input.parse::<StoreUrl>().unwrap_err();
         prop_assert!(err.contains(&scheme), "error {err:?} should name {scheme:?}");
+    }
+}
+
+proptest! {
+    /// Every probe query survives a Display → parse cycle unchanged —
+    /// the grammar shared by `GET /probe` and `ct probe`, so a query
+    /// logged by the server replays verbatim through the CLI.
+    #[test]
+    fn probe_queries_round_trip(
+        scenario in prop::sample::select(ThreatScenario::ALL.to_vec()),
+        site in prop::sample::select(SITES.to_vec()),
+        hazard in prop::sample::select(HazardSpec::ALL.to_vec()),
+        realizations in 1usize..5000,
+    ) {
+        let query = ProbeQuery { scenario, site, hazard, realizations };
+        let reparsed: ProbeQuery = query.to_string().parse().unwrap();
+        prop_assert_eq!(query, reparsed);
+        prop_assert!(query.target().starts_with("/probe?scenario="));
+    }
+
+    /// An unknown parameter key is rejected by name, never silently
+    /// ignored — a typo'd key must not probe the defaults.
+    #[test]
+    fn probe_unknown_keys_are_rejected_by_name(
+        chars in prop::collection::vec(
+            prop::sample::select("abcdefghijklmnopqrstuvwxyz".chars().collect::<Vec<_>>()),
+            1..12,
+        ),
+    ) {
+        let key: String = chars.into_iter().collect();
+        prop_assume!(!matches!(key.as_str(), "scenario" | "site" | "hazard" | "realizations"));
+        let input = format!("scenario=compound&site=waiau&{key}=1");
+        let err = input.parse::<ProbeQuery>().unwrap_err();
+        prop_assert!(err.contains(&key), "error {:?} should name {:?}", err, key);
+    }
+}
+
+#[test]
+fn probe_query_rejections_quote_the_offender() {
+    for (input, fragment) in [
+        ("", "scenario"),
+        ("scenario=compound", "site"),
+        (
+            "site=waiau&scenario",
+            "malformed probe parameter 'scenario'",
+        ),
+        ("scenario=florble&site=waiau", "florble"),
+        ("scenario=compound&site=nauru", "nauru"),
+        ("scenario=compound&site=waiau&hazard=volcano", "volcano"),
+        (
+            "scenario=compound&site=waiau&realizations=-3",
+            "positive integer",
+        ),
+    ] {
+        let err = input.parse::<ProbeQuery>().unwrap_err();
+        assert!(
+            err.contains(fragment),
+            "input {input:?}: error {err:?} should mention {fragment:?}"
+        );
     }
 }
 

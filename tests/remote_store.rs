@@ -65,11 +65,16 @@ fn figures_csv(study: &CaseStudy) -> String {
         .collect()
 }
 
-/// One raw request against the server: `(status, body)`.
+/// One raw one-shot request against the server: `(status, body)`.
 fn raw(server: &Server, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
     let mut stream = TcpStream::connect(server.addr()).unwrap();
-    write_request(&mut stream, method, target, body).unwrap();
-    read_response(&mut stream).unwrap()
+    write_request(&mut stream, method, target, body, false).unwrap();
+    let response = read_response(&mut stream).unwrap();
+    assert!(
+        !response.keep_alive,
+        "a Connection: close request must be answered in close mode"
+    );
+    (response.status, response.body)
 }
 
 #[test]
@@ -97,7 +102,11 @@ fn serve_backed_shard_and_merge_match_local_bit_for_bit() {
     assert_eq!(count(ct_obs::names::STORE_RETRIES), 0);
 
     // Warm rerun of the same shard: all hits, nothing recomputed,
-    // nothing written.
+    // nothing written — and the connection pool reuses kept-alive
+    // sockets instead of dialing per operation.
+    let keepalive_before = ct_obs::snapshot()
+        .counter(ct_obs::names::SERVE_KEEPALIVE_REUSES)
+        .unwrap_or(0);
     let warm_reg = Arc::new(ct_obs::Registry::new());
     let warm = RemoteStore::connect_with_registry(server.addr().to_string(), Arc::clone(&warm_reg));
     let report = run_shard(&config, &warm, shard).unwrap();
@@ -108,6 +117,24 @@ fn serve_backed_shard_and_merge_match_local_bit_for_bit() {
     assert_eq!(count(ct_obs::names::STORE_REMOTE_HITS), owned);
     assert_eq!(count(ct_obs::names::STORE_REMOTE_MISSES), 0);
     assert_eq!(count(ct_obs::names::STORE_REMOTE_PUTS), 0);
+    let pool_hits = count(ct_obs::names::STORE_REMOTE_POOL_HITS);
+    let pool_dials = count(ct_obs::names::STORE_REMOTE_POOL_DIALS);
+    assert!(pool_hits > 0, "warm pass must reuse pooled connections");
+    assert!(
+        pool_hits + pool_dials >= owned,
+        "every operation checks a connection out: {pool_hits} hits + {pool_dials} dials < {owned}"
+    );
+    assert!(
+        pool_dials < owned,
+        "keep-alive must beat one-dial-per-op: {pool_dials} dials for {owned} ops"
+    );
+    let keepalive_after = ct_obs::snapshot()
+        .counter(ct_obs::names::SERVE_KEEPALIVE_REUSES)
+        .unwrap_or(0);
+    assert!(
+        keepalive_after > keepalive_before,
+        "the server must count kept-alive request reuses"
+    );
 
     // Other shard, then a merge through the wire: bit-identical to a
     // storeless build, which the local-store tests pin in turn — so
@@ -185,8 +212,9 @@ fn malformed_requests_get_4xx_and_never_kill_a_worker() {
     // Raw garbage instead of HTTP.
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     stream.write_all(b"florble grumble\r\n\r\n").unwrap();
-    let (status, _) = read_response(&mut stream).unwrap();
-    assert_eq!(status, 400);
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 400);
+    assert!(!response.keep_alive, "framing is lost after garbage");
 
     // A truncated request (client hangs up mid-head).
     let mut stream = TcpStream::connect(server.addr()).unwrap();
@@ -205,8 +233,8 @@ fn malformed_requests_get_4xx_and_never_kill_a_worker() {
             .as_bytes(),
         )
         .unwrap();
-    let (status, _) = read_response(&mut stream).unwrap();
-    assert_eq!(status, 413);
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 413);
 
     // Unknown paths and malformed object keys.
     let (status, _) = raw(&server, "GET", "/florble", &[]);

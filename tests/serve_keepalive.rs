@@ -1,0 +1,263 @@
+//! Keep-alive contracts of the serving tier, from the parser up to a
+//! live daemon.
+//!
+//! Property layer: the server-side request parser
+//! ([`ct_store::remote::parse_request`]) must survive arbitrary
+//! garbage without panicking, agree with itself across every split
+//! point of a valid byte stream (readiness loops deliver bytes in
+//! arbitrary fragments), and parse pipelined concatenations
+//! sequentially.
+//!
+//! Integration layer: a live server honors keep-alive across
+//! requests, keeps the connection alive through a *routed* 4xx,
+//! closes after garbage with a 400 (and keeps serving everyone
+//! else), enforces the idle timeout (`CT_SERVE_IDLE_MS` /
+//! `ServeOptions::idle_ms`) and the max-requests bound, and counts
+//! all of it (`serve.keepalive_reuses`, `serve.idle_closes`,
+//! `serve.bad_requests`).
+
+use compound_threats::serve::{ServeOptions, Server};
+use ct_store::remote::{
+    encode_request, parse_request, parse_response, read_response, write_request, Response,
+};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Unique scratch directory for one test, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "ct-keepalive-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        Self(root)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn serve_with(root: &std::path::Path, configure: impl FnOnce(&mut ServeOptions)) -> Server {
+    let mut options = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        ..ServeOptions::default()
+    };
+    configure(&mut options);
+    Server::bind(root, &options).unwrap()
+}
+
+/// Reads `n` responses off one kept-alive socket with the
+/// incremental parser (they may arrive in one burst).
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<Response> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while out.len() < n {
+        if let Some((response, used)) = parse_response(&buf).unwrap() {
+            buf.drain(..used);
+            out.push(response);
+            continue;
+        }
+        let got = stream.read(&mut chunk).unwrap();
+        assert!(
+            got > 0,
+            "server closed after {} of {n} responses",
+            out.len()
+        );
+        buf.extend_from_slice(&chunk[..got]);
+    }
+    out
+}
+
+fn global_counter(name: &str) -> u64 {
+    ct_obs::snapshot().counter(name).unwrap_or(0)
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the parser: every outcome is
+    /// need-more, a parsed request, or a classified error.
+    #[test]
+    fn request_parser_survives_arbitrary_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        match parse_request(&bytes) {
+            Ok(None) | Ok(Some(_)) => {}
+            Err(e) => {
+                // Answerable errors carry a 4xx; unanswerable ones
+                // (non-UTF-8 heads) still name themselves.
+                if let Some((status, _)) = e.status() {
+                    prop_assert!((400..500).contains(&status));
+                }
+                prop_assert!(!e.detail().is_empty());
+            }
+        }
+    }
+
+    /// Every split point of a valid two-request pipeline agrees with
+    /// the whole: prefixes are need-more or the complete first
+    /// request, and the full buffer yields both in order.
+    #[test]
+    fn split_points_agree_with_the_whole_stream(
+        split_seed in any::<u16>(),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        keep_first in any::<bool>(),
+    ) {
+        let first = encode_request("PUT", "/objects/aa", &body, keep_first);
+        let second = encode_request("GET", "/healthz", &[], true);
+        let wire: Vec<u8> = [first.clone(), second].concat();
+        let split = split_seed as usize % (wire.len() + 1);
+
+        let (one, used) = parse_request(&wire).unwrap().expect("complete first request");
+        prop_assert_eq!(used, first.len());
+        prop_assert_eq!(&one.method, "PUT");
+        prop_assert_eq!(&one.body, &body);
+        prop_assert_eq!(one.keep_alive, keep_first);
+        let (two, used2) = parse_request(&wire[used..]).unwrap().expect("complete second");
+        prop_assert_eq!(used + used2, wire.len());
+        prop_assert_eq!(&two.target, "/healthz");
+
+        match parse_request(&wire[..split]).unwrap() {
+            // A prefix shorter than the first request needs more.
+            None => prop_assert!(split < first.len()),
+            // A longer prefix parses the identical first request.
+            Some((prefix_first, prefix_used)) => {
+                prop_assert!(split >= first.len());
+                prop_assert_eq!(prefix_used, first.len());
+                prop_assert_eq!(prefix_first.method, one.method);
+                prop_assert_eq!(prefix_first.target, one.target);
+                prop_assert_eq!(prefix_first.body, one.body);
+            }
+        }
+    }
+}
+
+#[test]
+fn one_socket_serves_many_requests_and_counts_reuse() {
+    let scratch = Scratch::new("reuse");
+    let server = serve_with(&scratch.0, |_| {});
+    let reuses_before = global_counter(ct_obs::names::SERVE_KEEPALIVE_REUSES);
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Three pipelined requests, one write.
+    let mut wire = Vec::new();
+    for _ in 0..3 {
+        wire.extend_from_slice(&encode_request("GET", "/healthz", &[], true));
+    }
+    stream.write_all(&wire).unwrap();
+    let responses = read_responses(&mut stream, 3);
+    for response in &responses {
+        assert_eq!(response.status, 200);
+        assert!(response.keep_alive);
+        assert_eq!(response.body, b"ok\n");
+    }
+    // A fourth, sent separately on the same socket, still answers.
+    write_request(&mut stream, "GET", "/healthz", &[], true).unwrap();
+    assert_eq!(read_responses(&mut stream, 1)[0].status, 200);
+
+    assert!(
+        global_counter(ct_obs::names::SERVE_KEEPALIVE_REUSES) >= reuses_before + 3,
+        "requests 2-4 on one socket are reuses"
+    );
+}
+
+#[test]
+fn routed_4xx_keeps_the_connection_alive() {
+    let scratch = Scratch::new("routed4xx");
+    let server = serve_with(&scratch.0, |_| {});
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_request(&mut stream, "GET", "/florble", &[], true).unwrap();
+    let miss = read_responses(&mut stream, 1).remove(0);
+    assert_eq!(miss.status, 404);
+    assert!(miss.keep_alive, "a routed miss must not cost the socket");
+    // Same socket, next request: still served.
+    write_request(&mut stream, "GET", "/healthz", &[], true).unwrap();
+    let ok = read_responses(&mut stream, 1).remove(0);
+    assert_eq!((ok.status, ok.keep_alive), (200, true));
+}
+
+#[test]
+fn garbage_answers_400_then_closes_without_hurting_others() {
+    let scratch = Scratch::new("garbage");
+    let server = serve_with(&scratch.0, |_| {});
+    let bad_before = global_counter(ct_obs::names::SERVE_BAD_REQUESTS);
+
+    // A healthy kept-alive bystander, mid-session.
+    let mut bystander = TcpStream::connect(server.addr()).unwrap();
+    write_request(&mut bystander, "GET", "/healthz", &[], true).unwrap();
+    assert_eq!(read_responses(&mut bystander, 1)[0].status, 200);
+
+    let mut vandal = TcpStream::connect(server.addr()).unwrap();
+    vandal.write_all(b"florble grumble\r\n\r\n").unwrap();
+    let answer = read_response(&mut vandal).unwrap();
+    assert_eq!(answer.status, 400);
+    assert!(!answer.keep_alive, "framing is lost after garbage");
+    let mut rest = Vec::new();
+    vandal.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "the vandal's socket is closed");
+
+    // The bystander's session survived the vandal.
+    write_request(&mut bystander, "GET", "/healthz", &[], true).unwrap();
+    assert_eq!(read_responses(&mut bystander, 1)[0].status, 200);
+    assert!(global_counter(ct_obs::names::SERVE_BAD_REQUESTS) > bad_before);
+}
+
+#[test]
+fn idle_connections_are_swept_and_counted() {
+    let scratch = Scratch::new("idle");
+    let server = serve_with(&scratch.0, |options| options.idle_ms = 50);
+    let idle_before = global_counter(ct_obs::names::SERVE_IDLE_CLOSES);
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_request(&mut stream, "GET", "/healthz", &[], true).unwrap();
+    assert_eq!(read_responses(&mut stream, 1)[0].status, 200);
+
+    // Go quiet past the idle timeout (+ the worker's sweep tick).
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "the server closes an idle kept-alive socket");
+    assert!(global_counter(ct_obs::names::SERVE_IDLE_CLOSES) > idle_before);
+}
+
+#[test]
+fn max_requests_bound_closes_the_session_politely() {
+    let scratch = Scratch::new("bound");
+    let server = serve_with(&scratch.0, |options| options.max_requests = 3);
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut wire = Vec::new();
+    for _ in 0..3 {
+        wire.extend_from_slice(&encode_request("GET", "/healthz", &[], true));
+    }
+    stream.write_all(&wire).unwrap();
+    let responses = read_responses(&mut stream, 3);
+    assert!(responses[0].keep_alive);
+    assert!(responses[1].keep_alive);
+    assert!(
+        !responses[2].keep_alive,
+        "the final response announces the close"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "the socket closes after the bound");
+
+    // The next session on a fresh dial is unaffected.
+    let mut fresh = TcpStream::connect(server.addr()).unwrap();
+    write_request(&mut fresh, "GET", "/healthz", &[], true).unwrap();
+    assert_eq!(read_responses(&mut fresh, 1)[0].status, 200);
+}
