@@ -393,6 +393,58 @@ fn remote_probe() {
     std::fs::remove_dir_all(&scratch).ok();
 }
 
+fn portfolio_probe() {
+    // The region-generic pipeline claims behind `BENCH_pipeline.json`'s
+    // portfolio section: build wall time vs region count at a fixed
+    // per-region ensemble size under the wind hazard (whose station
+    // queries go through the ct-geo spatial index), plus the index's
+    // candidate-vs-hit counters for the largest portfolio — the
+    // bucket walk scans `spatial.candidates` points to return
+    // `spatial.hits`, versus a brute-force scan of every asset per
+    // query.
+    use compound_threats::prelude::*;
+
+    let reps = 3;
+    for spec in ["oahu", "synth:42:2:64", "synth:42:4:128", "synth:42:8:256"] {
+        let region: ct_scada::RegionSpec = spec.parse().unwrap();
+        let cfg = CaseStudyConfig::builder()
+            .region(region)
+            .hazard(HazardSpec::Wind)
+            .realizations(40)
+            .build()
+            .unwrap();
+        let candidates0 = ct_obs::counter(ct_obs::names::SPATIAL_CANDIDATES).get();
+        let queries0 = ct_obs::counter(ct_obs::names::SPATIAL_QUERIES).get();
+        let build = time(reps, || CaseStudy::build(&cfg).unwrap());
+        let candidates = ct_obs::counter(ct_obs::names::SPATIAL_CANDIDATES).get() - candidates0;
+        let queries = ct_obs::counter(ct_obs::names::SPATIAL_QUERIES).get() - queries0;
+        println!(
+            "portfolio {spec} ({} regions, {} assets) n=40 wind: build {build:.3}s \
+             mean scan width {:.1}/query over {queries} queries",
+            region.region_count(),
+            region.total_assets(),
+            candidates as f64 / queries.max(1) as f64,
+        );
+    }
+
+    // Thread scaling at the acceptance scale (8 regions, 2000
+    // assets): per-region solves share one work-stealing pool over
+    // the flattened region × realization sequence. n=200 so the
+    // parallel evaluation dominates the serial prep (topology build,
+    // ensemble generation).
+    for threads in [1usize, 4, 8] {
+        let cfg = CaseStudyConfig::builder()
+            .region("synth:42:8:2000".parse().unwrap())
+            .hazard(HazardSpec::Wind)
+            .realizations(200)
+            .threads(threads)
+            .build()
+            .unwrap();
+        let build = time(reps, || CaseStudy::build(&cfg).unwrap());
+        println!("portfolio synth:42:8:2000 n=200 wind threads={threads}: build {build:.3}s");
+    }
+}
+
 fn main() {
     swe_probe_domain("wet20pct", 16.0);
     swe_probe_domain("wet75pct", 60.0);
@@ -401,4 +453,5 @@ fn main() {
     hazard_probe();
     store_probe();
     remote_probe();
+    portfolio_probe();
 }

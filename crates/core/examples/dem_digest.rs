@@ -1,0 +1,14 @@
+//! Prints the stable digest of the default Oahu DEM through the same
+//! hash the artifact keys use, so CI can pin the Oahu preset against
+//! accidental terrain drift (`oahu_dem_digest_is_pinned` asserts the
+//! same value in-tree).
+
+use compound_threats::artifact::dem_digest;
+use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
+
+fn main() {
+    let dem = synthesize_oahu(&OahuTerrainConfig::default());
+    let grid = dem.elevation_grid();
+    println!("oahu dem digest: {}", dem_digest(&dem).to_hex());
+    println!("cols={} rows={}", grid.cols(), grid.rows());
+}

@@ -34,7 +34,12 @@ use ct_threat::PostDisasterState;
 /// its parameter digest, and [`ct_hazard::HAZARD_KERNEL_VERSION`], and
 /// realization payloads are tagged with the hazard id. Pre-hazard (v1)
 /// stores therefore read as cold, never as aliased surge hits.
-pub const PIPELINE_KERNEL_VERSION: u32 = 2;
+///
+/// v3: the pipeline is region-generic — the base key carries the
+/// region spec, the region index within the portfolio, and the
+/// ensemble's `anchor_lat` (newly region-dependent). Single-region (v2)
+/// stores read as cold misses, never as aliased region-0 hits.
+pub const PIPELINE_KERNEL_VERSION: u32 = 3;
 
 /// The run-level base address: a stable hash of the case-study
 /// configuration, the DEM it synthesized, the storm-ensemble
@@ -54,11 +59,31 @@ pub fn ensemble_base_key(
     pois: &[Poi],
     hazard: &dyn HazardModel,
 ) -> Digest {
+    region_base_key(config, &config.ensemble, dem, pois, hazard, 0)
+}
+
+/// [`ensemble_base_key`] for one region of a portfolio run. Synthetic
+/// regions derive per-region ensembles (re-anchored, re-seeded) from
+/// the config's, so the key hashes the *effective* ensemble passed
+/// here plus the region spec and the region's index within the
+/// portfolio. Region 0 of the Oahu spec with the config's own ensemble
+/// is exactly [`ensemble_base_key`].
+pub fn region_base_key(
+    config: &CaseStudyConfig,
+    ensemble: &ct_hydro::EnsembleConfig,
+    dem: &Dem,
+    pois: &[Poi],
+    hazard: &dyn HazardModel,
+    region_index: usize,
+) -> Digest {
     let mut h = StableHasher::new();
     h.write_str("compound-threats/ensemble");
     h.write_u32(PIPELINE_KERNEL_VERSION);
     h.write_u32(ct_hydro::HYDRO_KERNEL_VERSION);
     h.write_u32(ct_hazard::HAZARD_KERNEL_VERSION);
+
+    h.write_str(&config.region.to_string());
+    h.write_usize(region_index);
 
     let t = &config.terrain;
     h.write_u64(t.seed);
@@ -67,11 +92,12 @@ pub fn ensemble_base_key(
 
     hash_dem(&mut h, dem);
 
-    let e = &config.ensemble;
+    let e = ensemble;
     h.write_u64(e.seed);
     h.write_str(&format!("{:?}", e.category));
     h.write_f64(e.ambient_pressure_hpa);
     h.write_f64(e.base_passing_lon);
+    h.write_f64(e.anchor_lat);
     h.write_f64(e.cross_track_mean_km);
     h.write_f64(e.cross_track_sd_km);
     h.write_f64(e.heading_mean_deg);
@@ -92,6 +118,16 @@ pub fn ensemble_base_key(
             Some(id) => h.write_str(&format!("{id:?}")),
         }
     }
+    h.finish()
+}
+
+/// The digest of a DEM alone, under the exact recipe the base key
+/// uses. The Oahu preset's digest is pinned in tests and CI so any
+/// drift in the named terrain (which would silently re-key every
+/// cached artifact) fails loudly.
+pub fn dem_digest(dem: &Dem) -> Digest {
+    let mut h = StableHasher::new();
+    hash_dem(&mut h, dem);
     h.finish()
 }
 
@@ -410,6 +446,101 @@ mod tests {
                 "a PR-3-era store must read as a miss under {hazard}"
             );
         }
+    }
+
+    /// Regression for the PR-8 → PR-9 region-generic migration: the
+    /// single-region key recipe (kernel v2, no region spec/index, no
+    /// anchor latitude) reconstructed verbatim must not collide with
+    /// any v3 key, so records written by older binaries read as cold
+    /// misses — never as aliased region-0 hits.
+    #[test]
+    fn pre_region_store_keys_are_invisible_not_aliased() {
+        let (config, dem, pois) = study_inputs();
+        for hazard_spec in HazardSpec::ALL {
+            let mut c = config.clone();
+            c.hazard = hazard_spec;
+            let hazard = c.hazard.build_model(&dem, c.calibration);
+
+            let mut h = StableHasher::new();
+            h.write_str("compound-threats/ensemble");
+            h.write_u32(2); // PIPELINE_KERNEL_VERSION before the portfolio
+            h.write_u32(ct_hydro::HYDRO_KERNEL_VERSION);
+            h.write_u32(ct_hazard::HAZARD_KERNEL_VERSION);
+            let t = &c.terrain;
+            h.write_u64(t.seed);
+            h.write_f64(t.cell_km);
+            h.write_f64(t.noise_amp_m);
+            hash_dem(&mut h, &dem);
+            let e = &c.ensemble;
+            h.write_u64(e.seed);
+            h.write_str(&format!("{:?}", e.category));
+            h.write_f64(e.ambient_pressure_hpa);
+            h.write_f64(e.base_passing_lon);
+            h.write_f64(e.cross_track_mean_km);
+            h.write_f64(e.cross_track_sd_km);
+            h.write_f64(e.heading_mean_deg);
+            h.write_f64(e.heading_sd_deg);
+            h.write_str(&hazard.hazard_id());
+            hazard.digest_params(&mut h);
+            h.write_usize(pois.len());
+            for poi in &pois {
+                h.write_str(&poi.id);
+                h.write_f64(poi.pos.lat);
+                h.write_f64(poi.pos.lon);
+                h.write_f64(poi.ground_elevation_m);
+                h.write_f64(poi.shore_distance_km);
+                match poi.station_override {
+                    None => h.write_str("nearest"),
+                    Some(id) => h.write_str(&format!("{id:?}")),
+                }
+            }
+            let pre_region = h.finish();
+            assert_ne!(
+                base_key(&c, &dem, &pois),
+                pre_region,
+                "a PR-8-era store must read as a miss under {hazard_spec}"
+            );
+        }
+    }
+
+    /// The Oahu preset's DEM digest, pinned. A change here means the
+    /// named terrain drifted — every cached artifact silently re-keys —
+    /// so it must be an explicit, reviewed decision.
+    #[test]
+    fn oahu_dem_digest_is_pinned() {
+        let (_, dem, _) = study_inputs();
+        assert_eq!(
+            dem_digest(&dem).to_hex(),
+            "bdb63530bd71b6d1aa8bdc3951c7b858",
+            "Oahu preset DEM drifted — this invalidates every cached artifact"
+        );
+        let grid = dem.elevation_grid();
+        assert_eq!((grid.cols(), grid.rows()), (184, 156));
+    }
+
+    #[test]
+    fn region_keys_separate_spec_index_and_anchor() {
+        let (config, dem, pois) = study_inputs();
+        let hazard = config.hazard.build_model(&dem, config.calibration);
+        let key = |c: &CaseStudyConfig, e: &ct_hydro::EnsembleConfig, r: usize| {
+            region_base_key(c, e, &dem, &pois, hazard.as_ref(), r)
+        };
+        let base = key(&config, &config.ensemble, 0);
+        // Region 0 with the config's own ensemble IS the classic key.
+        assert_eq!(
+            base,
+            ensemble_base_key(&config, &dem, &pois, hazard.as_ref())
+        );
+        // A different region index must not share records.
+        assert_ne!(key(&config, &config.ensemble, 1), base);
+        // A different portfolio spec must not share records.
+        let mut synth = config.clone();
+        synth.region = "synth:7:3:24".parse().unwrap();
+        assert_ne!(key(&synth, &config.ensemble, 0), base);
+        // A re-anchored ensemble must not share records.
+        let mut moved = config.ensemble.clone();
+        moved.anchor_lat += 1.0;
+        assert_ne!(key(&config, &moved, 0), base);
     }
 
     #[test]

@@ -123,7 +123,10 @@ pub fn grid_impact(
     config: &GridImpactConfig,
 ) -> Result<GridImpactSummary, CoreError> {
     let grid = grid_oahu::grid();
-    let storms = TrackEnsemble::new(study.config().ensemble.clone())?.generate();
+    // Regenerate the storms the primary region was actually evaluated
+    // under — for synthetic portfolios that is the region's derived
+    // (re-anchored, re-seeded) ensemble, not the config's.
+    let storms = TrackEnsemble::new(study.region(0).ensemble().clone())?.generate();
     let set = study.realizations();
     assert_eq!(
         storms.len(),
@@ -135,9 +138,14 @@ pub fn grid_impact(
     } else {
         study.config().threads
     };
+    // Line midpoints are storm-invariant; hoisting them out of the
+    // per-realization loop lets each worker run the batched wind
+    // kernel directly (bit-identical to `DamageModel::sample` — see
+    // the ct-grid equivalence tests).
+    let midpoints = DamageModel::line_midpoints(&grid);
     let indexed: Vec<usize> = (0..storms.len()).collect();
     let per: Vec<Result<(f64, f64, usize), CoreError>> = par_map(&indexed, threads, |&r| {
-        evaluate_one(&grid, config, study, &storms[r], r)
+        evaluate_one(&grid, config, study, &storms[r], r, &midpoints)
     });
     let mut served_supervised = Vec::with_capacity(per.len());
     let mut served_blind = Vec::with_capacity(per.len());
@@ -161,6 +169,7 @@ fn evaluate_one(
     study: &CaseStudy,
     storm: &ct_hydro::StormParams,
     realization: usize,
+    midpoints: &[ct_geo::LatLon],
 ) -> Result<(f64, f64, usize), CoreError> {
     // Flooded buses: any grid bus whose namesake asset flooded.
     let set = study.realizations();
@@ -172,7 +181,10 @@ fn evaluate_one(
         .filter(|(_, &f)| f)
         .map(|(p, _)| p.id.clone())
         .collect();
-    let damage = config.damage.sample(grid, storm, &flooded, realization);
+    let peaks = config.damage.peak_winds_at(storm, midpoints);
+    let damage = config
+        .damage
+        .sample_with_peaks(grid, &flooded, realization, &peaks);
     let state = ct_grid::dc_power_flow(grid, &damage.outages)?;
     let total = state.total_demand_mw.max(1e-9);
     let shed = state.served_after_emergency_shedding(grid) / total;

@@ -1,17 +1,23 @@
-//! The analysis pipeline (Fig. 5) specialised to the Oahu case study.
+//! The analysis pipeline (Fig. 5), region-generic: the Oahu case
+//! study is region 0 of a one-region portfolio, and seeded synthetic
+//! multi-region portfolios (`--region synth:<seed>:<regions>:<assets>`)
+//! run the exact same code paths — per-region terrain synthesis,
+//! topology, hazard ensemble, and profiling.
 
 use crate::artifact;
 use crate::error::CoreError;
-use crate::parallel::{default_threads, par_map_dynamic};
+use crate::parallel::{default_threads, par_map, par_map_dynamic};
 use crate::profile::OutcomeProfile;
 use ct_geo::terrain::{synthesize_oahu, OahuTerrainConfig};
-use ct_geo::Dem;
+use ct_geo::{synthesize_region, Dem, RegionTerrainSpec};
 use ct_hazard::{HazardModel, HazardSpec};
 use ct_hydro::{
     EnsembleConfig, ParametricSurge, Poi, Realization, RealizationSet, Stations, SurgeCalibration,
     TrackEnsemble,
 };
-use ct_scada::{oahu, Architecture, SitePlan, Topology};
+use ct_scada::{
+    oahu, site_plan_for, Architecture, RegionDef, RegionSpec, SitePlan, SiteRoles, Topology,
+};
 use ct_store::{Digest, StoreBackend};
 use ct_threat::{
     classify, post_disaster_histogram, post_disaster_states, Attacker, PostDisasterState,
@@ -31,14 +37,20 @@ type PlanHistogram = Arc<Vec<(PostDisasterState, usize)>>;
 ///
 /// Construct via [`CaseStudyConfig::builder`], which validates values
 /// before they reach the pipeline; `Default` gives the paper's
-/// canonical setup (1000 realizations, auto threads, 0.5 m flood
+/// canonical setup (Oahu, 1000 realizations, auto threads, 0.5 m flood
 /// threshold).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CaseStudyConfig {
-    /// Terrain synthesis parameters.
+    /// Which portfolio the run analyses: the Oahu preset (default) or
+    /// a seeded synthetic multi-region portfolio.
+    #[serde(default)]
+    pub region: RegionSpec,
+    /// Terrain synthesis parameters (the Oahu preset's; synthetic
+    /// regions derive their own specs from the region seed).
     pub terrain: OahuTerrainConfig,
     /// Hurricane ensemble parameters (1000 realizations by default,
-    /// as in the paper).
+    /// as in the paper). Synthetic regions re-anchor and re-seed a
+    /// copy of this per region.
     pub ensemble: EnsembleConfig,
     /// Surge-model calibration.
     pub calibration: SurgeCalibration,
@@ -84,6 +96,15 @@ pub struct CaseStudyConfigBuilder {
 }
 
 impl CaseStudyConfigBuilder {
+    /// The portfolio to analyse (`oahu` or
+    /// `synth:<seed>:<regions>:<assets>`; the grammar is validated by
+    /// [`RegionSpec`]'s `FromStr`).
+    #[must_use]
+    pub fn region(mut self, region: RegionSpec) -> Self {
+        self.config.region = region;
+        self
+    }
+
     /// Terrain synthesis parameters.
     #[must_use]
     pub fn terrain(mut self, terrain: OahuTerrainConfig) -> Self {
@@ -99,7 +120,7 @@ impl CaseStudyConfigBuilder {
         self
     }
 
-    /// Number of hurricane realizations (must be ≥ 1).
+    /// Number of hurricane realizations per region (must be ≥ 1).
     #[must_use]
     pub fn realizations(mut self, n: usize) -> Self {
         self.config.ensemble.realizations = n;
@@ -167,10 +188,14 @@ impl CaseStudyConfigBuilder {
     }
 }
 
-/// One slice of a sharded ensemble run: this process owns realization
-/// `i` iff `i % count == index`. Interleaving (rather than contiguous
-/// ranges) keeps shard workloads balanced when storm cost drifts with
-/// the sampled track distribution.
+/// One slice of a sharded ensemble run: this process owns global work
+/// item `g` iff `g % count == index`, where
+/// `g = region × realizations + realization` flattens the portfolio's
+/// per-region ensembles into a single sequence. Interleaving (rather
+/// than contiguous ranges) keeps
+/// shard workloads balanced when storm cost drifts with the sampled
+/// track distribution, and for a one-region portfolio `g` *is* the
+/// realization index, so single-region shard layouts are unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardSpec {
     index: usize,
@@ -210,7 +235,7 @@ impl ShardSpec {
         self.count
     }
 
-    /// Whether realization `i` belongs to this shard.
+    /// Whether global work item `i` belongs to this shard.
     pub fn owns(&self, i: usize) -> bool {
         i % self.count == self.index
     }
@@ -228,36 +253,90 @@ pub struct ShardReport {
     pub total: usize,
 }
 
-/// Store handle plus the run's base content address; carried by a
-/// store-backed [`CaseStudy`] so plan histograms can be cached
-/// on disk too. The handle is whatever [`StoreBackend`] the study was
-/// built through — local or remote — retained via
+/// Store handle plus the run's per-region base content addresses;
+/// carried by a store-backed [`CaseStudy`] so plan histograms can be
+/// cached on disk too. The handle is whatever [`StoreBackend`] the
+/// study was built through — local or remote — retained via
 /// [`StoreBackend::clone_handle`].
 #[derive(Debug, Clone)]
 struct StoreContext {
     store: Arc<dyn StoreBackend>,
-    base: Digest,
+    bases: Vec<Digest>,
 }
 
-/// A fully-prepared case study: terrain, topology, and the hazard
-/// ensemble, ready to evaluate architectures under threat scenarios.
-#[derive(Debug)]
-pub struct CaseStudy {
-    config: CaseStudyConfig,
+/// One fully-evaluated region of a portfolio: its terrain, topology,
+/// control-siting roles, the (possibly re-anchored) ensemble it was
+/// evaluated under, and the realization set.
+#[derive(Debug, Clone)]
+pub struct RegionStudy {
+    index: usize,
+    name: String,
+    roles: SiteRoles,
+    ensemble: EnsembleConfig,
     dem: Dem,
     topology: Topology,
     set: RealizationSet,
-    /// Memoized flood-pattern histograms per site plan. A plan's
-    /// histogram is scenario-independent, so one entry serves every
-    /// threat scenario and repeated figure/sweep evaluations.
-    histograms: Mutex<HashMap<PlanKey, PlanHistogram>>,
+}
+
+impl RegionStudy {
+    /// Region index within the portfolio.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Region name (`oahu`, or `synth<seed>-r<i>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Control-siting roles within the region's topology.
+    pub fn roles(&self) -> &SiteRoles {
+        &self.roles
+    }
+
+    /// The ensemble this region was evaluated under (the config's for
+    /// Oahu; re-anchored and re-seeded for synthetic regions).
+    pub fn ensemble(&self) -> &EnsembleConfig {
+        &self.ensemble
+    }
+
+    /// The region's synthetic terrain.
+    pub fn dem(&self) -> &Dem {
+        &self.dem
+    }
+
+    /// The region's power-asset topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The region's evaluated hazard ensemble.
+    pub fn realizations(&self) -> &RealizationSet {
+        &self.set
+    }
+}
+
+/// A fully-prepared case study: per-region terrain, topology, and
+/// hazard ensembles, ready to evaluate architectures under threat
+/// scenarios. Region 0 is the *primary* region; the legacy
+/// single-region accessors ([`CaseStudy::dem`], [`CaseStudy::topology`],
+/// [`CaseStudy::realizations`], [`CaseStudy::profile`]) delegate to it,
+/// so Oahu-era callers are untouched.
+#[derive(Debug)]
+pub struct CaseStudy {
+    config: CaseStudyConfig,
+    regions: Vec<RegionStudy>,
+    /// Memoized flood-pattern histograms per (region, site plan). A
+    /// plan's histogram is scenario-independent, so one entry serves
+    /// every threat scenario and repeated figure/sweep evaluations.
+    histograms: Mutex<HashMap<(usize, PlanKey), PlanHistogram>>,
     /// Present when the study was built through an artifact store.
     store: Option<StoreContext>,
 }
 
 impl Clone for CaseStudy {
     fn clone(&self) -> Self {
-        // Cached histograms depend on the set's flood threshold, and a
+        // Cached histograms depend on the sets' flood threshold, and a
         // clone is exactly the mutation point for
         // `with_flood_threshold` — so a clone starts with an empty
         // cache rather than inheriting entries that may go stale. The
@@ -265,58 +344,139 @@ impl Clone for CaseStudy {
         // disk entries cannot be confused across thresholds.
         Self {
             config: self.config.clone(),
-            dem: self.dem.clone(),
-            topology: self.topology.clone(),
-            set: self.set.clone(),
+            regions: self.regions.clone(),
             histograms: Mutex::new(HashMap::new()),
             store: self.store.clone(),
         }
     }
 }
 
-/// The prepared (pre-evaluation) inputs of a run: everything that is
-/// cheap and deterministic, shared by full builds and shard runs.
-struct Prepared {
+/// The prepared (pre-evaluation) inputs of one region: everything that
+/// is cheap and deterministic, shared by full builds and shard runs.
+struct PreparedRegion {
+    def: RegionDef,
     dem: Dem,
     pois: Vec<Poi>,
     hazard: Box<dyn HazardModel>,
     /// The hazard's stable id, computed once (it tags every store
-    /// record and the ensemble base key).
+    /// record and the region base key).
     hazard_id: String,
+    /// The effective ensemble for this region (see
+    /// [`region_ensemble`]).
+    ensemble: EnsembleConfig,
     storms: Vec<ct_hydro::StormParams>,
+}
+
+/// All regions of the portfolio, prepared.
+struct Prepared {
+    regions: Vec<PreparedRegion>,
     threads: usize,
 }
 
+/// The effective ensemble for region `r`: the Oahu preset keeps the
+/// config's ensemble untouched (bit-identity with the single-region
+/// pipeline), while synthetic regions re-anchor the planner track to
+/// their own origin — the same 0.10° west/south offsets Oahu's
+/// defaults encode relative to its origin — and decorrelate the storm
+/// draws by offsetting the seed with the region index.
+fn region_ensemble(config: &CaseStudyConfig, spec: &RegionTerrainSpec, r: usize) -> EnsembleConfig {
+    if !config.region.is_synthetic() {
+        return config.ensemble.clone();
+    }
+    let mut e = config.ensemble.clone();
+    e.seed = e.seed.wrapping_add(r as u64);
+    e.base_passing_lon = spec.origin.lon - 0.10;
+    e.anchor_lat = spec.origin.lat - 0.10;
+    e
+}
+
 impl Prepared {
-    /// Synthesizes terrain, derives POIs, instantiates the configured
-    /// hazard engine, and samples the storm ensemble. Opens `terrain`
-    /// and `ensemble_generate` spans under the caller's current span.
+    /// Synthesizes every region's terrain (in parallel — synthesis
+    /// dominates preparation), derives topologies and POIs,
+    /// instantiates the configured hazard engine per region, and
+    /// samples each region's storm ensemble. Opens `terrain`,
+    /// `topology`, and `ensemble_generate` spans under the caller's
+    /// current span; worker threads open none (see the `ct-obs`
+    /// determinism contract).
     fn new(config: &CaseStudyConfig) -> Result<Self, CoreError> {
-        let dem = {
-            let _s = ct_obs::span("terrain");
-            synthesize_oahu(&config.terrain)
-        };
-        let pois = oahu::case_study_pois(&dem)?;
-        let hazard = config.hazard.build_model(&dem, config.calibration);
-        let hazard_id = hazard.hazard_id();
-        let storms = {
-            let _s = ct_obs::span("ensemble_generate");
-            TrackEnsemble::new(config.ensemble.clone())?.generate()
-        };
+        let spec = &config.region;
+        let terrain_specs = spec.terrain_specs(&config.terrain);
+        ct_obs::add(ct_obs::names::PORTFOLIO_REGIONS, terrain_specs.len() as u64);
         let threads = if config.threads == 0 {
             default_threads()
         } else {
             config.threads
         };
         ct_obs::gauge(ct_obs::names::BUILD_THREADS, threads as f64);
-        Ok(Self {
-            dem,
-            pois,
-            hazard,
-            hazard_id,
-            storms,
-            threads,
-        })
+        let dems: Vec<Dem> = {
+            let _s = ct_obs::span("terrain");
+            if spec.is_synthetic() {
+                par_map(&terrain_specs, threads, synthesize_region)
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?
+            } else {
+                vec![synthesize_oahu(&config.terrain)]
+            }
+        };
+        let mut regions = Vec::with_capacity(dems.len());
+        {
+            let _s = ct_obs::span("topology");
+            for (r, dem) in dems.into_iter().enumerate() {
+                let def = spec.region_def(r, &dem)?;
+                // Oahu keeps its bespoke POI derivation (station
+                // overrides for harbor-side assets); synthetic regions
+                // derive POIs directly from their topology, and their
+                // surge stations from their own coastline extremes.
+                let (pois, hazard) = if spec.is_synthetic() {
+                    let pois = def.topology.to_pois(&dem)?;
+                    let hazard = config.hazard.build_model_with_stations(
+                        &dem,
+                        Stations::cardinal_from_dem(&dem),
+                        config.calibration,
+                    );
+                    (pois, hazard)
+                } else {
+                    let pois = oahu::case_study_pois(&dem)?;
+                    let hazard = config.hazard.build_model(&dem, config.calibration);
+                    (pois, hazard)
+                };
+                let hazard_id = hazard.hazard_id();
+                let ensemble = region_ensemble(config, &terrain_specs[r], r);
+                regions.push(PreparedRegion {
+                    def,
+                    dem,
+                    pois,
+                    hazard,
+                    hazard_id,
+                    ensemble,
+                    storms: Vec::new(),
+                });
+            }
+        }
+        {
+            let _s = ct_obs::span("ensemble_generate");
+            for pr in &mut regions {
+                pr.storms = TrackEnsemble::new(pr.ensemble.clone())?.generate();
+            }
+        }
+        Ok(Self { regions, threads })
+    }
+
+    /// Per-region base content addresses, in region order.
+    fn region_bases(&self, config: &CaseStudyConfig) -> Vec<Digest> {
+        self.regions
+            .iter()
+            .map(|pr| {
+                artifact::region_base_key(
+                    config,
+                    &pr.ensemble,
+                    &pr.dem,
+                    &pr.pois,
+                    pr.hazard.as_ref(),
+                    pr.def.index,
+                )
+            })
+            .collect()
     }
 }
 
@@ -372,12 +532,16 @@ fn evaluate_one(
     Ok(r)
 }
 
-/// Evaluates the given `(index, storm)` pairs in parallel under an
-/// `ensemble_evaluate` span, returning realizations in input order.
-fn evaluate_indexed(
+/// Evaluates the given `(region, realization)` tasks in parallel under
+/// a `hazard_evaluate` span, returning realizations in input order.
+/// One work-stealing pool serves the whole portfolio — regions are
+/// *not* barriers, so a region with cheap storms cannot strand workers
+/// while another region is still busy.
+fn evaluate_tasks(
     prepared: &Prepared,
-    indexed: &[(usize, ct_hydro::StormParams)],
-    store: Option<(&dyn StoreBackend, &Digest)>,
+    tasks: &[(usize, usize)],
+    store: Option<&dyn StoreBackend>,
+    bases: Option<&[Digest]>,
     reused: &AtomicUsize,
 ) -> Result<Vec<Realization>, CoreError> {
     // Dynamic scheduling: storm cost varies with track/intensity,
@@ -387,22 +551,27 @@ fn evaluate_indexed(
     // span tree is identical for every thread count.
     let eval_span = ct_obs::span("hazard_evaluate");
     let busy_ns = AtomicU64::new(0);
-    let realizations = par_map_dynamic(indexed, prepared.threads, |(i, storm)| {
+    let realizations = par_map_dynamic(tasks, prepared.threads, |&(r, i)| {
         let started = std::time::Instant::now();
-        let r = evaluate_one(
-            *i,
-            storm,
-            prepared.hazard.as_ref(),
-            &prepared.hazard_id,
-            &prepared.pois,
-            store,
+        let pr = &prepared.regions[r];
+        let store_ctx = match (store, bases) {
+            (Some(s), Some(b)) => Some((s, &b[r])),
+            _ => None,
+        };
+        let out = evaluate_one(
+            i,
+            &pr.storms[i],
+            pr.hazard.as_ref(),
+            &pr.hazard_id,
+            &pr.pois,
+            store_ctx,
             reused,
         );
         busy_ns.fetch_add(
             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
-        r
+        out
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
@@ -410,11 +579,19 @@ fn evaluate_indexed(
     Ok(realizations)
 }
 
-/// Evaluates only this shard's slice of the ensemble, writing each
-/// record to `store`. Records already present (from an earlier run or
-/// an interrupted one) are skipped, which is what makes a shard run
-/// resumable after `kill -9`: re-running the same shard recomputes
-/// only the records the crash lost.
+/// All `(region, realization)` tasks of a portfolio run, in global
+/// order: `g = region × realizations + realization`.
+fn portfolio_tasks(regions: usize, realizations: usize) -> Vec<(usize, usize)> {
+    (0..regions)
+        .flat_map(|r| (0..realizations).map(move |i| (r, i)))
+        .collect()
+}
+
+/// Evaluates only this shard's slice of the portfolio ensemble,
+/// writing each record to `store`. Records already present (from an
+/// earlier run or an interrupted one) are skipped, which is what makes
+/// a shard run resumable after `kill -9`: re-running the same shard
+/// recomputes only the records the crash lost.
 ///
 /// # Errors
 ///
@@ -429,22 +606,15 @@ pub fn run_shard(
 ) -> Result<ShardReport, CoreError> {
     let shard_span = ct_obs::span("shard_run");
     let prepared = Prepared::new(config)?;
-    let base = artifact::ensemble_base_key(
-        config,
-        &prepared.dem,
-        &prepared.pois,
-        prepared.hazard.as_ref(),
-    );
-    let owned: Vec<(usize, ct_hydro::StormParams)> = prepared
-        .storms
-        .iter()
-        .cloned()
-        .enumerate()
-        .filter(|(i, _)| shard.owns(*i))
+    let bases = prepared.region_bases(config);
+    let n = config.ensemble.realizations;
+    let owned: Vec<(usize, usize)> = portfolio_tasks(prepared.regions.len(), n)
+        .into_iter()
+        .filter(|&(r, i)| shard.owns(r * n + i))
         .collect();
     let total = owned.len();
     let reused = AtomicUsize::new(0);
-    evaluate_indexed(&prepared, &owned, Some((store, &base)), &reused)?;
+    evaluate_tasks(&prepared, &owned, Some(store), Some(&bases), &reused)?;
     drop(shard_span);
     let reused = reused.into_inner();
     Ok(ShardReport {
@@ -455,8 +625,9 @@ pub fn run_shard(
 }
 
 impl CaseStudy {
-    /// Synthesizes the terrain, builds the Oahu topology, and
-    /// evaluates the hurricane ensemble at every asset (in parallel).
+    /// Synthesizes every region's terrain, builds its topology, and
+    /// evaluates its hurricane ensemble at every asset (in parallel
+    /// across the whole portfolio).
     ///
     /// # Errors
     ///
@@ -484,57 +655,55 @@ impl CaseStudy {
         store: Option<&dyn StoreBackend>,
     ) -> Result<Self, CoreError> {
         let build_span = ct_obs::span("build");
-        let topology = {
-            let _s = ct_obs::span("topology");
-            oahu::topology()
-        };
         let prepared = Prepared::new(config)?;
-        let base = store.map(|_| {
-            artifact::ensemble_base_key(
-                config,
-                &prepared.dem,
-                &prepared.pois,
-                prepared.hazard.as_ref(),
-            )
-        });
-        let indexed: Vec<(usize, ct_hydro::StormParams)> =
-            prepared.storms.iter().cloned().enumerate().collect();
+        let bases = store.map(|_| prepared.region_bases(config));
+        let n = config.ensemble.realizations;
+        let tasks = portfolio_tasks(prepared.regions.len(), n);
         let reused = AtomicUsize::new(0);
-        let store_ctx = match (store, base) {
-            (Some(s), Some(b)) => Some((s, b)),
-            _ => None,
-        };
-        let realizations = evaluate_indexed(
-            &prepared,
-            &indexed,
-            store_ctx.as_ref().map(|(s, b)| (*s, b)),
-            &reused,
-        )?;
-        let mut set = RealizationSet::from_parts(prepared.pois, realizations);
-        if let Some(depth_m) = config.flood_threshold_m {
-            set.set_threshold(ct_hydro::FloodThreshold::new(depth_m)?);
+        let realizations = evaluate_tasks(&prepared, &tasks, store, bases.as_deref(), &reused)?;
+        let mut stream = realizations.into_iter();
+        let mut regions = Vec::with_capacity(prepared.regions.len());
+        for pr in prepared.regions {
+            // The evaluation stream is region-major, so each region's
+            // slice is the next `n` items in order.
+            let rs: Vec<Realization> = stream.by_ref().take(n).collect();
+            let mut set = RealizationSet::from_parts(pr.pois, rs);
+            if let Some(depth_m) = config.flood_threshold_m {
+                set.set_threshold(ct_hydro::FloodThreshold::new(depth_m)?);
+            }
+            regions.push(RegionStudy {
+                index: pr.def.index,
+                name: pr.def.name,
+                roles: pr.def.roles,
+                ensemble: pr.ensemble,
+                dem: pr.dem,
+                topology: pr.def.topology,
+                set,
+            });
         }
         drop(build_span);
         Ok(Self {
             config: config.clone(),
-            dem: prepared.dem,
-            topology,
-            set,
+            regions,
             histograms: Mutex::new(HashMap::new()),
-            store: store_ctx.map(|(s, b)| StoreContext {
-                store: s.clone_handle(),
-                base: b,
-            }),
+            store: match (store, bases) {
+                (Some(s), Some(b)) => Some(StoreContext {
+                    store: s.clone_handle(),
+                    bases: b,
+                }),
+                _ => None,
+            },
         })
     }
 
     /// The pre-refactor, hard-wired surge pipeline, retained verbatim
-    /// as ground truth: terrain → POIs → [`ParametricSurge`] →
+    /// as ground truth: Oahu terrain → POIs → [`ParametricSurge`] →
     /// [`RealizationSet::evaluate_storm`] per sampled storm, with no
-    /// [`HazardModel`] indirection and no store. The `hazard_engine`
-    /// equivalence tests pin [`CaseStudy::build`] (with the default
-    /// surge spec) bit-identical to this path; `config.hazard` is
-    /// ignored here by construction.
+    /// [`HazardModel`] indirection, no portfolio abstraction, and no
+    /// store. The `hazard_engine` equivalence tests pin
+    /// [`CaseStudy::build`] (with the default surge spec and Oahu
+    /// region) bit-identical to this path; `config.hazard` and
+    /// `config.region` are ignored here by construction.
     ///
     /// # Errors
     ///
@@ -562,9 +731,15 @@ impl CaseStudy {
         }
         Ok(Self {
             config: config.clone(),
-            dem,
-            topology,
-            set,
+            regions: vec![RegionStudy {
+                index: 0,
+                name: "oahu".to_string(),
+                roles: ct_scada::oahu_roles(),
+                ensemble: config.ensemble.clone(),
+                dem,
+                topology,
+                set,
+            }],
             histograms: Mutex::new(HashMap::new()),
             store: None,
         })
@@ -594,7 +769,7 @@ impl CaseStudy {
         &self.config
     }
 
-    /// The hazard engine the ensemble was evaluated with.
+    /// The hazard engine the ensembles were evaluated with.
     pub fn hazard(&self) -> HazardSpec {
         self.config.hazard
     }
@@ -609,23 +784,44 @@ impl CaseStudy {
         }
     }
 
-    /// The synthetic terrain.
+    /// Number of regions in the portfolio (≥ 1).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// All regions, in portfolio order.
+    pub fn regions(&self) -> &[RegionStudy] {
+        &self.regions
+    }
+
+    /// One region of the portfolio.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index ≥ region_count()`; use
+    /// [`CaseStudy::regions`] for fallible iteration.
+    pub fn region(&self, index: usize) -> &RegionStudy {
+        &self.regions[index]
+    }
+
+    /// The primary (region 0) terrain.
     pub fn dem(&self) -> &Dem {
-        &self.dem
+        &self.regions[0].dem
     }
 
-    /// The Oahu topology.
+    /// The primary (region 0) topology.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.regions[0].topology
     }
 
-    /// The evaluated hazard ensemble.
+    /// The primary (region 0) evaluated hazard ensemble.
     pub fn realizations(&self) -> &RealizationSet {
-        &self.set
+        &self.regions[0].set
     }
 
     /// Outcome profile of an architecture under a scenario with the
-    /// paper's control-site plan for `choice`.
+    /// primary region's control-site plan for `choice` (on Oahu this
+    /// is exactly the paper's siting).
     ///
     /// # Errors
     ///
@@ -636,13 +832,42 @@ impl CaseStudy {
         scenario: ThreatScenario,
         choice: oahu::SiteChoice,
     ) -> Result<OutcomeProfile, CoreError> {
-        let plan = oahu::site_plan(architecture, choice)?;
-        self.profile_with_plan(&plan, scenario)
+        self.profile_region(0, architecture, scenario, choice)
     }
 
-    /// Outcome profile for an arbitrary site plan: applies each
-    /// hurricane realization, then the worst-case attacker, then
-    /// Table I.
+    /// [`CaseStudy::profile`] for one region of the portfolio: the
+    /// site plan is built from the region's own control roles
+    /// (`choice` selects its central vs remote backup, mirroring the
+    /// paper's Waiau/Kahe distinction).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an out-of-range region;
+    /// propagates site-plan errors.
+    pub fn profile_region(
+        &self,
+        region: usize,
+        architecture: Architecture,
+        scenario: ThreatScenario,
+        choice: oahu::SiteChoice,
+    ) -> Result<OutcomeProfile, CoreError> {
+        let r = self
+            .regions
+            .get(region)
+            .ok_or_else(|| CoreError::InvalidConfig {
+                field: "region",
+                reason: format!(
+                    "region index {region} out of range for {} region(s)",
+                    self.regions.len()
+                ),
+            })?;
+        let plan = site_plan_for(&r.topology, &r.roles, architecture, choice)?;
+        self.profile_with_plan_in(region, &plan, scenario)
+    }
+
+    /// Outcome profile for an arbitrary site plan over the primary
+    /// region: applies each hurricane realization, then the worst-case
+    /// attacker, then Table I.
     ///
     /// The attacker and classification are deterministic functions of
     /// the post-disaster flood pattern, so they are evaluated once per
@@ -660,8 +885,23 @@ impl CaseStudy {
         plan: &SitePlan,
         scenario: ThreatScenario,
     ) -> Result<OutcomeProfile, CoreError> {
+        self.profile_with_plan_in(0, plan, scenario)
+    }
+
+    /// [`CaseStudy::profile_with_plan`] against one region's ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the plan references assets missing from
+    /// the region's POI set.
+    pub fn profile_with_plan_in(
+        &self,
+        region: usize,
+        plan: &SitePlan,
+        scenario: ThreatScenario,
+    ) -> Result<OutcomeProfile, CoreError> {
         ct_obs::add(ct_obs::names::PROFILE_PLANS_EVALUATED, 1);
-        let hist = self.plan_histogram(plan)?;
+        let hist = self.plan_histogram(region, plan)?;
         let budget = scenario.budget();
         let arch = plan.architecture();
         let attacker = WorstCaseAttacker;
@@ -674,8 +914,8 @@ impl CaseStudy {
 
     /// The pre-memoization profiling path: attacker and classification
     /// run once per realization instead of once per distinct flood
-    /// pattern. Kept as ground truth for the equivalence tests and the
-    /// profiling benchmark.
+    /// pattern (primary region). Kept as ground truth for the
+    /// equivalence tests and the profiling benchmark.
     ///
     /// # Errors
     ///
@@ -686,7 +926,7 @@ impl CaseStudy {
         plan: &SitePlan,
         scenario: ThreatScenario,
     ) -> Result<OutcomeProfile, CoreError> {
-        let posts = post_disaster_states(plan, &self.set)?;
+        let posts = post_disaster_states(plan, &self.regions[0].set)?;
         let budget = scenario.budget();
         let arch = plan.architecture();
         let attacker = WorstCaseAttacker;
@@ -695,16 +935,50 @@ impl CaseStudy {
         })))
     }
 
-    /// The plan's flood-pattern histogram, computed on first use and
-    /// cached. Concurrent first calls may compute it redundantly; the
-    /// first insert wins and the result is identical either way.
+    /// Per-region outcome summary of the whole portfolio as CSV
+    /// (`region,name,assets,architecture,scenario,green,orange,red,gray`):
+    /// every architecture under the compound hurricane-plus-intrusion
+    /// scenario with each region's central-backup siting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates site-plan/profiling errors.
+    pub fn portfolio_summary(&self) -> Result<String, CoreError> {
+        let scenario = ThreatScenario::HurricaneIntrusion;
+        let mut out =
+            String::from("region,name,assets,architecture,scenario,green,orange,red,gray\n");
+        for (r, region) in self.regions.iter().enumerate() {
+            for arch in Architecture::ALL {
+                let p = self.profile_region(r, arch, scenario, oahu::SiteChoice::Waiau)?;
+                out.push_str(&format!(
+                    "{r},{name},{assets},{arch},{scenario},{:.6},{:.6},{:.6},{:.6}\n",
+                    p.green(),
+                    p.orange(),
+                    p.red(),
+                    p.gray(),
+                    name = region.name,
+                    assets = region.topology.assets().len(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The plan's flood-pattern histogram for one region, computed on
+    /// first use and cached. Concurrent first calls may compute it
+    /// redundantly; the first insert wins and the result is identical
+    /// either way.
     ///
     /// Store-backed studies check the artifact store between the
     /// in-memory cache and a fresh computation; the disk key pins the
-    /// ensemble size and flood threshold on top of the run's base
-    /// address, so a histogram can never leak across thresholds.
-    fn plan_histogram(&self, plan: &SitePlan) -> Result<PlanHistogram, CoreError> {
-        let key: PlanKey = (plan.architecture(), plan.site_asset_ids().to_vec());
+    /// region's base address, the ensemble size, and the flood
+    /// threshold, so a histogram can never leak across thresholds or
+    /// regions.
+    fn plan_histogram(&self, region: usize, plan: &SitePlan) -> Result<PlanHistogram, CoreError> {
+        let key = (
+            region,
+            (plan.architecture(), plan.site_asset_ids().to_vec()),
+        );
         if let Some(hist) = self
             .histograms
             .lock()
@@ -714,7 +988,7 @@ impl CaseStudy {
             ct_obs::add(ct_obs::names::PROFILE_PATTERN_CACHE_HITS, 1);
             return Ok(Arc::clone(hist));
         }
-        let hist = Arc::new(self.load_or_compute_histogram(plan)?);
+        let hist = Arc::new(self.load_or_compute_histogram(region, plan)?);
         let mut cache = self.histograms.lock().expect("histogram cache lock");
         // A miss is counted only for the winning insert, so hit+miss
         // totals stay deterministic even when concurrent first calls
@@ -744,13 +1018,15 @@ impl CaseStudy {
     /// fresh computation (counted as `store.degraded`), never aborts.
     fn load_or_compute_histogram(
         &self,
+        region: usize,
         plan: &SitePlan,
     ) -> Result<Vec<(PostDisasterState, usize)>, CoreError> {
+        let set = &self.regions[region].set;
         let disk_key = self.store.as_ref().map(|ctx| {
             artifact::plan_histogram_key(
-                &ctx.base,
-                self.set.len(),
-                self.set.threshold().depth_m(),
+                &ctx.bases[region],
+                set.len(),
+                set.threshold().depth_m(),
                 plan,
             )
         });
@@ -768,7 +1044,7 @@ impl CaseStudy {
                 Err(_) => ctx.store.note_degraded(),
             }
         }
-        let hist = post_disaster_histogram(plan, &self.set)?;
+        let hist = post_disaster_histogram(plan, set)?;
         if let (Some(ctx), Some(key)) = (&self.store, &disk_key) {
             if ctx
                 .store
@@ -782,8 +1058,9 @@ impl CaseStudy {
     }
 
     /// A copy of this study with a different asset-failure flood
-    /// threshold (the paper assumes 0.5 m switch height; this enables
-    /// sensitivity analysis of that assumption).
+    /// threshold applied to every region (the paper assumes 0.5 m
+    /// switch height; this enables sensitivity analysis of that
+    /// assumption).
     ///
     /// # Errors
     ///
@@ -791,24 +1068,27 @@ impl CaseStudy {
     pub fn with_flood_threshold(&self, depth_m: f64) -> Result<CaseStudy, CoreError> {
         let threshold = ct_hydro::FloodThreshold::new(depth_m)?;
         let mut copy = self.clone();
-        copy.set.set_threshold(threshold);
+        for region in &mut copy.regions {
+            region.set.set_threshold(threshold);
+        }
         Ok(copy)
     }
 
-    /// Probability that the asset's site floods across the ensemble.
+    /// Probability that the asset's site floods across the primary
+    /// region's ensemble.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownAsset`] for ids missing from the
     /// topology.
     pub fn flood_probability(&self, asset_id: &str) -> Result<f64, CoreError> {
-        let idx = self
-            .set
+        let set = &self.regions[0].set;
+        let idx = set
             .poi_index(asset_id)
             .ok_or_else(|| CoreError::UnknownAsset {
                 id: asset_id.to_string(),
             })?;
-        Ok(self.set.flood_fraction(idx))
+        Ok(set.flood_fraction(idx))
     }
 }
 
@@ -816,6 +1096,7 @@ impl CaseStudy {
 mod tests {
     use super::*;
     use ct_hydro::Realization;
+    use ct_scada::topology_digest;
     use ct_threat::OperationalState;
     use proptest::prelude::*;
 
@@ -886,10 +1167,16 @@ mod tests {
             .collect();
         let set = RealizationSet::from_parts(pois, realizations);
         CaseStudy {
+            regions: vec![RegionStudy {
+                index: 0,
+                name: "oahu".to_string(),
+                roles: ct_scada::oahu_roles(),
+                ensemble: config.ensemble.clone(),
+                dem,
+                topology,
+                set,
+            }],
             config,
-            dem,
-            topology,
-            set,
             histograms: Mutex::new(HashMap::new()),
             store: None,
         }
@@ -1049,6 +1336,8 @@ mod tests {
         let s = small_study();
         assert_eq!(s.realizations().len(), 120);
         assert_eq!(s.realizations().pois().len(), s.topology().assets().len());
+        assert_eq!(s.region_count(), 1);
+        assert_eq!(s.region(0).name(), "oahu");
     }
 
     #[test]
@@ -1062,6 +1351,127 @@ mod tests {
             serial.realizations().realizations(),
             parallel.realizations().realizations()
         );
+    }
+
+    fn synth_config(spec: &str, realizations: usize) -> CaseStudyConfig {
+        CaseStudyConfig::builder()
+            .region(spec.parse().unwrap())
+            .realizations(realizations)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn synthetic_portfolio_builds_and_profiles_every_region() {
+        let study = CaseStudy::build(&synth_config("synth:5:3:24", 12)).unwrap();
+        assert_eq!(study.region_count(), 3);
+        let mut total_assets = 0;
+        for r in 0..3 {
+            let region = study.region(r);
+            assert_eq!(region.index(), r);
+            assert_eq!(region.realizations().len(), 12);
+            assert_eq!(
+                region.realizations().pois().len(),
+                region.topology().assets().len()
+            );
+            total_assets += region.topology().assets().len();
+            let p = study
+                .profile_region(
+                    r,
+                    Architecture::C6P6P6,
+                    ThreatScenario::HurricaneIntrusion,
+                    oahu::SiteChoice::Waiau,
+                )
+                .unwrap();
+            let sum = p.green() + p.orange() + p.red() + p.gray();
+            assert!((sum - 1.0).abs() < 1e-9, "region {r} profile sums to {sum}");
+        }
+        assert!(
+            total_assets >= 24,
+            "requested 24 assets, got {total_assets}"
+        );
+        // Regions are distinct places with distinct storm draws.
+        assert_ne!(
+            study.region(0).ensemble().seed,
+            study.region(1).ensemble().seed
+        );
+        assert_ne!(
+            study.region(0).dem().projection().origin().lat,
+            study.region(1).dem().projection().origin().lat
+        );
+        let csv = study.portfolio_summary().unwrap();
+        assert_eq!(
+            csv.lines().count(),
+            1 + 3 * Architecture::ALL.len(),
+            "header plus one row per region × architecture:\n{csv}"
+        );
+        assert!(csv.starts_with("region,name,assets,architecture,scenario,"));
+        // Out-of-range regions are loud, not panicky.
+        assert!(study
+            .profile_region(
+                9,
+                Architecture::C2,
+                ThreatScenario::Hurricane,
+                oahu::SiteChoice::Waiau
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn portfolio_build_is_thread_count_invariant() {
+        // The whole portfolio — terrain, topology, storm draws, and
+        // evaluated ensembles — must be identical whether built
+        // serially or with a full work-stealing pool.
+        let digests = |threads: usize| {
+            let mut cfg = synth_config("synth:11:4:32", 6);
+            cfg.threads = threads;
+            let study = CaseStudy::build(&cfg).unwrap();
+            study
+                .regions()
+                .iter()
+                .map(|r| {
+                    (
+                        topology_digest(r.topology()),
+                        r.realizations().realizations().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = digests(1);
+        for threads in [4, 8] {
+            assert_eq!(digests(threads), serial, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn sharded_portfolio_run_merges_to_clean_build() {
+        // 2 regions × 7 realizations = 14 global work items split
+        // across 2 shards; the merge must be bit-identical to a clean
+        // build in *every* region.
+        let config = synth_config("synth:9:2:16", 7);
+        let scratch = ScratchStore::new("portfolio-shards");
+        let a = run_shard(&config, &scratch.store, ShardSpec::new(0, 2).unwrap()).unwrap();
+        let b = run_shard(&config, &scratch.store, ShardSpec::new(1, 2).unwrap()).unwrap();
+        assert_eq!(
+            a.total + b.total,
+            14,
+            "all (region, realization) items owned"
+        );
+        assert_eq!(a.computed + b.computed, 14);
+        let merged = CaseStudy::merge_from_store(&config, &scratch.store).unwrap();
+        let clean = CaseStudy::build(&config).unwrap();
+        assert_eq!(merged.region_count(), clean.region_count());
+        for r in 0..merged.region_count() {
+            assert_eq!(
+                merged.region(r).realizations(),
+                clean.region(r).realizations(),
+                "region {r} diverged through the store"
+            );
+        }
+        // Re-running a shard is a no-op: everything is reused.
+        let again = run_shard(&config, &scratch.store, ShardSpec::new(0, 2).unwrap()).unwrap();
+        assert_eq!(again.reused, again.total);
+        assert_eq!(again.computed, 0);
     }
 
     #[test]

@@ -39,7 +39,6 @@ use crate::error::CoreError;
 use crate::event::{source_fd, Event, Poller};
 use crate::pipeline::{CaseStudy, CaseStudyConfig};
 use crate::probe::ProbeQuery;
-use ct_hazard::HazardSpec;
 use ct_scada::Architecture;
 use ct_store::format::{decode_record, encode_record};
 use ct_store::remote::{query_param, Request};
@@ -116,8 +115,9 @@ impl Default for ServeOptions {
     }
 }
 
-/// Cache key for a built probe study: hazard keyword + ensemble size.
-type StudyKey = (&'static str, usize);
+/// Cache key for a built probe study: region portfolio + hazard
+/// keyword + ensemble size.
+type StudyKey = (ct_scada::RegionSpec, &'static str, usize);
 
 /// State shared by every worker thread.
 #[derive(Debug)]
@@ -451,7 +451,7 @@ fn probe(shared: &Shared, query: &str) -> Reply {
         Ok(q) => q,
         Err(e) => return Reply::bad_request(&e),
     };
-    let study = match cached_study(shared, parsed.hazard, parsed.realizations) {
+    let study = match cached_study(shared, &parsed) {
         Ok(s) => s,
         Err(CoreError::InvalidConfig { field, reason }) => {
             return Reply::bad_request(&format!("{field}: {reason}"))
@@ -480,22 +480,20 @@ fn probe(shared: &Shared, query: &str) -> Reply {
     Reply::text(200, "OK", body)
 }
 
-/// The cached study for `(hazard, realizations)`, building through
-/// the hosted store on a miss (counted as `serve.probe_builds`).
-fn cached_study(
-    shared: &Shared,
-    hazard: HazardSpec,
-    realizations: usize,
-) -> Result<Arc<CaseStudy>, CoreError> {
-    let key: StudyKey = (hazard.keyword(), realizations);
+/// The cached study for `(region, hazard, realizations)`, building
+/// through the hosted store on a miss (counted as
+/// `serve.probe_builds`).
+fn cached_study(shared: &Shared, query: &ProbeQuery) -> Result<Arc<CaseStudy>, CoreError> {
+    let key: StudyKey = (query.region, query.hazard.keyword(), query.realizations);
     let mut studies = shared.studies.lock().expect("probe study lock");
     if let Some(study) = studies.get(&key) {
         return Ok(Arc::clone(study));
     }
     ct_obs::add(ct_obs::names::SERVE_PROBE_BUILDS, 1);
     let config = CaseStudyConfig::builder()
-        .realizations(realizations)
-        .hazard(hazard)
+        .region(query.region)
+        .realizations(query.realizations)
+        .hazard(query.hazard)
         .build()?;
     let study = Arc::new(CaseStudy::build_with_store(&config, Some(&shared.store))?);
     studies.insert(key, Arc::clone(&study));

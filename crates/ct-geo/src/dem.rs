@@ -3,19 +3,33 @@
 use crate::coords::{EnuKm, LatLon, Projection};
 use crate::error::GeoError;
 use crate::grid::Grid;
+use crate::index::ShoreIndex;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A digital elevation model over a local east/north domain.
 ///
 /// Elevations are metres above mean sea level; negative values are
 /// bathymetry (sea floor below sea level). A cell is *land* when its
 /// elevation is strictly positive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dem {
     elevation: Grid<f64>,
     projection: Projection,
     /// Cell centres of land cells that touch at least one sea cell.
     coastline: Vec<EnuKm>,
+    /// Lazily-built nearest-shore index over `coastline`. Derived
+    /// state: excluded from serialization and equality.
+    #[serde(skip)]
+    shore_index: OnceLock<ShoreIndex>,
+}
+
+impl PartialEq for Dem {
+    fn eq(&self, other: &Self) -> bool {
+        self.elevation == other.elevation
+            && self.projection == other.projection
+            && self.coastline == other.coastline
+    }
 }
 
 impl Dem {
@@ -29,6 +43,7 @@ impl Dem {
             elevation,
             projection,
             coastline,
+            shore_index: OnceLock::new(),
         }
     }
 
@@ -77,11 +92,13 @@ impl Dem {
 
     /// Nearest coastline cell centre to a local point, with its
     /// distance in km. `None` when the DEM contains no coastline.
+    ///
+    /// Served by a lazily-built [`ShoreIndex`]; bit-identical to the
+    /// linear scan over [`Self::coastline_cells`].
     pub fn nearest_shore(&self, p: EnuKm) -> Option<(EnuKm, f64)> {
-        self.coastline
-            .iter()
-            .map(|&c| (c, c.distance_km(p)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+        self.shore_index
+            .get_or_init(|| ShoreIndex::new(&self.coastline))
+            .nearest(p)
     }
 
     /// Distance from a geographic point to the nearest coastline, km.
@@ -147,25 +164,17 @@ impl Dem {
 fn extract_coastline(elev: &Grid<f64>) -> Vec<EnuKm> {
     let mut out = Vec::new();
     let (cols, rows) = (elev.cols(), elev.rows());
+    let sea = |c: usize, r: usize| elev.get(c, r).is_some_and(|&e| e <= 0.0);
     for r in 0..rows {
         for c in 0..cols {
-            let e = *elev.get(c, r).expect("cell in range");
+            let Some(&e) = elev.get(c, r) else { continue };
             if e <= 0.0 {
                 continue;
             }
-            let mut near_sea = false;
-            if c > 0 && *elev.get(c - 1, r).unwrap() <= 0.0 {
-                near_sea = true;
-            }
-            if c + 1 < cols && *elev.get(c + 1, r).unwrap() <= 0.0 {
-                near_sea = true;
-            }
-            if r > 0 && *elev.get(c, r - 1).unwrap() <= 0.0 {
-                near_sea = true;
-            }
-            if r + 1 < rows && *elev.get(c, r + 1).unwrap() <= 0.0 {
-                near_sea = true;
-            }
+            let near_sea = (c > 0 && sea(c - 1, r))
+                || (c + 1 < cols && sea(c + 1, r))
+                || (r > 0 && sea(c, r - 1))
+                || (r + 1 < rows && sea(c, r + 1));
             if near_sea {
                 out.push(elev.cell_center(c, r));
             }

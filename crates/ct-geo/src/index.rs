@@ -1,0 +1,422 @@
+//! Uniform-grid spatial indexes.
+//!
+//! Two index types back the hazard-footprint→asset mapping:
+//!
+//! - [`ShoreIndex`]: buckets coastline cell centres in the local
+//!   east/north frame and answers nearest-neighbour queries by an
+//!   expanding ring search. Results are *bit-identical* to the linear
+//!   scan (`iter().min_by(total_cmp)`): the same distance expression is
+//!   evaluated, and ties break to the lowest point index, which is
+//!   exactly the first-minimum element the linear scan returns.
+//! - [`SpatialIndex`]: buckets geographic points by degree windows and
+//!   answers "all points strictly within `r` km of a centre" queries.
+//!   Buckets give a conservative candidate superset; an exact haversine
+//!   filter (`distance_km < r`, strict, matching the wind kernel's
+//!   footprint gate) produces the hits. Candidate and hit volumes are
+//!   reported to the `spatial.candidates` / `spatial.hits` counters,
+//!   one batched add per query, so counts stay deterministic across
+//!   worker-thread counts.
+//!
+//! Contract: query footprints must not wrap the ±180° antimeridian;
+//! region generators keep portfolios away from it.
+
+use crate::coords::{EnuKm, LatLon, EARTH_RADIUS_KM};
+
+/// A uniform-grid nearest-neighbour index over local-frame points.
+#[derive(Debug, Clone)]
+pub struct ShoreIndex {
+    points: Vec<EnuKm>,
+    origin: EnuKm,
+    cell_km: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl ShoreIndex {
+    /// Builds the index. Bucket size adapts to the point density so
+    /// typical queries touch O(1) buckets.
+    pub fn new(points: &[EnuKm]) -> Self {
+        if points.is_empty() {
+            return Self {
+                points: Vec::new(),
+                origin: EnuKm::new(0.0, 0.0),
+                cell_km: 1.0,
+                cols: 0,
+                rows: 0,
+                buckets: Vec::new(),
+            };
+        }
+        let (mut min_e, mut max_e) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_n, mut max_n) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_e = min_e.min(p.east);
+            max_e = max_e.max(p.east);
+            min_n = min_n.min(p.north);
+            max_n = max_n.max(p.north);
+        }
+        let span_e = (max_e - min_e).max(1e-9);
+        let span_n = (max_n - min_n).max(1e-9);
+        let cell_km = (span_e * span_n / points.len() as f64)
+            .sqrt()
+            .clamp(0.5, 8.0);
+        let cols = ((span_e / cell_km).ceil() as usize).max(1);
+        let rows = ((span_n / cell_km).ceil() as usize).max(1);
+        let origin = EnuKm::new(min_e, min_n);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, p) in points.iter().enumerate() {
+            let (c, r) = bucket_of(*p, origin, cell_km, cols, rows);
+            buckets[r * cols + c].push(i as u32);
+        }
+        Self {
+            points: points.to_vec(),
+            origin,
+            cell_km,
+            cols,
+            rows,
+            buckets,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Nearest indexed point to `p` with its distance in km, or `None`
+    /// for an empty index. Equals the linear scan
+    /// `points.iter().map(|&c| (c, c.distance_km(p))).min_by(total_cmp)`
+    /// bit for bit (ties break to the lowest index, i.e. the first
+    /// minimum in iteration order).
+    pub fn nearest(&self, p: EnuKm) -> Option<(EnuKm, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (bc, br) = bucket_of(p, self.origin, self.cell_km, self.cols, self.rows);
+        let mut best: Option<(usize, f64)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            if let Some((_, best_d)) = best {
+                // Buckets at ring `ring` lie entirely outside the rect
+                // covered by rings 0..ring; if the rect's interior
+                // already clears best_d around p, no farther ring can
+                // improve on (or tie) the current best.
+                if self.ring_lower_bound(p, bc, br, ring) > best_d {
+                    break;
+                }
+            }
+            self.scan_ring(p, bc, br, ring, &mut best);
+        }
+        best.map(|(i, d)| (self.points[i], d))
+    }
+
+    /// Distance from `p` to the boundary of the rect of buckets with
+    /// Chebyshev index < `ring` around `(bc, br)`; 0 when `p` is
+    /// outside that rect (no pruning possible yet).
+    fn ring_lower_bound(&self, p: EnuKm, bc: usize, br: usize, ring: usize) -> f64 {
+        if ring == 0 {
+            return 0.0;
+        }
+        let k = (ring - 1) as f64;
+        let lo_e = self.origin.east + (bc as f64 - k) * self.cell_km;
+        let hi_e = self.origin.east + (bc as f64 + k + 1.0) * self.cell_km;
+        let lo_n = self.origin.north + (br as f64 - k) * self.cell_km;
+        let hi_n = self.origin.north + (br as f64 + k + 1.0) * self.cell_km;
+        (p.east - lo_e)
+            .min(hi_e - p.east)
+            .min(p.north - lo_n)
+            .min(hi_n - p.north)
+            .max(0.0)
+    }
+
+    fn scan_ring(
+        &self,
+        p: EnuKm,
+        bc: usize,
+        br: usize,
+        ring: usize,
+        best: &mut Option<(usize, f64)>,
+    ) {
+        let lo_c = bc.saturating_sub(ring);
+        let hi_c = (bc + ring).min(self.cols.saturating_sub(1));
+        let lo_r = br.saturating_sub(ring);
+        let hi_r = (br + ring).min(self.rows.saturating_sub(1));
+        for r in lo_r..=hi_r {
+            for c in lo_c..=hi_c {
+                // Only the ring's perimeter; inner buckets were
+                // scanned by previous rings.
+                let on_ring = c.max(bc) - c.min(bc) == ring || r.max(br) - r.min(br) == ring;
+                if !on_ring && ring > 0 {
+                    continue;
+                }
+                for &i in &self.buckets[r * self.cols + c] {
+                    let i = i as usize;
+                    let d = self.points[i].distance_km(p);
+                    let better = match *best {
+                        None => true,
+                        Some((bi, bd)) => d < bd || (d == bd && i < bi),
+                    };
+                    if better {
+                        *best = Some((i, d));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn bucket_of(p: EnuKm, origin: EnuKm, cell_km: f64, cols: usize, rows: usize) -> (usize, usize) {
+    let c = ((p.east - origin.east) / cell_km).floor();
+    let r = ((p.north - origin.north) / cell_km).floor();
+    let c = if c.is_finite() && c > 0.0 {
+        c as usize
+    } else {
+        0
+    };
+    let r = if r.is_finite() && r > 0.0 {
+        r as usize
+    } else {
+        0
+    };
+    (c.min(cols.saturating_sub(1)), r.min(rows.saturating_sub(1)))
+}
+
+/// A uniform-grid range-query index over geographic points.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    points: Vec<LatLon>,
+    min_lat: f64,
+    min_lon: f64,
+    lat_step: f64,
+    lon_step: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SpatialIndex {
+    /// Builds the index over `points` (asset positions).
+    pub fn new(points: Vec<LatLon>) -> Self {
+        if points.is_empty() {
+            return Self {
+                points,
+                min_lat: 0.0,
+                min_lon: 0.0,
+                lat_step: 1.0,
+                lon_step: 1.0,
+                cols: 0,
+                rows: 0,
+                buckets: Vec::new(),
+            };
+        }
+        let (mut min_lat, mut max_lat) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_lon, mut max_lon) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in &points {
+            min_lat = min_lat.min(p.lat);
+            max_lat = max_lat.max(p.lat);
+            min_lon = min_lon.min(p.lon);
+            max_lon = max_lon.max(p.lon);
+        }
+        let lat_step = ((max_lat - min_lat) / 64.0).max(1e-3);
+        let lon_step = ((max_lon - min_lon) / 64.0).max(1e-3);
+        let cols = (((max_lon - min_lon) / lon_step).ceil() as usize).max(1);
+        let rows = (((max_lat - min_lat) / lat_step).ceil() as usize).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, p) in points.iter().enumerate() {
+            let c = (((p.lon - min_lon) / lon_step) as usize).min(cols - 1);
+            let r = (((p.lat - min_lat) / lat_step) as usize).min(rows - 1);
+            buckets[r * cols + c].push(i as u32);
+        }
+        Self {
+            points,
+            min_lat,
+            min_lon,
+            lat_step,
+            lon_step,
+            cols,
+            rows,
+            buckets,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[LatLon] {
+        &self.points
+    }
+
+    /// Indices of all points strictly within `radius_km` of `center`,
+    /// ascending. Exactly equals the brute-force filter
+    /// `points[i].distance_km(center) < radius_km`.
+    ///
+    /// Reports the scanned candidate count, the hit count, and the
+    /// query itself to the `spatial.candidates` / `spatial.hits` /
+    /// `spatial.queries` counters (one add each per query), so
+    /// `candidates / queries` is the observable mean scan width.
+    pub fn within_km(&self, center: LatLon, radius_km: f64) -> Vec<usize> {
+        ct_obs::add(ct_obs::names::SPATIAL_QUERIES, 1);
+        // `partial_cmp` so a NaN radius lands in the empty arm rather
+        // than scanning with NaN window bounds.
+        let positive = radius_km.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if self.points.is_empty() || !positive {
+            ct_obs::add(ct_obs::names::SPATIAL_CANDIDATES, 0);
+            ct_obs::add(ct_obs::names::SPATIAL_HITS, 0);
+            return Vec::new();
+        }
+        // Conservative degree window: |Δlat| ≤ r/R exactly (meridian
+        // haversine is linear in Δlat); |Δlon| ≤ (π/2)·(r/R)/cos φ
+        // using the smallest cosine over the latitude band.
+        let radius_rad = radius_km / EARTH_RADIUS_KM;
+        let dlat_deg = radius_rad.to_degrees();
+        let band_lat = (center.lat.abs() + dlat_deg).min(89.0);
+        let min_cos = band_lat.to_radians().cos().max(0.01);
+        let dlon_deg = (std::f64::consts::FRAC_PI_2 * radius_rad / min_cos).to_degrees();
+
+        let lo_r = (((center.lat - dlat_deg - self.min_lat) / self.lat_step).floor()).max(0.0);
+        let hi_r = ((center.lat + dlat_deg - self.min_lat) / self.lat_step).floor();
+        let lo_c = (((center.lon - dlon_deg - self.min_lon) / self.lon_step).floor()).max(0.0);
+        let hi_c = ((center.lon + dlon_deg - self.min_lon) / self.lon_step).floor();
+        let mut hits = Vec::new();
+        let mut candidates = 0u64;
+        if hi_r >= 0.0 && hi_c >= 0.0 {
+            let lo_r = lo_r as usize;
+            let hi_r = (hi_r as usize).min(self.rows.saturating_sub(1));
+            let lo_c = lo_c as usize;
+            let hi_c = (hi_c as usize).min(self.cols.saturating_sub(1));
+            for r in lo_r..=hi_r {
+                for c in lo_c..=hi_c {
+                    let bucket = &self.buckets[r * self.cols + c];
+                    candidates += bucket.len() as u64;
+                    for &i in bucket {
+                        let i = i as usize;
+                        if self.points[i].distance_km(center) < radius_km {
+                            hits.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        hits.sort_unstable();
+        ct_obs::add(ct_obs::names::SPATIAL_CANDIDATES, candidates);
+        ct_obs::add(ct_obs::names::SPATIAL_HITS, hits.len() as u64);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn linear_nearest(points: &[EnuKm], p: EnuKm) -> Option<(EnuKm, f64)> {
+        points
+            .iter()
+            .map(|&c| (c, c.distance_km(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn brute_within(points: &[LatLon], center: LatLon, radius_km: f64) -> Vec<usize> {
+        (0..points.len())
+            .filter(|&i| points[i].distance_km(center) < radius_km)
+            .collect()
+    }
+
+    #[test]
+    fn empty_indexes_answer_empty() {
+        assert!(ShoreIndex::new(&[]).nearest(EnuKm::new(0.0, 0.0)).is_none());
+        assert!(SpatialIndex::new(Vec::new())
+            .within_km(LatLon::new(0.0, 0.0), 100.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn single_point_nearest() {
+        let pts = [EnuKm::new(3.0, 4.0)];
+        let idx = ShoreIndex::new(&pts);
+        let (q, d) = idx.nearest(EnuKm::new(0.0, 0.0)).unwrap();
+        assert_eq!(q, pts[0]);
+        assert_eq!(d, pts[0].distance_km(EnuKm::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_to_first() {
+        // Two identical points: the linear scan returns the first.
+        let pts = [EnuKm::new(1.0, 1.0), EnuKm::new(1.0, 1.0)];
+        let idx = ShoreIndex::new(&pts);
+        let got = idx.nearest(EnuKm::new(0.0, 0.0));
+        let want = linear_nearest(&pts, EnuKm::new(0.0, 0.0));
+        assert_eq!(got, want);
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_matches_linear_scan(
+            pts in prop::collection::vec((-60.0f64..60.0, -45.0f64..45.0), 1..200),
+            queries in prop::collection::vec((-90.0f64..90.0, -70.0f64..70.0), 1..20),
+        ) {
+            let pts: Vec<EnuKm> = pts.iter().map(|&(e, n)| EnuKm::new(e, n)).collect();
+            let idx = ShoreIndex::new(&pts);
+            for &(e, n) in &queries {
+                let q = EnuKm::new(e, n);
+                let got = idx.nearest(q);
+                let want = linear_nearest(&pts, q);
+                prop_assert_eq!(got.map(|(p, d)| (p.east.to_bits(), p.north.to_bits(), d.to_bits())),
+                                want.map(|(p, d)| (p.east.to_bits(), p.north.to_bits(), d.to_bits())));
+            }
+        }
+
+        #[test]
+        fn within_km_matches_brute_force(
+            pts in prop::collection::vec((5.0f64..50.0, -170.0f64..-60.0), 1..300),
+            center_lat in 0.0f64..55.0,
+            center_lon in -175.0f64..-55.0,
+            radius in 1.0f64..2000.0,
+        ) {
+            let pts: Vec<LatLon> = pts.iter().map(|&(la, lo)| LatLon::new(la, lo)).collect();
+            let idx = SpatialIndex::new(pts.clone());
+            let center = LatLon::new(center_lat, center_lon);
+            let got = idx.within_km(center, radius);
+            let want = brute_within(&pts, center, radius);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn counters_report_candidates_and_hits() {
+        let pts: Vec<LatLon> = (0..100)
+            .map(|i| {
+                LatLon::new(
+                    20.0 + f64::from(i % 10) * 0.5,
+                    -158.0 + f64::from(i / 10) * 0.5,
+                )
+            })
+            .collect();
+        let idx = SpatialIndex::new(pts);
+        // Other tests share the global registry, so assert on deltas
+        // with >= rather than equality.
+        let before = ct_obs::snapshot();
+        let hits = idx.within_km(LatLon::new(20.2, -157.9), 40.0);
+        assert!(!hits.is_empty());
+        let after = ct_obs::snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        let cand = delta(ct_obs::names::SPATIAL_CANDIDATES);
+        let hit = delta(ct_obs::names::SPATIAL_HITS);
+        assert!(hit >= hits.len() as u64, "hit delta {hit} < {}", hits.len());
+        assert!(cand >= hit, "candidates {cand} must cover hits {hit}");
+    }
+}

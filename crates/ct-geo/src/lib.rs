@@ -11,8 +11,12 @@
 //!   coastline extraction and distance-to-shore queries;
 //! * closed [`Polygon`]s with point-in-polygon and signed-distance
 //!   queries, used to describe island outlines;
-//! * deterministic procedural [`noise`] and a synthetic Oahu terrain
-//!   generator ([`terrain::synthesize_oahu`]).
+//! * deterministic procedural [`noise`] and a region-generic terrain
+//!   synthesizer ([`region::synthesize_region`]) with a synthetic Oahu
+//!   preset ([`terrain::synthesize_oahu`]);
+//! * uniform-grid spatial indexes ([`index::ShoreIndex`],
+//!   [`index::SpatialIndex`]) for nearest-shore and
+//!   hazard-footprint→asset range queries.
 //!
 //! Everything here is deterministic: the same inputs always produce the
 //! same terrain, which is what makes the downstream Monte-Carlo
@@ -25,7 +29,7 @@
 //!
 //! let dem = terrain::synthesize_oahu(&terrain::OahuTerrainConfig::default());
 //! let honolulu = LatLon::new(21.307, -157.858);
-//! let elev = dem.elevation_at(honolulu).unwrap();
+//! let elev = dem.elevation_at(honolulu).expect("inside the DEM domain");
 //! assert!(elev > 0.0, "downtown Honolulu is on land");
 //! ```
 
@@ -33,12 +37,16 @@ pub mod coords;
 pub mod dem;
 pub mod error;
 pub mod grid;
+pub mod index;
 pub mod noise;
 pub mod polygon;
+pub mod region;
 pub mod terrain;
 
 pub use coords::{EnuKm, LatLon, Projection, EARTH_RADIUS_KM};
 pub use dem::Dem;
 pub use error::GeoError;
 pub use grid::Grid;
+pub use index::{ShoreIndex, SpatialIndex};
 pub use polygon::Polygon;
+pub use region::{synthesize_region, CoastSector, RegionTerrainSpec, RidgeSpec, SectorRule};

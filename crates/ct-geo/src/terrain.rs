@@ -1,4 +1,4 @@
-//! Procedural synthesis of an Oahu-like island DEM.
+//! The Oahu preset for the region-generic terrain synthesizer.
 //!
 //! The real analysis in the paper used USGS terrain plus an ADCIRC
 //! coastal mesh. Neither is redistributable, so this module builds a
@@ -8,12 +8,16 @@
 //! offshore shelf profiles. What matters downstream is that the named
 //! SCADA sites sit at realistic elevations and surge exposures; tests in
 //! `ct-scada` pin those properties.
+//!
+//! The actual synthesis lives in [`crate::region`]; this module encodes
+//! Oahu as a [`RegionTerrainSpec`] preset. The preset is bit-identical
+//! to the original hard-wired generator (a DEM-digest pin in `core`
+//! asserts this).
 
 use crate::coords::{EnuKm, LatLon, Projection};
 use crate::dem::Dem;
-use crate::grid::Grid;
-use crate::noise::fbm;
 use crate::polygon::Polygon;
+use crate::region::{synthesize_region, CoastSector, RegionTerrainSpec, RidgeSpec, SectorRule};
 use serde::{Deserialize, Serialize};
 
 /// Projection origin used for all Oahu work: roughly the island centre.
@@ -79,8 +83,8 @@ impl Default for OahuTerrainConfig {
     }
 }
 
-/// The island outline as a polygon in the local frame.
-pub fn oahu_outline(projection: &Projection) -> Polygon {
+/// The island outline vertices, in order.
+fn oahu_outline_points() -> Vec<LatLon> {
     let pts = [
         (21.575, -158.281), // Ka'ena Point (west tip)
         (21.640, -158.120), // Waialua Bay
@@ -99,15 +103,13 @@ pub fn oahu_outline(projection: &Projection) -> Polygon {
         (21.350, -158.130), // Kahe Point
         (21.450, -158.190), // Wai'anae
     ];
-    let verts = pts
-        .iter()
-        .map(|&(lat, lon)| projection.to_enu(LatLon::new(lat, lon)))
-        .collect();
-    Polygon::new(verts).expect("outline has >= 3 vertices")
+    pts.iter()
+        .map(|&(lat, lon)| LatLon::new(lat, lon))
+        .collect()
 }
 
-/// Pearl Harbor water body, cut out of the island as an inland sea.
-pub fn pearl_harbor(projection: &Projection) -> Polygon {
+/// Pearl Harbor water body vertices, cut out of the island.
+fn pearl_harbor_points() -> Vec<LatLon> {
     let pts = [
         (21.308, -157.974), // entrance, east side
         (21.302, -157.992), // entrance, west side
@@ -119,9 +121,25 @@ pub fn pearl_harbor(projection: &Projection) -> Polygon {
         (21.345, -157.955),
         (21.322, -157.962),
     ];
-    let verts = pts
+    pts.iter()
+        .map(|&(lat, lon)| LatLon::new(lat, lon))
+        .collect()
+}
+
+/// The island outline as a polygon in the local frame.
+pub fn oahu_outline(projection: &Projection) -> Polygon {
+    let verts = oahu_outline_points()
         .iter()
-        .map(|&(lat, lon)| projection.to_enu(LatLon::new(lat, lon)))
+        .map(|&p| projection.to_enu(p))
+        .collect();
+    Polygon::new(verts).expect("outline has >= 3 vertices")
+}
+
+/// Pearl Harbor water body, cut out of the island as an inland sea.
+pub fn pearl_harbor(projection: &Projection) -> Polygon {
+    let verts = pearl_harbor_points()
+        .iter()
+        .map(|&p| projection.to_enu(p))
         .collect();
     Polygon::new(verts).expect("harbor has >= 3 vertices")
 }
@@ -141,52 +159,70 @@ pub fn coast_region(outline: &Polygon, p: EnuKm) -> CoastRegion {
     }
 }
 
-/// Distance (km) from `p` to the segment `ab`, all in local km.
-fn segment_distance(p: EnuKm, a: EnuKm, b: EnuKm) -> f64 {
-    let abe = b.east - a.east;
-    let abn = b.north - a.north;
-    let len2 = abe * abe + abn * abn;
-    let t = if len2 == 0.0 {
-        0.0
-    } else {
-        (((p.east - a.east) * abe + (p.north - a.north) * abn) / len2).clamp(0.0, 1.0)
+/// The Oahu case study expressed as a region spec.
+///
+/// The sector table and rules mirror [`coast_region`] exactly (West,
+/// South, North, East in that order), so the spec-driven generator
+/// reproduces the original elevation field bit for bit.
+pub fn oahu_region_spec(config: &OahuTerrainConfig) -> RegionTerrainSpec {
+    let sector = |r: CoastRegion| CoastSector {
+        terrain_slope_m_per_km: r.terrain_slope_m_per_km(),
+        shelf_slope_m_per_km: r.shelf_slope_m_per_km(),
     };
-    p.distance_km(EnuKm::new(a.east + t * abe, a.north + t * abn))
-}
-
-/// A mountain ridge modelled as a Gaussian profile around a segment.
-struct Ridge {
-    a: EnuKm,
-    b: EnuKm,
-    height_m: f64,
-    width_km: f64,
-}
-
-impl Ridge {
-    fn contribution(&self, p: EnuKm) -> f64 {
-        let d = segment_distance(p, self.a, self.b);
-        self.height_m * (-(d / self.width_km).powi(2)).exp()
+    RegionTerrainSpec {
+        name: "oahu".to_string(),
+        origin: OAHU_ORIGIN,
+        outline: oahu_outline_points(),
+        inland_waters: vec![pearl_harbor_points()],
+        ridges: vec![
+            // Wai'anae range along the west side.
+            RidgeSpec {
+                a: LatLon::new(21.42, -158.16),
+                b: LatLon::new(21.55, -158.20),
+                height_m: 900.0,
+                width_km: 3.5,
+            },
+            // Ko'olau range along the east side.
+            RidgeSpec {
+                a: LatLon::new(21.30, -157.72),
+                b: LatLon::new(21.62, -157.95),
+                height_m: 750.0,
+                width_km: 3.5,
+            },
+        ],
+        sectors: vec![
+            sector(CoastRegion::West),
+            sector(CoastRegion::South),
+            sector(CoastRegion::North),
+            sector(CoastRegion::East),
+        ],
+        sector_rules: vec![
+            SectorRule {
+                max_east: Some(-12.5),
+                max_north: Some(18.0),
+                min_north: None,
+                sector: 0,
+            },
+            SectorRule {
+                max_east: None,
+                max_north: Some(-9.0),
+                min_north: None,
+                sector: 1,
+            },
+            SectorRule {
+                max_east: None,
+                max_north: None,
+                min_north: Some(20.0),
+                sector: 2,
+            },
+        ],
+        fallback_sector: 3,
+        domain_origin: EnuKm::new(-46.0, -40.0),
+        extent_km: (92.0, 78.0),
+        seed: config.seed,
+        cell_km: config.cell_km,
+        noise_amp_m: config.noise_amp_m,
     }
-}
-
-fn ridges(projection: &Projection) -> Vec<Ridge> {
-    let e = |lat: f64, lon: f64| projection.to_enu(LatLon::new(lat, lon));
-    vec![
-        // Wai'anae range along the west side.
-        Ridge {
-            a: e(21.42, -158.16),
-            b: e(21.55, -158.20),
-            height_m: 900.0,
-            width_km: 3.5,
-        },
-        // Ko'olau range along the east side.
-        Ridge {
-            a: e(21.30, -157.72),
-            b: e(21.62, -157.95),
-            height_m: 750.0,
-            width_km: 3.5,
-        },
-    ]
 }
 
 /// Synthesizes the Oahu DEM.
@@ -194,54 +230,7 @@ fn ridges(projection: &Projection) -> Vec<Ridge> {
 /// The raster covers the island plus ~15 km of surrounding ocean so the
 /// shallow-water surge solver has room for offshore dynamics.
 pub fn synthesize_oahu(config: &OahuTerrainConfig) -> Dem {
-    let projection = Projection::new(OAHU_ORIGIN);
-    let outline = oahu_outline(&projection);
-    let harbor = pearl_harbor(&projection);
-    let ridge_list = ridges(&projection);
-
-    let origin = EnuKm::new(-46.0, -40.0);
-    let (extent_e, extent_n) = (92.0, 78.0);
-    let cols = (extent_e / config.cell_km).round() as usize;
-    let rows = (extent_n / config.cell_km).round() as usize;
-
-    let grid = Grid::from_fn(cols, rows, origin, config.cell_km, |p| {
-        elevation_at(config, &outline, &harbor, &ridge_list, p)
-    })
-    .expect("non-empty grid");
-    Dem::new(grid, projection)
-}
-
-fn elevation_at(
-    config: &OahuTerrainConfig,
-    outline: &Polygon,
-    harbor: &Polygon,
-    ridge_list: &[Ridge],
-    p: EnuKm,
-) -> f64 {
-    let sdf_out = outline.signed_distance_km(p);
-    let sdf_ph = harbor.signed_distance_km(p);
-    // Land = inside the outline and outside the harbor.
-    let land_sdf = sdf_out.max(-sdf_ph);
-    if land_sdf < 0.0 {
-        let dist_inland = -land_sdf;
-        let region = coast_region(outline, p);
-        let base = 0.5 + region.terrain_slope_m_per_km() * dist_inland;
-        let ridge: f64 = ridge_list
-            .iter()
-            .map(|r| r.contribution(p) * (dist_inland / 3.0).min(1.0))
-            .sum();
-        let amp = config.noise_amp_m + 0.10 * base;
-        let n = amp * fbm(config.seed, p, 0.15, 4);
-        (base + ridge + n).max(0.2)
-    } else if sdf_ph < 0.0 {
-        // Inside Pearl Harbor: shallow, dredged-channel depths.
-        -(4.0 + 6.0 * (-sdf_ph).min(1.5))
-    } else {
-        // Open sea: shelf deepening away from the island.
-        let region = coast_region(outline, p);
-        let depth = 2.0 + region.shelf_slope_m_per_km() * sdf_out;
-        -depth.min(4500.0)
-    }
+    synthesize_region(&oahu_region_spec(config)).expect("the Oahu preset is a valid region spec")
 }
 
 #[cfg(test)]
@@ -353,5 +342,29 @@ mod tests {
         let e = d.elevation_at(LatLon::new(21.36, -157.99)).unwrap();
         assert!(e < 0.0, "harbor should be water, got {e}");
         assert!(e > -30.0, "harbor should be shallow, got {e}");
+    }
+
+    #[test]
+    fn spec_sector_rules_match_coast_region() {
+        let spec = oahu_region_spec(&OahuTerrainConfig::default());
+        let proj = Projection::new(OAHU_ORIGIN);
+        let outline = oahu_outline(&proj);
+        for &(lat, lon) in &[
+            (21.354, -158.125),
+            (21.30, -157.86),
+            (21.68, -158.0),
+            (21.45, -157.80),
+            (21.10, -158.0),
+            (21.50, -158.30),
+        ] {
+            let p = proj.to_enu(LatLon::new(lat, lon));
+            let expected = coast_region(&outline, p);
+            let got = spec.sector_of(&outline, p);
+            assert_eq!(
+                got.terrain_slope_m_per_km,
+                expected.terrain_slope_m_per_km(),
+                "sector mismatch at ({lat}, {lon})"
+            );
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! criterion the SCADA analysis uses.
 
 use crate::network::{BusId, GridNetwork, LineId, OutageSet};
-use ct_geo::LatLon;
+use ct_geo::{LatLon, SpatialIndex};
 use ct_hydro::StormParams;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -108,6 +108,64 @@ impl DamageModel {
         peaks
     }
 
+    /// Batched range-gated variant of
+    /// [`peak_winds_at`](Self::peak_winds_at): evaluates the peak wind
+    /// for every point in a prebuilt [`SpatialIndex`], using the
+    /// index's `within_km` query (same strict `< 400 km` footprint
+    /// gate) to touch only the O(affected) points near the track at
+    /// each step. Bit-identical to the linear scan: per-`(t, point)`
+    /// arithmetic, the lazy per-step field construction (including
+    /// skipping every point at a step whose field errors), and the
+    /// t-ascending max fold are unchanged — the index only narrows
+    /// which points are *visited*, and out-of-range points contribute
+    /// nothing to a max fold over non-negative speeds.
+    pub fn peak_winds_at_indexed(&self, storm: &StormParams, index: &SpatialIndex) -> Vec<f64> {
+        let points = index.points();
+        let mut peaks = vec![0.0_f64; points.len()];
+        let (t0, t1) = storm.track.time_span_hours();
+        let mut t = t0;
+        while t <= t1 {
+            let center = storm.track.position(t);
+            let hits = index.within_km(center, 400.0);
+            if !hits.is_empty() {
+                if let Ok(field) = storm.wind_field(t) {
+                    for i in hits {
+                        peaks[i] = peaks[i].max(field.wind_at(center, points[i]).speed_ms);
+                    }
+                }
+            }
+            t += self.scan_step_hours;
+        }
+        peaks
+    }
+
+    /// Realization-major storm blocking over the batched wind kernel:
+    /// peak winds for every `(storm, point)` pair, with the point set
+    /// (typically line midpoints) computed once by the caller and
+    /// shared across the whole block instead of being rebuilt per
+    /// realization. Row `r` is bit-identical to
+    /// `peak_winds_at(&storms[r], points)`.
+    pub fn peak_winds_at_storms(&self, storms: &[StormParams], points: &[LatLon]) -> Vec<Vec<f64>> {
+        storms
+            .iter()
+            .map(|storm| self.peak_winds_at(storm, points))
+            .collect()
+    }
+
+    /// Midpoints of every line span, in line order — the point set the
+    /// fragility scan evaluates winds at. Exposed so callers blocking
+    /// over storms can compute it once.
+    pub fn line_midpoints(grid: &GridNetwork) -> Vec<LatLon> {
+        grid.lines()
+            .iter()
+            .map(|line| {
+                let a = grid.buses()[line.from.0].pos;
+                let b = grid.buses()[line.to.0].pos;
+                LatLon::new((a.lat + b.lat) / 2.0, (a.lon + b.lon) / 2.0)
+            })
+            .collect()
+    }
+
     /// Samples the grid damage for one realization: wind draws per
     /// line (deterministic in `(seed, realization_idx, line)`) plus
     /// the flooded buses supplied by the hazard model.
@@ -118,22 +176,29 @@ impl DamageModel {
         flooded_bus_names: &BTreeSet<String>,
         realization_idx: usize,
     ) -> DamageSample {
+        let midpoints = Self::line_midpoints(grid);
+        let peaks = self.peak_winds_at(storm, &midpoints);
+        self.sample_with_peaks(grid, flooded_bus_names, realization_idx, &peaks)
+    }
+
+    /// [`sample`](Self::sample) with the wind scan already done:
+    /// consumes precomputed per-line peak winds (one entry per line,
+    /// as returned by the `peak_winds_at*` family) so storm-blocked
+    /// callers don't re-scan per realization. Identical output to
+    /// [`sample`](Self::sample) for matching peaks.
+    pub fn sample_with_peaks(
+        &self,
+        grid: &GridNetwork,
+        flooded_bus_names: &BTreeSet<String>,
+        realization_idx: usize,
+        peaks: &[f64],
+    ) -> DamageSample {
         let mut outages = OutageSet::none();
         for (i, bus) in grid.buses().iter().enumerate() {
             if flooded_bus_names.contains(&bus.name) {
                 outages.buses.insert(BusId(i));
             }
         }
-        let midpoints: Vec<LatLon> = grid
-            .lines()
-            .iter()
-            .map(|line| {
-                let a = grid.buses()[line.from.0].pos;
-                let b = grid.buses()[line.to.0].pos;
-                LatLon::new((a.lat + b.lat) / 2.0, (a.lon + b.lon) / 2.0)
-            })
-            .collect();
-        let peaks = self.peak_winds_at(storm, &midpoints);
         let mut probs = Vec::with_capacity(grid.lines().len());
         let mut gusts = Vec::with_capacity(grid.lines().len());
         for (li, peak) in peaks.iter().enumerate() {
@@ -313,6 +378,62 @@ mod tests {
             }
         }
         assert!(m.peak_winds_at(&direct_hit(), &[]).is_empty());
+    }
+
+    #[test]
+    fn indexed_peak_winds_match_the_linear_scan_bitwise() {
+        let m = DamageModel::default();
+        let grid = crate::oahu::grid();
+        let points: Vec<LatLon> = grid.buses().iter().map(|b| b.pos).collect();
+        let index = SpatialIndex::new(points.clone());
+        for storm in [direct_hit(), distant()] {
+            let linear = m.peak_winds_at(&storm, &points);
+            let indexed = m.peak_winds_at_indexed(&storm, &index);
+            assert_eq!(linear.len(), indexed.len());
+            for (i, (a, b)) in linear.iter().zip(&indexed).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "point {i}: linear {a} vs indexed {b}"
+                );
+            }
+        }
+        assert!(m
+            .peak_winds_at_indexed(&direct_hit(), &SpatialIndex::new(Vec::new()))
+            .is_empty());
+    }
+
+    #[test]
+    fn storm_blocked_peak_winds_match_per_storm_rows_bitwise() {
+        let m = DamageModel::default();
+        let grid = crate::oahu::grid();
+        let midpoints = DamageModel::line_midpoints(&grid);
+        let storms = [direct_hit(), distant()];
+        let blocked = m.peak_winds_at_storms(&storms, &midpoints);
+        assert_eq!(blocked.len(), storms.len());
+        for (r, storm) in storms.iter().enumerate() {
+            let row = m.peak_winds_at(storm, &midpoints);
+            assert_eq!(row.len(), blocked[r].len());
+            for (i, (a, b)) in row.iter().zip(&blocked[r]).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "storm {r} point {i}");
+            }
+        }
+        assert!(m.peak_winds_at_storms(&[], &midpoints).is_empty());
+    }
+
+    #[test]
+    fn sample_with_precomputed_peaks_matches_sample() {
+        let grid = crate::oahu::grid();
+        let m = DamageModel::default();
+        let mut flooded = BTreeSet::new();
+        flooded.insert("waiau-pp".to_string());
+        let midpoints = DamageModel::line_midpoints(&grid);
+        for (r, storm) in [(0usize, direct_hit()), (11, distant())] {
+            let peaks = m.peak_winds_at(&storm, &midpoints);
+            let direct = m.sample(&grid, &storm, &flooded, r);
+            let blocked = m.sample_with_peaks(&grid, &flooded, r, &peaks);
+            assert_eq!(direct, blocked);
+        }
     }
 
     #[test]

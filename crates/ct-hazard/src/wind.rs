@@ -2,6 +2,7 @@
 //! fragility, mapped onto the pipeline's severity axis.
 
 use crate::model::HazardModel;
+use ct_geo::SpatialIndex;
 use ct_grid::{fragility_draw, DamageModel};
 use ct_hydro::{FloodThreshold, HydroError, Poi, Realization, StormParams};
 use ct_store::StableHasher;
@@ -91,11 +92,13 @@ impl HazardModel for WindFragilityHazard {
         storm: &StormParams,
         pois: &[Poi],
     ) -> Result<Realization, HydroError> {
-        // Batched wind kernel: one Holland-field parameterization per
-        // time step across every POI (bit-identical to the per-POI
-        // scan — see `DamageModel::peak_winds_at`).
-        let positions: Vec<_> = pois.iter().map(|poi| poi.pos).collect();
-        let peaks = self.damage.peak_winds_at(storm, &positions);
+        // Batched wind kernel over a spatial index: one Holland-field
+        // parameterization per time step, and only the O(affected)
+        // POIs inside the 400 km footprint are visited at each step
+        // (bit-identical to the per-POI scan — see
+        // `DamageModel::peak_winds_at_indexed`).
+        let spatial = SpatialIndex::new(pois.iter().map(|poi| poi.pos).collect());
+        let peaks = self.damage.peak_winds_at_indexed(storm, &spatial);
         let mut max_gust_ms: f64 = 0.0;
         let inundation_m = peaks
             .iter()

@@ -77,6 +77,11 @@ pub struct EnsembleConfig {
     /// Reference longitude (deg) the mean planner track passes through
     /// at the island's latitude band.
     pub base_passing_lon: f64,
+    /// Reference latitude (deg) of the track anchor — the latitude
+    /// band of the studied region. Defaults to Oahu's 21.35 so
+    /// pre-existing configs deserialize unchanged.
+    #[serde(default = "default_anchor_lat")]
+    pub anchor_lat: f64,
     /// Mean cross-track offset from the base passing longitude, km
     /// (negative = further west).
     pub cross_track_mean_km: f64,
@@ -96,12 +101,17 @@ impl Default for EnsembleConfig {
             category: Category::Cat2,
             ambient_pressure_hpa: 1010.0,
             base_passing_lon: -158.10,
+            anchor_lat: default_anchor_lat(),
             cross_track_mean_km: -35.0,
             cross_track_sd_km: 95.0,
             heading_mean_deg: 5.0,
             heading_sd_deg: 12.0,
         }
     }
+}
+
+fn default_anchor_lat() -> f64 {
+    21.35
 }
 
 /// A seeded sampler of [`StormParams`].
@@ -158,10 +168,10 @@ impl TrackEnsemble {
             c.cross_track_mean_km + c.cross_track_sd_km * crate::sampling::standard_normal(rng);
         let tide = uniform(rng, -0.25, 0.45);
 
-        // Anchor: the point where the track crosses latitude 21.35
-        // (the island's latitude band), displaced east-west by the
-        // sampled cross-track offset.
-        let anchor = LatLon::new(21.35, c.base_passing_lon).destination(90.0, offset_km);
+        // Anchor: the point where the track crosses the region's
+        // latitude band, displaced east-west by the sampled
+        // cross-track offset.
+        let anchor = LatLon::new(c.anchor_lat, c.base_passing_lon).destination(90.0, offset_km);
         // Back the start off 260 km along the reverse heading so the
         // storm approaches, passes, and departs within the window.
         let start = anchor.destination((heading + 180.0) % 360.0, 260.0);

@@ -132,6 +132,19 @@ pub const SERVE_IDLE_CLOSES: &str = "serve.idle_closes";
 pub const FAULTS_ARMED: &str = "faults.armed";
 /// Failpoint firings: armed faults actually injected at their site.
 pub const FAULTS_FIRED: &str = "faults.fired";
+/// Regions prepared in the active portfolio (one per region per
+/// pipeline build).
+pub const PORTFOLIO_REGIONS: &str = "portfolio.regions";
+/// Candidate points scanned by spatial-index range queries (bucket
+/// superset, before the exact distance filter).
+pub const SPATIAL_CANDIDATES: &str = "spatial.candidates";
+/// Points returned by spatial-index range queries (after the exact
+/// distance filter).
+pub const SPATIAL_HITS: &str = "spatial.hits";
+/// Spatial-index range queries issued (one per `within_km` call), so
+/// `spatial.candidates / spatial.queries` is the mean scan width — the
+/// number a brute-force scan would pin at the indexed point count.
+pub const SPATIAL_QUERIES: &str = "spatial.queries";
 /// Effective worker-thread count of the last pipeline build (gauge).
 pub const BUILD_THREADS: &str = "build.threads";
 /// Histogram: time steps per shallow-water solve.
@@ -229,6 +242,10 @@ pub fn register_defaults(registry: &crate::Registry) {
         SERVE_IDLE_CLOSES,
         FAULTS_ARMED,
         FAULTS_FIRED,
+        PORTFOLIO_REGIONS,
+        SPATIAL_CANDIDATES,
+        SPATIAL_HITS,
+        SPATIAL_QUERIES,
     ] {
         registry.counter(name);
     }
@@ -251,7 +268,10 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 54);
+        assert_eq!(snap.counters.len(), 58);
+        assert_eq!(snap.counter(PORTFOLIO_REGIONS), Some(0));
+        assert_eq!(snap.counter(SPATIAL_CANDIDATES), Some(0));
+        assert_eq!(snap.counter(SPATIAL_HITS), Some(0));
         assert_eq!(snap.counter(SERVE_KEEPALIVE_REUSES), Some(0));
         assert_eq!(snap.counter(STORE_REMOTE_POOL_HITS), Some(0));
         assert_eq!(snap.counter(STORE_REMOTE_PERMANENT), Some(0));

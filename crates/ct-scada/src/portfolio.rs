@@ -1,0 +1,707 @@
+//! Multi-region asset portfolios.
+//!
+//! The pipeline's region abstraction: a [`RegionSpec`] names either
+//! the paper's Oahu case study or a seeded synthetic portfolio of N
+//! island regions, each with its own terrain, topology, and control
+//! [`SiteRoles`]. The synthetic generator is fully deterministic —
+//! every coordinate derives from counter-based hashes of the seed, so
+//! the same spec always produces the same portfolio regardless of
+//! thread count or platform.
+//!
+//! The CLI grammar follows the `HazardSpec` pattern:
+//! `--region oahu` or `--region synth:<seed>:<regions>:<assets>`
+//! (`assets` is the portfolio total, split evenly across regions).
+
+use crate::architecture::{Architecture, SitePlan};
+use crate::asset::{Asset, AssetKind};
+use crate::error::ScadaError;
+use crate::oahu::{self, SiteChoice};
+use crate::topology::Topology;
+use ct_geo::region::{CoastSector, RegionTerrainSpec, RidgeSpec, SectorRule};
+use ct_geo::terrain::{oahu_region_spec, OahuTerrainConfig};
+use ct_geo::{Dem, EnuKm, LatLon};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum regions a synthetic portfolio may request.
+pub const MAX_REGIONS: usize = 64;
+/// Minimum assets per region (1 control center, 1 data center, 2
+/// plants — the control-role floor).
+pub const MIN_ASSETS_PER_REGION: usize = 4;
+/// Maximum total assets a synthetic portfolio may request.
+pub const MAX_ASSETS: usize = 100_000;
+
+/// Which regions and assets the pipeline studies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionSpec {
+    /// The paper's Oahu case study: real topology, named sites.
+    #[default]
+    Oahu,
+    /// A seeded synthetic portfolio: `regions` islands holding
+    /// `assets` power assets in total.
+    Synth {
+        /// Generator seed; the whole portfolio derives from it.
+        seed: u64,
+        /// Number of regions.
+        regions: usize,
+        /// Total asset count across all regions.
+        assets: usize,
+    },
+}
+
+impl RegionSpec {
+    /// Number of regions in the portfolio.
+    pub fn region_count(&self) -> usize {
+        match self {
+            RegionSpec::Oahu => 1,
+            RegionSpec::Synth { regions, .. } => *regions,
+        }
+    }
+
+    /// Total asset count (the Oahu topology's fixed size, or the
+    /// requested synthetic total).
+    pub fn total_assets(&self) -> usize {
+        match self {
+            RegionSpec::Oahu => oahu::topology().assets().len(),
+            RegionSpec::Synth { assets, .. } => *assets,
+        }
+    }
+
+    /// Whether this is a generated portfolio (vs the Oahu preset).
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self, RegionSpec::Synth { .. })
+    }
+
+    /// Asset count assigned to one region (totals are split evenly,
+    /// earlier regions absorbing the remainder).
+    pub fn region_assets(&self, index: usize) -> usize {
+        match self {
+            RegionSpec::Oahu => oahu::topology().assets().len(),
+            RegionSpec::Synth {
+                regions, assets, ..
+            } => assets / regions + usize::from(index < assets % regions),
+        }
+    }
+
+    /// Terrain specs for every region, in region order. The Oahu
+    /// preset uses `oahu_config`; synthetic regions ignore it.
+    pub fn terrain_specs(&self, oahu_config: &OahuTerrainConfig) -> Vec<RegionTerrainSpec> {
+        match self {
+            RegionSpec::Oahu => vec![oahu_region_spec(oahu_config)],
+            RegionSpec::Synth { seed, regions, .. } => (0..*regions)
+                .map(|r| synth_terrain_spec(*seed, r))
+                .collect(),
+        }
+    }
+
+    /// Builds region `index`'s topology and control roles against its
+    /// synthesized DEM.
+    ///
+    /// # Errors
+    ///
+    /// [`ScadaError::Placement`] when a synthetic region cannot place
+    /// an asset on land (does not occur for the generator's own
+    /// terrain); duplicate-id errors cannot occur by construction.
+    pub fn region_def(&self, index: usize, dem: &Dem) -> Result<RegionDef, ScadaError> {
+        match self {
+            RegionSpec::Oahu => Ok(RegionDef {
+                index: 0,
+                name: "oahu".to_string(),
+                topology: oahu::topology(),
+                roles: oahu_roles(),
+            }),
+            RegionSpec::Synth {
+                seed,
+                regions,
+                assets,
+            } => synth_region_def(*seed, *regions, *assets, index, dem),
+        }
+    }
+}
+
+impl fmt::Display for RegionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionSpec::Oahu => f.write_str("oahu"),
+            RegionSpec::Synth {
+                seed,
+                regions,
+                assets,
+            } => write!(f, "synth:{seed}:{regions}:{assets}"),
+        }
+    }
+}
+
+/// A region string did not match the `--region` grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegionSpecError {
+    /// The rejected input.
+    pub input: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseRegionSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid region '{}': {} (expected oahu or synth:<seed>:<regions>:<assets>)",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseRegionSpecError {}
+
+impl FromStr for RegionSpec {
+    type Err = ParseRegionSpecError;
+
+    /// Parses `oahu` or `synth:<seed>:<regions>:<assets>`
+    /// (case-insensitive keyword, decimal numbers).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &str| ParseRegionSpecError {
+            input: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let lower = s.to_ascii_lowercase();
+        if lower == "oahu" {
+            return Ok(RegionSpec::Oahu);
+        }
+        let Some(rest) = lower.strip_prefix("synth:") else {
+            return Err(err("unknown region keyword"));
+        };
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 3 {
+            return Err(err("need exactly seed, regions, and assets"));
+        }
+        let seed: u64 = parts[0].parse().map_err(|_| err("seed must be a u64"))?;
+        let regions: usize = parts[1]
+            .parse()
+            .map_err(|_| err("regions must be a positive integer"))?;
+        let assets: usize = parts[2]
+            .parse()
+            .map_err(|_| err("assets must be a positive integer"))?;
+        if regions == 0 || regions > MAX_REGIONS {
+            return Err(err(&format!("regions must be 1..={MAX_REGIONS}")));
+        }
+        if assets < MIN_ASSETS_PER_REGION * regions {
+            return Err(err(&format!(
+                "need at least {MIN_ASSETS_PER_REGION} assets per region"
+            )));
+        }
+        if assets > MAX_ASSETS {
+            return Err(err(&format!("assets must be <= {MAX_ASSETS}")));
+        }
+        Ok(RegionSpec::Synth {
+            seed,
+            regions,
+            assets,
+        })
+    }
+}
+
+/// The control-siting roles of a region's topology: which asset is the
+/// primary control center, which plants serve as the central
+/// (connectivity-driven) and remote (hazard-aware) backup choices, and
+/// which data center hosts third-site replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteRoles {
+    /// Primary control-center asset id.
+    pub primary: String,
+    /// Central backup (the paper's Waiau-style choice).
+    pub central_backup: String,
+    /// Remote backup (the paper's Kahe-style choice).
+    pub remote_backup: String,
+    /// Data-center asset id for three-site architectures.
+    pub data_center: String,
+}
+
+impl SiteRoles {
+    /// The backup asset id a site choice maps to in this region.
+    pub fn backup_for(&self, choice: SiteChoice) -> &str {
+        match choice {
+            SiteChoice::Waiau => &self.central_backup,
+            SiteChoice::Kahe => &self.remote_backup,
+        }
+    }
+}
+
+/// The Oahu topology's roles: exactly the paper's named sites, so
+/// [`site_plan_for`] reproduces [`oahu::site_plan`] for the preset.
+pub fn oahu_roles() -> SiteRoles {
+    SiteRoles {
+        primary: oahu::HONOLULU_CC.to_string(),
+        central_backup: oahu::WAIAU.to_string(),
+        remote_backup: oahu::KAHE.to_string(),
+        data_center: oahu::DRFORTRESS.to_string(),
+    }
+}
+
+/// Region-generic analogue of [`oahu::site_plan`]: primary control
+/// center; the chosen backup for two-site architectures; plus the data
+/// center for three-site architectures.
+///
+/// # Errors
+///
+/// Propagates site-plan validation errors (unknown ids, non-hosting
+/// kinds) — cannot occur for generated or built-in topologies.
+pub fn site_plan_for(
+    topology: &Topology,
+    roles: &SiteRoles,
+    architecture: Architecture,
+    choice: SiteChoice,
+) -> Result<SitePlan, ScadaError> {
+    let ids: Vec<String> = match architecture.site_count() {
+        1 => vec![roles.primary.clone()],
+        2 => vec![roles.primary.clone(), roles.backup_for(choice).to_string()],
+        _ => vec![
+            roles.primary.clone(),
+            roles.backup_for(choice).to_string(),
+            roles.data_center.clone(),
+        ],
+    };
+    SitePlan::new(architecture, topology, ids)
+}
+
+/// One fully-built region: its topology and control roles. (The DEM
+/// lives with the caller, which synthesized it from the terrain spec.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionDef {
+    /// Region index within the portfolio.
+    pub index: usize,
+    /// Region name (matches its terrain spec).
+    pub name: String,
+    /// The region's power-asset topology.
+    pub topology: Topology,
+    /// Control-siting roles within the topology.
+    pub roles: SiteRoles,
+}
+
+/// A stable 64-bit digest of a topology: name, asset order, ids,
+/// kinds, and exact coordinates. Used by determinism tests and the
+/// artifact-key region digest.
+pub fn topology_digest(topology: &Topology) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(topology.name());
+    for a in topology.assets() {
+        h.write_str(&a.id);
+        h.write_u64(match a.kind {
+            AssetKind::ControlCenter => 0,
+            AssetKind::DataCenter => 1,
+            AssetKind::PowerPlant => 2,
+            AssetKind::Substation => 3,
+        });
+        h.write_u64(a.pos.lat.to_bits());
+        h.write_u64(a.pos.lon.to_bits());
+    }
+    h.finish()
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// splitmix64 finalizer: the counter-based hash all synthetic
+/// coordinates derive from.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash of (seed, region, stream) — one independent value per use
+/// site, no sequential RNG state.
+fn h3(seed: u64, region: u64, stream: u64) -> u64 {
+    mix(seed ^ mix(region ^ mix(stream)))
+}
+
+/// Uniform draw in [0, 1) from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Deterministic island terrain for synthetic region `r`.
+fn synth_terrain_spec(seed: u64, r: usize) -> RegionTerrainSpec {
+    let hr = |stream: u64| h3(seed, r as u64, stream);
+    // Regions sit on a lat/lon grid in the north-east Pacific band,
+    // well away from the antimeridian (spatial-index contract).
+    let lat = 14.0 + ((r / 8) % 5) as f64 * 8.0 + 2.0 * unit(hr(1));
+    let lon = -172.0 + (r % 8) as f64 * 16.0 + 3.0 * unit(hr(2));
+    let origin = LatLon::new(lat, lon);
+
+    let n_verts = 10 + (hr(3) % 3) as usize;
+    let base_radius = 14.0 + 6.0 * unit(hr(4));
+    let outline = (0..n_verts)
+        .map(|i| {
+            let bearing = i as f64 / n_verts as f64 * 360.0;
+            let radius = base_radius * (0.70 + 0.45 * unit(hr(100 + i as u64)));
+            origin.destination(bearing, radius)
+        })
+        .collect();
+
+    let ridge_angle = 360.0 * unit(hr(5));
+    let ridge = RidgeSpec {
+        a: origin.destination(ridge_angle, 0.45 * base_radius),
+        b: origin.destination(ridge_angle + 180.0, 0.45 * base_radius),
+        height_m: 350.0 + 600.0 * unit(hr(6)),
+        width_km: 2.5 + 2.0 * unit(hr(7)),
+    };
+
+    let sectors = (0..4)
+        .map(|k| CoastSector {
+            terrain_slope_m_per_km: 1.0 + 7.0 * unit(hr(10 + k)),
+            shelf_slope_m_per_km: 10.0 + 50.0 * unit(hr(20 + k)),
+        })
+        .collect();
+    // Quadrants of the nearest shoreline point: SW, NW, SE, NE.
+    let sector_rules = vec![
+        SectorRule {
+            max_east: Some(0.0),
+            max_north: Some(0.0),
+            min_north: None,
+            sector: 0,
+        },
+        SectorRule {
+            max_east: Some(0.0),
+            max_north: None,
+            min_north: None,
+            sector: 1,
+        },
+        SectorRule {
+            max_east: None,
+            max_north: Some(0.0),
+            min_north: None,
+            sector: 2,
+        },
+    ];
+
+    RegionTerrainSpec {
+        name: format!("synth{seed:x}-r{r}"),
+        origin,
+        outline,
+        inland_waters: Vec::new(),
+        ridges: vec![ridge],
+        sectors,
+        sector_rules,
+        fallback_sector: 3,
+        domain_origin: EnuKm::new(-35.0, -35.0),
+        extent_km: (70.0, 70.0),
+        seed: hr(8),
+        cell_km: 1.0,
+        noise_amp_m: 0.6,
+    }
+}
+
+/// Placement rule for one asset kind: preferred siting, relaxed to
+/// "any land" when the preference cannot be met.
+fn placement_ok(kind: AssetKind, dem: &Dem, pos: LatLon) -> bool {
+    match kind {
+        // Control centers sit in coastal population centres.
+        AssetKind::ControlCenter => dem.distance_to_shore_km(pos).is_ok_and(|d| d <= 8.0),
+        // Data centers prefer elevated ground (flood hardening).
+        AssetKind::DataCenter => dem.elevation_at(pos).is_ok_and(|e| e >= 3.0),
+        // Plants need cooling water: close to shore.
+        AssetKind::PowerPlant => dem.distance_to_shore_km(pos).is_ok_and(|d| d <= 3.0),
+        AssetKind::Substation => true,
+    }
+}
+
+/// Rejection-samples a land position for asset `slot` of region `r`.
+/// Counter-based: attempt `k` of slot `s` always draws the same
+/// candidate, so placement is order- and thread-independent.
+fn sample_position(
+    seed: u64,
+    r: usize,
+    slot: usize,
+    kind: AssetKind,
+    dem: &Dem,
+) -> Result<LatLon, ScadaError> {
+    const STRICT_ATTEMPTS: u64 = 120;
+    const MAX_ATTEMPTS: u64 = 240;
+    for attempt in 0..MAX_ATTEMPTS {
+        let ha = h3(seed, r as u64, 0x5107 ^ ((slot as u64) << 16) ^ attempt);
+        let hb = mix(ha ^ 0x9E37_79B9_7F4A_7C15);
+        let east = -33.0 + 66.0 * unit(ha);
+        let north = -33.0 + 66.0 * unit(hb);
+        let pos = dem.projection().to_latlon(EnuKm::new(east, north));
+        if !dem.is_land(pos) {
+            continue;
+        }
+        if attempt < STRICT_ATTEMPTS && !placement_ok(kind, dem, pos) {
+            continue;
+        }
+        return Ok(pos);
+    }
+    Err(ScadaError::Placement {
+        region: r,
+        what: format!("no land position for {kind} slot {slot}"),
+    })
+}
+
+/// Builds synthetic region `index`: 1 control center, then data
+/// centers, plants, and substations, with roles derived from plant
+/// distances to the control center.
+fn synth_region_def(
+    seed: u64,
+    regions: usize,
+    assets: usize,
+    index: usize,
+    dem: &Dem,
+) -> Result<RegionDef, ScadaError> {
+    let n = assets / regions + usize::from(index < assets % regions);
+    let n = n.max(MIN_ASSETS_PER_REGION);
+    let data_centers = (n / 20).max(1);
+    let plants = (n / 10).max(2);
+    let substations = n - 1 - data_centers - plants;
+    let name = format!("synth{seed:x}-r{index}");
+
+    let mut builder = Topology::builder(name.clone());
+    let mut slot = 0usize;
+    let mut place = |kind: AssetKind, id: String, label: String| {
+        let pos = sample_position(seed, index, slot, kind, dem)?;
+        slot += 1;
+        Ok::<Asset, ScadaError>(Asset::new(id, label, kind, pos))
+    };
+
+    let cc_id = format!("r{index}-cc");
+    let cc = place(
+        AssetKind::ControlCenter,
+        cc_id.clone(),
+        format!("Region {index} Control Center"),
+    )?;
+    let cc_pos = cc.pos;
+    builder = builder.asset(cc);
+    let mut dc_ids = Vec::new();
+    for j in 0..data_centers {
+        let id = format!("r{index}-dc{j}");
+        dc_ids.push(id.clone());
+        builder = builder.asset(place(
+            AssetKind::DataCenter,
+            id,
+            format!("Region {index} Data Center {j}"),
+        )?);
+    }
+    let mut plant_assets = Vec::new();
+    for j in 0..plants {
+        let a = place(
+            AssetKind::PowerPlant,
+            format!("r{index}-pp{j}"),
+            format!("Region {index} Plant {j}"),
+        )?;
+        plant_assets.push((a.id.clone(), a.pos));
+        builder = builder.asset(a);
+    }
+    for j in 0..substations {
+        builder = builder.asset(place(
+            AssetKind::Substation,
+            format!("r{index}-sub{j}"),
+            format!("Region {index} Substation {j}"),
+        )?);
+    }
+    let topology = builder.build()?;
+
+    // Roles mirror the paper's siting logic: the central backup is the
+    // plant nearest the control center (Waiau-style, flood-correlated);
+    // the remote backup is the farthest plant (Kahe-style).
+    let dist = |p: LatLon| p.distance_km(cc_pos);
+    let central = plant_assets
+        .iter()
+        .enumerate()
+        .min_by(|a, b| dist(a.1 .1).total_cmp(&dist(b.1 .1)))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let remote = plant_assets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != central)
+        .max_by(|a, b| dist(a.1 .1).total_cmp(&dist(b.1 .1)))
+        .map(|(i, _)| i)
+        .unwrap_or(central);
+
+    Ok(RegionDef {
+        index,
+        name,
+        topology,
+        roles: SiteRoles {
+            primary: cc_id,
+            central_backup: plant_assets[central].0.clone(),
+            remote_backup: plant_assets[remote].0.clone(),
+            data_center: dc_ids[0].clone(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_geo::region::synthesize_region;
+
+    fn synth_spec() -> RegionSpec {
+        RegionSpec::Synth {
+            seed: 7,
+            regions: 3,
+            assets: 30,
+        }
+    }
+
+    fn build_region(spec: &RegionSpec, index: usize) -> (Dem, RegionDef) {
+        let terrain = &spec.terrain_specs(&OahuTerrainConfig::default())[index];
+        let dem = synthesize_region(terrain).expect("valid synthetic terrain");
+        let def = spec.region_def(index, &dem).expect("placement succeeds");
+        (dem, def)
+    }
+
+    #[test]
+    fn grammar_round_trips() {
+        for s in ["oahu", "synth:7:3:30", "synth:18446744073709551615:64:2000"] {
+            let spec: RegionSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+            let again: RegionSpec = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec);
+        }
+        assert_eq!("OAHU".parse::<RegionSpec>().unwrap(), RegionSpec::Oahu);
+    }
+
+    #[test]
+    fn grammar_rejects_bad_inputs() {
+        for s in [
+            "maui",
+            "synth",
+            "synth:1:2",
+            "synth:1:2:3:4",
+            "synth:x:2:30",
+            "synth:1:0:30",
+            "synth:1:65:2000",
+            "synth:1:3:5",
+            "synth:1:1:200000",
+        ] {
+            let err = s.parse::<RegionSpec>().unwrap_err();
+            assert!(err.to_string().contains(s), "error names input for {s}");
+        }
+    }
+
+    #[test]
+    fn oahu_site_plans_match_the_legacy_builder() {
+        let topo = oahu::topology();
+        let roles = oahu_roles();
+        for arch in Architecture::ALL {
+            for choice in [SiteChoice::Waiau, SiteChoice::Kahe] {
+                let generic = site_plan_for(&topo, &roles, arch, choice).unwrap();
+                let legacy = oahu::site_plan(arch, choice).unwrap();
+                assert_eq!(generic, legacy, "{arch:?} {choice:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn asset_totals_split_across_regions() {
+        let spec = RegionSpec::Synth {
+            seed: 1,
+            regions: 3,
+            assets: 32,
+        };
+        let per: Vec<usize> = (0..3).map(|r| spec.region_assets(r)).collect();
+        assert_eq!(per.iter().sum::<usize>(), 32);
+        assert_eq!(per, vec![11, 11, 10]);
+    }
+
+    #[test]
+    fn synthetic_regions_are_deterministic() {
+        let spec = synth_spec();
+        for index in 0..spec.region_count() {
+            let (_, a) = build_region(&spec, index);
+            let (_, b) = build_region(&spec, index);
+            assert_eq!(a, b);
+            assert_eq!(topology_digest(&a.topology), topology_digest(&b.topology));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synth_spec();
+        let b = RegionSpec::Synth {
+            seed: 8,
+            regions: 3,
+            assets: 30,
+        };
+        let (_, ra) = build_region(&a, 0);
+        let (_, rb) = build_region(&b, 0);
+        assert_ne!(topology_digest(&ra.topology), topology_digest(&rb.topology));
+    }
+
+    #[test]
+    fn regions_have_control_roles_on_land() {
+        let spec = synth_spec();
+        for index in 0..spec.region_count() {
+            let (dem, def) = build_region(&spec, index);
+            assert_eq!(def.topology.assets().len(), spec.region_assets(index));
+            for role in [
+                &def.roles.primary,
+                &def.roles.central_backup,
+                &def.roles.remote_backup,
+                &def.roles.data_center,
+            ] {
+                let asset = def.topology.asset(role).expect("role asset exists");
+                assert!(dem.is_land(asset.pos), "{role} must be on land");
+            }
+            assert_ne!(def.roles.central_backup, def.roles.remote_backup);
+            // Every asset converts to a POI (on land, inside domain).
+            let pois = def.topology.to_pois(&dem).expect("all assets valid POIs");
+            assert_eq!(pois.len(), def.topology.assets().len());
+        }
+    }
+
+    #[test]
+    fn site_plans_build_for_synthetic_regions() {
+        let spec = synth_spec();
+        let (_, def) = build_region(&spec, 0);
+        for arch in Architecture::ALL {
+            for choice in [SiteChoice::Waiau, SiteChoice::Kahe] {
+                let plan = site_plan_for(&def.topology, &def.roles, arch, choice).unwrap();
+                assert_eq!(plan.site_asset_ids().len(), arch.site_count());
+            }
+        }
+    }
+
+    #[test]
+    fn remote_backup_is_farther_than_central() {
+        let spec = RegionSpec::Synth {
+            seed: 3,
+            regions: 1,
+            assets: 40,
+        };
+        let (_, def) = build_region(&spec, 0);
+        let pos = |id: &str| def.topology.asset(id).unwrap().pos;
+        let cc = pos(&def.roles.primary);
+        let central = pos(&def.roles.central_backup).distance_km(cc);
+        let remote = pos(&def.roles.remote_backup).distance_km(cc);
+        assert!(remote >= central, "remote {remote} vs central {central}");
+    }
+}

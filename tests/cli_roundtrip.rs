@@ -8,6 +8,7 @@
 
 use compound_threats::prelude::{HazardSpec, ProbeQuery, StoreUrl};
 use ct_scada::oahu::SiteChoice;
+use ct_scada::RegionSpec;
 use ct_threat::ThreatScenario;
 use proptest::prelude::*;
 use std::path::Path;
@@ -209,8 +210,17 @@ proptest! {
         site in prop::sample::select(SITES.to_vec()),
         hazard in prop::sample::select(HazardSpec::ALL.to_vec()),
         realizations in 1usize..5000,
+        region in (any::<bool>(), 0u64..1000, 1usize..8, 4usize..200).prop_map(
+            |(oahu, seed, regions, assets)| {
+                if oahu {
+                    RegionSpec::Oahu
+                } else {
+                    RegionSpec::Synth { seed, regions, assets: assets.max(regions * 4) }
+                }
+            },
+        ),
     ) {
-        let query = ProbeQuery { scenario, site, hazard, realizations };
+        let query = ProbeQuery { scenario, site, hazard, realizations, region };
         let reparsed: ProbeQuery = query.to_string().parse().unwrap();
         prop_assert_eq!(query, reparsed);
         prop_assert!(query.target().starts_with("/probe?scenario="));
@@ -226,7 +236,10 @@ proptest! {
         ),
     ) {
         let key: String = chars.into_iter().collect();
-        prop_assume!(!matches!(key.as_str(), "scenario" | "site" | "hazard" | "realizations"));
+        prop_assume!(!matches!(
+            key.as_str(),
+            "scenario" | "site" | "hazard" | "realizations" | "region"
+        ));
         let input = format!("scenario=compound&site=waiau&{key}=1");
         let err = input.parse::<ProbeQuery>().unwrap_err();
         prop_assert!(err.contains(&key), "error {:?} should name {:?}", err, key);

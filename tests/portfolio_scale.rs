@@ -1,0 +1,110 @@
+//! The region-generic pipeline at acceptance scale: a 2000-asset,
+//! 8-region synthetic portfolio completes a sharded run + merge that
+//! is bit-identical to a clean single-process build, and the
+//! per-region spatial indexing keeps the mean range-query scan width
+//! far below the portfolio's asset count (counter-asserted, not
+//! eyeballed). Wind hazard throughout: it is the engine whose
+//! footprint→asset mapping rides the `ct_geo::SpatialIndex`.
+
+use compound_threats::prelude::*;
+use ct_scada::RegionSpec;
+
+/// The acceptance portfolio: ≥ 2000 assets across ≥ 8 regions.
+const SPEC: &str = "synth:17:8:2000";
+/// Per-region ensemble size — small, because the contract under test
+/// is structural (sharding, merging, counters), not statistical.
+const REALIZATIONS: usize = 6;
+
+fn config() -> CaseStudyConfig {
+    CaseStudyConfig::builder()
+        .region(SPEC.parse().unwrap())
+        .hazard(HazardSpec::Wind)
+        .realizations(REALIZATIONS)
+        .build()
+        .unwrap()
+}
+
+/// Unique scratch directory for one test, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "ct-portfolio-scale-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        Self(root)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn acceptance_portfolio_shards_merge_and_prune() {
+    let spec: RegionSpec = SPEC.parse().unwrap();
+    assert!(spec.region_count() >= 8);
+    assert!(spec.total_assets() >= 2000);
+
+    let scratch = Scratch::new("accept");
+    let store = Store::open(&scratch.0).unwrap();
+    let config = config();
+
+    let candidates0 = ct_obs::counter(ct_obs::names::SPATIAL_CANDIDATES).get();
+    let queries0 = ct_obs::counter(ct_obs::names::SPATIAL_QUERIES).get();
+
+    // Two shards split the flattened region × realization sequence;
+    // together they must cover it exactly once.
+    let a = run_shard(&config, &store, ShardSpec::new(0, 2).unwrap()).unwrap();
+    let b = run_shard(&config, &store, ShardSpec::new(1, 2).unwrap()).unwrap();
+    let total = spec.region_count() * REALIZATIONS;
+    assert_eq!(a.total + b.total, total);
+    assert_eq!(a.computed + b.computed, total);
+
+    // The merge reads everything back; nothing is recomputed.
+    let merged = CaseStudy::merge_from_store(&config, &store).unwrap();
+    assert_eq!(merged.region_count(), spec.region_count());
+
+    // Bit-identity against a storeless clean build, every region.
+    let clean = CaseStudy::build(&config).unwrap();
+    for r in 0..spec.region_count() {
+        assert_eq!(
+            clean.region(r).realizations(),
+            merged.region(r).realizations(),
+            "region {r} diverged between sharded merge and clean build"
+        );
+    }
+
+    // The counter-asserted spatial claim: evaluation indexed each
+    // region's own assets, so the mean scan width per range query is
+    // bounded by the largest region (~ total/8 + remainder), far
+    // below the portfolio's asset count. A portfolio-wide brute-force
+    // scan would pin the mean at `total_assets` exactly.
+    let candidates = ct_obs::counter(ct_obs::names::SPATIAL_CANDIDATES).get() - candidates0;
+    let queries = ct_obs::counter(ct_obs::names::SPATIAL_QUERIES).get() - queries0;
+    assert!(queries > 0, "wind evaluation must issue spatial queries");
+    let mean_scan = candidates as f64 / queries as f64;
+    let per_region_cap = (spec.total_assets() / spec.region_count() + 1) as f64;
+    assert!(
+        mean_scan <= per_region_cap,
+        "mean scan width {mean_scan:.1} exceeds the per-region cap {per_region_cap}"
+    );
+    assert!(
+        mean_scan * 4.0 < spec.total_assets() as f64,
+        "mean scan width {mean_scan:.1} is not \u{226a} the {} portfolio assets",
+        spec.total_assets()
+    );
+
+    // Every region's outcome profile is reachable from the merged
+    // study and sums to one.
+    let summary = merged.portfolio_summary().unwrap();
+    assert_eq!(
+        summary.lines().count(),
+        1 + spec.region_count() * Architecture::ALL.len()
+    );
+}
