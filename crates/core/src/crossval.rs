@@ -112,6 +112,27 @@ pub fn reachable_states(architecture: Architecture) -> Vec<SystemState> {
     out
 }
 
+/// The distinct worst-case-attacker states for one threat scenario
+/// (one Table I cell): every flood pattern, the scenario's attack
+/// budget. This is the state set `ct check` explores per cell.
+pub fn reachable_states_for(
+    architecture: Architecture,
+    scenario: ct_threat::ThreatScenario,
+) -> Vec<SystemState> {
+    use ct_threat::{Attacker, PostDisasterState, WorstCaseAttacker};
+    let n = architecture.site_count();
+    let mut out: Vec<SystemState> = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let flooded: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        let post = PostDisasterState::new(architecture, flooded);
+        let state = WorstCaseAttacker.attack(architecture, &post, scenario.budget());
+        if !out.contains(&state) {
+            out.push(state);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,7 @@
 pub mod artifact;
 pub mod attacker_power;
 pub mod availability;
+pub mod check;
 pub mod conn;
 pub mod crossval;
 pub mod error;

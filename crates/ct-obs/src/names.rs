@@ -29,10 +29,34 @@ pub const ATTACKER_CANDIDATES_EXAMINED: &str = "attacker.candidates_examined";
 /// Discrete events dispatched by the simulator (deliveries, timers,
 /// faults).
 pub const SIMNET_EVENTS_DISPATCHED: &str = "simnet.events_dispatched";
-/// Messages dropped by crashes or partitions.
+/// Messages dropped by crashes, partitions, or schedule faults.
 pub const SIMNET_MESSAGES_DROPPED: &str = "simnet.messages_dropped";
+/// Timer events swallowed because their node was crashed.
+pub const SIMNET_TIMERS_SUPPRESSED: &str = "simnet.timers_suppressed";
+/// Sends discarded by the randomized schedule tier.
+pub const SIMNET_SCHEDULE_DISCARDS: &str = "simnet.schedule.discards";
+/// Sends delayed by the randomized schedule tier.
+pub const SIMNET_SCHEDULE_DELAYS: &str = "simnet.schedule.delays";
+/// Sends duplicated by the randomized schedule tier.
+pub const SIMNET_SCHEDULE_DUPLICATES: &str = "simnet.schedule.duplicates";
+/// Events executed across all paths of exhaustive explorations.
+pub const SIMNET_EXPLORE_VISITED: &str = "simnet.explore.visited";
+/// Explored subtrees skipped by state-hash deduplication.
+pub const SIMNET_EXPLORE_PRUNED: &str = "simnet.explore.pruned";
+/// Choice points branched on during exhaustive explorations.
+pub const SIMNET_EXPLORE_CHOICE_POINTS: &str = "simnet.explore.choice_points";
+/// Conflicts past the exploration depth bound (heap-order fallback).
+pub const SIMNET_EXPLORE_DEPTH_TRUNCATED: &str = "simnet.explore.depth_truncated";
+/// Terminal states reached by exhaustive explorations.
+pub const SIMNET_EXPLORE_TERMINALS: &str = "simnet.explore.terminals";
 /// Protocol verdict executions.
 pub const REPLICATION_VERDICT_RUNS: &str = "replication.verdict_runs";
+/// Table I cell states model-checked by `ct check`.
+pub const CHECK_STATES_CHECKED: &str = "check.states_checked";
+/// Randomized schedules executed by `ct check` campaigns.
+pub const CHECK_SCHEDULES_RUN: &str = "check.schedules_run";
+/// Property violations found by `ct check`.
+pub const CHECK_VIOLATIONS: &str = "check.violations";
 /// Site plans profiled.
 pub const PROFILE_PLANS_EVALUATED: &str = "profile.plans_evaluated";
 /// Flood-pattern histogram cache hits.
@@ -199,7 +223,19 @@ pub fn register_defaults(registry: &crate::Registry) {
         ATTACKER_CANDIDATES_EXAMINED,
         SIMNET_EVENTS_DISPATCHED,
         SIMNET_MESSAGES_DROPPED,
+        SIMNET_TIMERS_SUPPRESSED,
+        SIMNET_SCHEDULE_DISCARDS,
+        SIMNET_SCHEDULE_DELAYS,
+        SIMNET_SCHEDULE_DUPLICATES,
+        SIMNET_EXPLORE_VISITED,
+        SIMNET_EXPLORE_PRUNED,
+        SIMNET_EXPLORE_CHOICE_POINTS,
+        SIMNET_EXPLORE_DEPTH_TRUNCATED,
+        SIMNET_EXPLORE_TERMINALS,
         REPLICATION_VERDICT_RUNS,
+        CHECK_STATES_CHECKED,
+        CHECK_SCHEDULES_RUN,
+        CHECK_VIOLATIONS,
         PROFILE_PLANS_EVALUATED,
         PROFILE_PATTERN_CACHE_HITS,
         PROFILE_PATTERN_CACHE_MISSES,
@@ -268,7 +304,7 @@ mod tests {
         let reg = crate::Registry::new();
         register_defaults(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters.len(), 58);
+        assert_eq!(snap.counters.len(), 70);
         assert_eq!(snap.counter(PORTFOLIO_REGIONS), Some(0));
         assert_eq!(snap.counter(SPATIAL_CANDIDATES), Some(0));
         assert_eq!(snap.counter(SPATIAL_HITS), Some(0));

@@ -147,6 +147,37 @@ impl Actor for Rtu {
     }
 }
 
+impl ct_simnet::StateHash for Rtu {
+    /// Hashes the request counter, per-request reply tallies and the
+    /// accepted log (request + digest). Send/accept timestamps are
+    /// excluded per the [`StateHash`] convention.
+    ///
+    /// [`StateHash`]: ct_simnet::StateHash
+    fn state_hash(&self, h: &mut ct_store::StableHasher) {
+        h.write_u64(self.id_base);
+        h.write_u64(self.next);
+        h.write_u64(self.bad_accepts);
+        h.write_usize(self.outstanding.len());
+        for (req, o) in &self.outstanding {
+            h.write_u64(*req);
+            h.write_bool(o.accepted);
+            h.write_usize(o.replies.len());
+            for (digest, voters) in &o.replies {
+                h.write_u64(*digest);
+                h.write_usize(voters.len());
+                for v in voters {
+                    h.write_usize(v.0);
+                }
+            }
+        }
+        h.write_usize(self.accepted_log.len());
+        for (_, req, digest) in &self.accepted_log {
+            h.write_u64(*req);
+            h.write_u64(*digest);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

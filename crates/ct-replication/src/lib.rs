@@ -22,11 +22,18 @@
 //! [`ObservedState`] is directly comparable to the paper's
 //! green/orange/red/gray classification — the framework's rule-based
 //! classifier is cross-validated against these executions.
+//!
+//! The [`properties`] module goes beyond single-schedule runs: it
+//! states Table I as executable predicates ([`ReplicationProperty`])
+//! and checks them with bounded exhaustive schedule exploration
+//! ([`explore_scenario`]) and seeded randomized fault campaigns
+//! ([`randomized_campaign`]).
 
 pub mod client;
 pub mod deployment;
 pub mod master;
 pub mod msg;
+pub mod properties;
 pub mod replica;
 pub mod role;
 pub mod verdict;
@@ -37,6 +44,13 @@ pub use deployment::{
 };
 pub use master::Master;
 pub use msg::{correct_digest, fake_request, Digest, ProtocolMsg, ReqId};
+pub use properties::{
+    default_campaign_dist, explore_scenario, randomized_campaign, severity, worse, CampaignOutcome,
+    CampaignViolation, ExploreOutcome, ReplicationProperty,
+};
 pub use replica::Replica;
 pub use role::Role;
-pub use verdict::{run_scenario, FaultScenario, ObservedState, SimVerdict, VerdictConfig};
+pub use verdict::{
+    prepare_run, run_scenario, summarize, FaultScenario, ObservedState, PreparedRun, SimVerdict,
+    VerdictConfig,
+};

@@ -148,6 +148,23 @@ impl Actor for Master {
     }
 }
 
+impl ct_simnet::StateHash for Master {
+    /// Hashes role flags and the reply counter; `last_heard_acting` is
+    /// an absolute timestamp and is excluded per the [`StateHash`]
+    /// convention.
+    ///
+    /// [`StateHash`]: ct_simnet::StateHash
+    fn state_hash(&self, h: &mut ct_store::StableHasher) {
+        h.write_usize(self.index_in_site);
+        h.write_bool(self.byzantine);
+        h.write_bool(self.acting);
+        h.write_bool(self.hot);
+        h.write_bool(self.activation_scheduled);
+        h.write_bool(self.activated);
+        h.write_u64(self.replies_sent);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,67 @@ pub enum ProtocolMsg {
     Heartbeat,
 }
 
+impl ct_simnet::StateHash for ProtocolMsg {
+    fn state_hash(&self, h: &mut ct_store::StableHasher) {
+        match *self {
+            ProtocolMsg::Request { id } => {
+                h.write_u8(0);
+                h.write_u64(id);
+            }
+            ProtocolMsg::Reply { id, digest } => {
+                h.write_u8(1);
+                h.write_u64(id);
+                h.write_u64(digest);
+            }
+            ProtocolMsg::Propose {
+                view,
+                seq,
+                req,
+                digest,
+            } => {
+                h.write_u8(2);
+                h.write_u64(view);
+                h.write_u64(seq);
+                h.write_u64(req);
+                h.write_u64(digest);
+            }
+            ProtocolMsg::Accept {
+                view,
+                seq,
+                req,
+                digest,
+            } => {
+                h.write_u8(3);
+                h.write_u64(view);
+                h.write_u64(seq);
+                h.write_u64(req);
+                h.write_u64(digest);
+            }
+            ProtocolMsg::ViewChange { view } => {
+                h.write_u8(4);
+                h.write_u64(view);
+            }
+            ProtocolMsg::Heartbeat => h.write_u8(5),
+        }
+    }
+}
+
+impl ct_simnet::MsgClass for ProtocolMsg {
+    /// Message classes targetable by [`ct_simnet::ScheduleDist`]:
+    /// `request`, `reply`, `propose`, `accept`, `view_change`,
+    /// `heartbeat`.
+    fn msg_class(&self) -> &'static str {
+        match self {
+            ProtocolMsg::Request { .. } => "request",
+            ProtocolMsg::Reply { .. } => "reply",
+            ProtocolMsg::Propose { .. } => "propose",
+            ProtocolMsg::Accept { .. } => "accept",
+            ProtocolMsg::ViewChange { .. } => "view_change",
+            ProtocolMsg::Heartbeat => "heartbeat",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -513,6 +513,75 @@ impl Actor for Replica {
     }
 }
 
+impl ct_simnet::StateHash for Replica {
+    /// Hashes the protocol-relevant state: role flags, view/sequence
+    /// counters, and every table keyed by request or slot. Absolute
+    /// timestamps (`since`, `last_*`) are excluded per the [`StateHash`]
+    /// convention — under zero-jitter exploration they are determined by
+    /// the delivery history that is already hashed.
+    ///
+    /// [`StateHash`]: ct_simnet::StateHash
+    fn state_hash(&self, h: &mut ct_store::StableHasher) {
+        h.write_usize(self.group_index);
+        h.write_bool(self.byzantine);
+        h.write_bool(self.active);
+        h.write_bool(self.recovering);
+        h.write_bool(self.activation_scheduled);
+        h.write_u64(self.view);
+        h.write_u64(self.next_seq);
+        h.write_usize(self.pending.len());
+        for (req, p) in &self.pending {
+            h.write_u64(*req);
+            h.write_bool(p.client.is_some());
+        }
+        h.write_usize(self.assigned.len());
+        for (req, seq) in &self.assigned {
+            h.write_u64(*req);
+            h.write_u64(*seq);
+        }
+        h.write_usize(self.slots.len());
+        for (&(view, seq), req) in &self.slots {
+            h.write_u64(view);
+            h.write_u64(seq);
+            h.write_u64(*req);
+        }
+        h.write_usize(self.votes.len());
+        for (&(view, seq, req), voters) in &self.votes {
+            h.write_u64(view);
+            h.write_u64(seq);
+            h.write_u64(req);
+            h.write_usize(voters.len());
+            for &voter in voters {
+                h.write_usize(voter);
+            }
+        }
+        h.write_usize(self.my_votes.len());
+        for &(view, seq, req) in &self.my_votes {
+            h.write_u64(view);
+            h.write_u64(seq);
+            h.write_u64(req);
+        }
+        h.write_usize(self.committed_slots.len());
+        for (&(view, seq), req) in &self.committed_slots {
+            h.write_u64(view);
+            h.write_u64(seq);
+            h.write_u64(*req);
+        }
+        h.write_usize(self.committed_reqs.len());
+        for req in self.committed_reqs.keys() {
+            h.write_u64(*req);
+        }
+        h.write_usize(self.vc_votes.len());
+        for (view, voters) in &self.vc_votes {
+            h.write_u64(*view);
+            h.write_usize(voters.len());
+            for &voter in voters {
+                h.write_usize(voter);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

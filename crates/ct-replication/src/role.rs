@@ -4,7 +4,7 @@ use crate::client::Rtu;
 use crate::master::Master;
 use crate::msg::ProtocolMsg;
 use crate::replica::Replica;
-use ct_simnet::{Actor, Ctx, NodeId};
+use ct_simnet::{Actor, Ctx, NodeId, StateHash};
 
 /// A node in a SCADA deployment: a quorum replica, a hot/cold SCADA
 /// master, or a field client.
@@ -85,6 +85,25 @@ impl Actor for Role {
             Role::Replica(r) => r.on_timer(id, ctx),
             Role::Master(m) => m.on_timer(id, ctx),
             Role::Rtu(c) => c.on_timer(id, ctx),
+        }
+    }
+}
+
+impl StateHash for Role {
+    fn state_hash(&self, h: &mut ct_store::StableHasher) {
+        match self {
+            Role::Replica(r) => {
+                h.write_u8(0);
+                r.state_hash(h);
+            }
+            Role::Master(m) => {
+                h.write_u8(1);
+                m.state_hash(h);
+            }
+            Role::Rtu(c) => {
+                h.write_u8(2);
+                c.state_hash(h);
+            }
         }
     }
 }

@@ -105,18 +105,30 @@ pub struct SimVerdict {
     pub slot_conflicts: u64,
 }
 
-/// Runs `spec` under `scenario` and classifies the outcome.
-///
-/// Intrusions are active from the start of the run (the attacker has
-/// compromised the servers before the measurement window); the site
-/// isolation attack lands at [`VerdictConfig::attack_time`]; hurricane
-/// outages exist from t = 0.
-pub fn run_scenario(
+/// A deployment with its scenario faults installed but virtual time
+/// not yet advanced: the common setup shared by single-schedule
+/// verdict runs ([`run_scenario`]), exhaustive exploration, and
+/// randomized campaigns (`crate::properties`).
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    /// The simulation, faults armed, not yet started.
+    pub sim: Sim<Role>,
+    /// Replica/master groups as node-id lists.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Node ids of every RTU.
+    pub clients: Vec<NodeId>,
+    /// The never-attacked field site hosting the RTUs.
+    pub field_site: SiteId,
+}
+
+/// Builds `spec`, installs the scenario's intrusions and hurricane
+/// outages, and arms the isolation attack at
+/// [`VerdictConfig::attack_time`] — everything short of running.
+pub fn prepare_run(
     spec: &DeploymentSpec,
     scenario: &FaultScenario,
     config: &VerdictConfig,
-) -> SimVerdict {
-    ct_obs::add(ct_obs::names::REPLICATION_VERDICT_RUNS, 1);
+) -> PreparedRun {
     let built = build(spec);
     let mut nodes = built.nodes;
     for &(site, idx) in &scenario.intrusions {
@@ -132,29 +144,35 @@ pub fn run_scenario(
         plan = plan.at(config.attack_time, FaultAction::IsolateSite(SiteId(site)));
     }
     sim.apply_fault_plan(&plan);
-    sim.run_until(config.run_duration);
-
-    summarize(&sim, &built.groups, &built.clients, config)
+    PreparedRun {
+        sim,
+        groups: built.groups,
+        clients: built.clients,
+        field_site: SiteId(spec.site_count()),
+    }
 }
 
-fn summarize(
-    sim: &Sim<Role>,
-    groups: &[Vec<NodeId>],
-    clients: &[NodeId],
+/// Runs `spec` under `scenario` and classifies the outcome.
+///
+/// Intrusions are active from the start of the run (the attacker has
+/// compromised the servers before the measurement window); the site
+/// isolation attack lands at [`VerdictConfig::attack_time`]; hurricane
+/// outages exist from t = 0.
+pub fn run_scenario(
+    spec: &DeploymentSpec,
+    scenario: &FaultScenario,
     config: &VerdictConfig,
 ) -> SimVerdict {
-    let rtus: Vec<&crate::client::Rtu> = clients
-        .iter()
-        .map(|&c| sim.node(c).as_rtu().expect("client is an RTU"))
-        .collect();
-    let bad_accepts: u64 = rtus.iter().map(|r| r.bad_accepts).sum();
-    let accepted: u64 = rtus.iter().map(|r| r.accepted_log.len() as u64).sum();
+    ct_obs::add(ct_obs::names::REPLICATION_VERDICT_RUNS, 1);
+    let mut prepared = prepare_run(spec, scenario, config);
+    prepared.sim.run_until(config.run_duration);
+    summarize(&prepared.sim, &prepared.groups, &prepared.clients, config)
+}
 
-    // Safety scan 1: the client accepted forged data.
-    let mut safe = bad_accepts == 0;
-
-    // Safety scan 2: two replicas in the same group committed
-    // different requests in the same slot (divergent state machines).
+/// Counts slots where two replicas in the same group committed
+/// different requests (divergent state machines) — the agreement
+/// property's safety scan, also used per-step by exploration.
+pub fn slot_conflict_count(sim: &Sim<Role>, groups: &[Vec<NodeId>]) -> u64 {
     let mut slot_conflicts = 0u64;
     for group in groups {
         let mut by_slot: BTreeMap<(u64, u64), u64> = BTreeMap::new();
@@ -175,6 +193,32 @@ fn summarize(
             }
         }
     }
+    slot_conflicts
+}
+
+/// Reduces a (fully or partially) executed simulation to a verdict:
+/// safety scans over accepted data and committed slots, plus service
+/// continuity over the RTUs' accept times. Gap and resumption
+/// measures are taken against `config.run_duration`, so summarizing
+/// before that time treats the remainder as silence.
+pub fn summarize(
+    sim: &Sim<Role>,
+    groups: &[Vec<NodeId>],
+    clients: &[NodeId],
+    config: &VerdictConfig,
+) -> SimVerdict {
+    let rtus: Vec<&crate::client::Rtu> = clients
+        .iter()
+        .map(|&c| sim.node(c).as_rtu().expect("client is an RTU"))
+        .collect();
+    let bad_accepts: u64 = rtus.iter().map(|r| r.bad_accepts).sum();
+    let accepted: u64 = rtus.iter().map(|r| r.accepted_log.len() as u64).sum();
+
+    // Safety scan 1: the client accepted forged data.
+    let mut safe = bad_accepts == 0;
+
+    // Safety scan 2: divergent state machines within a group.
+    let slot_conflicts = slot_conflict_count(sim, groups);
     if slot_conflicts > 0 {
         safe = false;
     }

@@ -32,9 +32,16 @@ impl FaultPlan {
     }
 
     /// Adds an action at `at`, keeping the plan sorted by time.
+    ///
+    /// Entries form a total order on `(time, insertion sequence)`:
+    /// equal-time actions are applied in the order they were added to
+    /// the plan. The insert goes through a binary search for the
+    /// upper bound of `at` rather than a whole-vec re-sort, so the
+    /// tie order is structural — not an artifact of sort stability —
+    /// and explorer replays of a plan are schedule-stable.
     pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
-        self.entries.push((at, action));
-        self.entries.sort_by_key(|(t, _)| *t);
+        let pos = self.entries.partition_point(|&(t, _)| t <= at);
+        self.entries.insert(pos, (at, action));
         self
     }
 
@@ -68,6 +75,25 @@ mod tests {
         assert_eq!(times, vec![1.0, 3.0, 5.0]);
         assert_eq!(plan.len(), 3);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn equal_time_entries_keep_insertion_order() {
+        let t = SimTime::from_secs(2.0);
+        let plan = FaultPlan::new()
+            .at(t, FaultAction::IsolateSite(SiteId(0)))
+            .at(SimTime::from_secs(1.0), FaultAction::CrashNode(NodeId(0)))
+            .at(t, FaultAction::HealSite(SiteId(0)))
+            .at(t, FaultAction::IsolateSite(SiteId(1)));
+        assert_eq!(
+            plan.entries(),
+            &[
+                (SimTime::from_secs(1.0), FaultAction::CrashNode(NodeId(0))),
+                (t, FaultAction::IsolateSite(SiteId(0))),
+                (t, FaultAction::HealSite(SiteId(0))),
+                (t, FaultAction::IsolateSite(SiteId(1))),
+            ]
+        );
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! lets the compound-threat framework cross-validate its rule-based
 //! operational-state classifier against actual protocol executions.
 //!
+//! Beyond single-schedule replay, the [`explore`] module turns the
+//! kernel into a bounded model checker: [`Explorer`] enumerates every
+//! ordering of near-simultaneous conflicting events up to a depth
+//! bound (with state-hash deduplication), and [`ScheduleDist`] drives
+//! seeded randomized campaigns of per-message-class discard / delay /
+//! duplicate faults for the schedules past the exhaustive horizon.
+//!
 //! # Example
 //!
 //! ```
@@ -41,12 +48,17 @@
 //! ```
 
 pub mod actor;
+pub mod explore;
 pub mod fault;
 pub mod net;
 pub mod sim;
 pub mod time;
 
 pub use actor::{Actor, CommandBuffer, Ctx, NodeId, SiteId};
+pub use explore::{
+    ClassFaults, ExploreConfig, ExploreReport, ExploreStats, ExploreViolation, Explorer, MsgClass,
+    ScheduleDist, StateHash,
+};
 pub use fault::{FaultAction, FaultPlan};
 pub use net::NetConfig;
 pub use sim::{Sim, SimStats};

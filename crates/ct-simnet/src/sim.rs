@@ -1,17 +1,18 @@
 //! The discrete-event kernel.
 
 use crate::actor::{Actor, Command, Ctx, NodeId, SiteId};
+use crate::explore::{MsgClass, ScheduleDist};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::net::{NetConfig, NetState};
 use crate::time::SimTime;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// What an event does when it fires.
 #[derive(Debug, Clone)]
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, id: u64 },
     Fault(FaultAction),
@@ -20,9 +21,9 @@ enum EventKind<M> {
 /// A scheduled event; ordered by `(time, seq)` so execution is total
 /// and deterministic.
 #[derive(Debug, Clone)]
-struct Event<M> {
-    at: SimTime,
-    kind: EventKind<M>,
+pub(crate) struct Event<M> {
+    pub(crate) at: SimTime,
+    pub(crate) kind: EventKind<M>,
 }
 
 /// Key used for heap ordering.
@@ -34,18 +35,84 @@ struct EventKey(SimTime, u64);
 pub struct SimStats {
     /// Messages handed to `on_message`.
     pub delivered: u64,
-    /// Messages dropped by crashes or partitions.
+    /// Messages dropped by crashes, partitions, or schedule faults.
     pub dropped: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Timer events swallowed because their node was crashed.
+    pub timers_suppressed: u64,
     /// Fault actions applied.
     pub faults_applied: u64,
+    /// Sends discarded by the randomized schedule tier.
+    pub schedule_discards: u64,
+    /// Sends delayed by the randomized schedule tier.
+    pub schedule_delays: u64,
+    /// Sends duplicated by the randomized schedule tier.
+    pub schedule_duplicates: u64,
+}
+
+/// Randomized-schedule state: the distribution, its own RNG stream
+/// (separate from the latency stream so enabling schedule faults
+/// never perturbs latency draws), and the message classifier.
+struct ScheduleState<M> {
+    dist: ScheduleDist,
+    rng: StdRng,
+    classify: fn(&M) -> &'static str,
+}
+
+impl<M> std::fmt::Debug for ScheduleState<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleState")
+            .field("dist", &self.dist)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Clone for ScheduleState<M> {
+    fn clone(&self) -> Self {
+        Self {
+            dist: self.dist.clone(),
+            rng: self.rng.clone(),
+            classify: self.classify,
+        }
+    }
+}
+
+impl<M> ScheduleState<M> {
+    /// One decision per send; first matching fault wins. The draw
+    /// order (discard, then delay, then duplicate) is part of the
+    /// replayable-schedule contract.
+    fn decide(&mut self, msg: &M) -> ScheduleDecision {
+        let faults = self.dist.faults_for((self.classify)(msg));
+        if faults.discard > 0.0 && self.rng.random_range(0.0..1.0f64) < faults.discard {
+            return ScheduleDecision::Discard;
+        }
+        if faults.delay > 0.0 && self.rng.random_range(0.0..1.0f64) < faults.delay {
+            let frac: f64 = self.rng.random_range(0.0..1.0);
+            return ScheduleDecision::Delay(SimTime(
+                (faults.delay_by.as_micros() as f64 * frac) as u64,
+            ));
+        }
+        if faults.duplicate > 0.0 && self.rng.random_range(0.0..1.0f64) < faults.duplicate {
+            return ScheduleDecision::Duplicate;
+        }
+        ScheduleDecision::Pass
+    }
+}
+
+enum ScheduleDecision {
+    Pass,
+    Discard,
+    Delay(SimTime),
+    Duplicate,
 }
 
 /// The deterministic discrete-event simulator.
 ///
 /// Owns the actors, the event queue, and the network state. Use
-/// [`Sim::run_until`] to advance virtual time.
+/// [`Sim::run_until`] to advance virtual time. Cloning a `Sim`
+/// snapshots the whole world (actors, queue, network, RNG), which is
+/// how [`crate::explore::Explorer`] branches at choice points.
 #[derive(Debug)]
 pub struct Sim<A: Actor> {
     nodes: Vec<A>,
@@ -57,6 +124,24 @@ pub struct Sim<A: Actor> {
     rng: StdRng,
     stats: SimStats,
     started: bool,
+    schedule: Option<ScheduleState<A::Msg>>,
+}
+
+impl<A: Actor + Clone> Clone for Sim<A> {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            net: self.net.clone(),
+            queue: self.queue.clone(),
+            events: self.events.clone(),
+            now: self.now,
+            seq: self.seq,
+            rng: self.rng.clone(),
+            stats: self.stats,
+            started: self.started,
+            schedule: self.schedule.clone(),
+        }
+    }
 }
 
 impl<A: Actor> Sim<A> {
@@ -83,7 +168,31 @@ impl<A: Actor> Sim<A> {
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
             started: false,
+            schedule: None,
         }
+    }
+
+    /// Enables the randomized schedule tier: every subsequent send is
+    /// rolled against `dist` (per-message-class discard / delay /
+    /// duplicate probabilities) using a dedicated RNG seeded from
+    /// `dist.seed`. The latency RNG stream is untouched, so the same
+    /// `dist` seed always yields the same perturbed schedule.
+    pub fn set_schedule_dist(&mut self, dist: ScheduleDist)
+    where
+        A::Msg: MsgClass,
+    {
+        self.schedule = Some(ScheduleState {
+            rng: StdRng::seed_from_u64(dist.seed),
+            classify: <A::Msg as MsgClass>::msg_class,
+            dist,
+        });
+    }
+
+    /// Overrides the network's latency jitter fraction. Exploration
+    /// sets this to zero so event times are a pure function of the
+    /// topology and state hashes of converging schedules dedup.
+    pub fn set_jitter(&mut self, frac: f64) {
+        self.net.config.jitter_frac = frac;
     }
 
     /// Schedules every action in `plan`.
@@ -170,23 +279,50 @@ impl<A: Actor> Sim<A> {
         for cmd in commands {
             match cmd {
                 Command::Send { to, msg } => {
-                    if to.0 >= self.nodes.len() || !self.net.deliverable(origin, to) {
+                    if to.0 >= self.nodes.len() {
                         self.stats.dropped += 1;
                         continue;
                     }
-                    let latency = if to == origin {
-                        SimTime::from_millis(0.05)
-                    } else {
-                        self.net.latency(origin, to, &mut self.rng)
-                    };
-                    self.push_event(
-                        self.now + latency,
-                        EventKind::Deliver {
-                            from: origin,
-                            to,
-                            msg,
-                        },
-                    );
+                    // Deliverability is judged once, at delivery time
+                    // (see `execute_event`): a send issued during a
+                    // brief isolation still arrives if the partition
+                    // heals before the latency window elapses, and
+                    // each logical drop is counted exactly once.
+                    let mut copies = 1u32;
+                    let mut extra = SimTime::ZERO;
+                    if let Some(sched) = self.schedule.as_mut() {
+                        match sched.decide(&msg) {
+                            ScheduleDecision::Pass => {}
+                            ScheduleDecision::Discard => {
+                                self.stats.schedule_discards += 1;
+                                self.stats.dropped += 1;
+                                continue;
+                            }
+                            ScheduleDecision::Delay(by) => {
+                                self.stats.schedule_delays += 1;
+                                extra = by;
+                            }
+                            ScheduleDecision::Duplicate => {
+                                self.stats.schedule_duplicates += 1;
+                                copies = 2;
+                            }
+                        }
+                    }
+                    for _ in 0..copies {
+                        let latency = if to == origin {
+                            SimTime::from_millis(0.05)
+                        } else {
+                            self.net.latency(origin, to, &mut self.rng)
+                        };
+                        self.push_event(
+                            self.now + latency + extra,
+                            EventKind::Deliver {
+                                from: origin,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                 }
                 Command::Timer { delay, id } => {
                     self.push_event(self.now + delay, EventKind::Timer { node: origin, id });
@@ -218,6 +354,73 @@ impl<A: Actor> Sim<A> {
         }
     }
 
+    /// Executes one event against the current world state. Time is
+    /// advanced monotonically (`max(now, event.at)`) so the explorer
+    /// may run near-simultaneous events out of heap order — the
+    /// reordering models latency jitter without consuming RNG draws.
+    pub(crate) fn execute_event(&mut self, event: Event<A::Msg>) {
+        self.now = self.now.max(event.at);
+        match event.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if !self.net.deliverable(from, to) {
+                    // Crash or partition while in flight.
+                    self.stats.dropped += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                let mut commands = Vec::new();
+                {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        self_id: to,
+                        commands: &mut commands,
+                    };
+                    self.nodes[to.0].on_message(from, msg, &mut ctx);
+                }
+                self.dispatch_commands(to, commands);
+            }
+            EventKind::Timer { node, id } => {
+                if self.net.crashed_nodes.contains(&node) {
+                    // A crashed node's pending timers do not fire,
+                    // but they are accounted for rather than
+                    // silently vanishing.
+                    self.stats.timers_suppressed += 1;
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                let mut commands = Vec::new();
+                {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        self_id: node,
+                        commands: &mut commands,
+                    };
+                    self.nodes[node.0].on_timer(id, &mut ctx);
+                }
+                self.dispatch_commands(node, commands);
+            }
+            EventKind::Fault(action) => {
+                self.stats.faults_applied += 1;
+                match action {
+                    FaultAction::CrashNode(n) => {
+                        self.net.crashed_nodes.insert(n);
+                    }
+                    FaultAction::CrashSite(s) => {
+                        for n in self.net.config.nodes_in_site(s) {
+                            self.net.crashed_nodes.insert(n);
+                        }
+                    }
+                    FaultAction::IsolateSite(s) => {
+                        self.net.isolated_sites.insert(s);
+                    }
+                    FaultAction::HealSite(s) => {
+                        self.net.isolated_sites.remove(&s);
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs until the queue is exhausted or virtual time reaches
     /// `deadline`, whichever comes first. Returns the stats.
     pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
@@ -231,62 +434,7 @@ impl<A: Actor> Sim<A> {
             let Some(event) = self.events[idx].take() else {
                 continue;
             };
-            self.now = event.at;
-            match event.kind {
-                EventKind::Deliver { from, to, msg } => {
-                    if !self.net.deliverable(from, to) {
-                        // State changed since the send (crash mid-flight).
-                        self.stats.dropped += 1;
-                        continue;
-                    }
-                    self.stats.delivered += 1;
-                    let mut commands = Vec::new();
-                    {
-                        let mut ctx = Ctx {
-                            now: self.now,
-                            self_id: to,
-                            commands: &mut commands,
-                        };
-                        self.nodes[to.0].on_message(from, msg, &mut ctx);
-                    }
-                    self.dispatch_commands(to, commands);
-                }
-                EventKind::Timer { node, id } => {
-                    if self.net.crashed_nodes.contains(&node) {
-                        continue;
-                    }
-                    self.stats.timers_fired += 1;
-                    let mut commands = Vec::new();
-                    {
-                        let mut ctx = Ctx {
-                            now: self.now,
-                            self_id: node,
-                            commands: &mut commands,
-                        };
-                        self.nodes[node.0].on_timer(id, &mut ctx);
-                    }
-                    self.dispatch_commands(node, commands);
-                }
-                EventKind::Fault(action) => {
-                    self.stats.faults_applied += 1;
-                    match action {
-                        FaultAction::CrashNode(n) => {
-                            self.net.crashed_nodes.insert(n);
-                        }
-                        FaultAction::CrashSite(s) => {
-                            for n in self.net.config.nodes_in_site(s) {
-                                self.net.crashed_nodes.insert(n);
-                            }
-                        }
-                        FaultAction::IsolateSite(s) => {
-                            self.net.isolated_sites.insert(s);
-                        }
-                        FaultAction::HealSite(s) => {
-                            self.net.isolated_sites.remove(&s);
-                        }
-                    }
-                }
-            }
+            self.execute_event(event);
         }
         // Stats are cumulative across run_until calls; report only
         // this call's work to the observability layer.
@@ -300,7 +448,97 @@ impl<A: Actor> Sim<A> {
             ct_obs::names::SIMNET_MESSAGES_DROPPED,
             self.stats.dropped - entry_stats.dropped,
         );
+        ct_obs::add(
+            ct_obs::names::SIMNET_TIMERS_SUPPRESSED,
+            self.stats.timers_suppressed - entry_stats.timers_suppressed,
+        );
+        ct_obs::add(
+            ct_obs::names::SIMNET_SCHEDULE_DISCARDS,
+            self.stats.schedule_discards - entry_stats.schedule_discards,
+        );
+        ct_obs::add(
+            ct_obs::names::SIMNET_SCHEDULE_DELAYS,
+            self.stats.schedule_delays - entry_stats.schedule_delays,
+        );
+        ct_obs::add(
+            ct_obs::names::SIMNET_SCHEDULE_DUPLICATES,
+            self.stats.schedule_duplicates - entry_stats.schedule_duplicates,
+        );
         self.stats
+    }
+
+    // ---- crate-internal surface for the explorer -------------------
+
+    /// Runs every actor's `on_start` if that has not happened yet.
+    pub(crate) fn start_now(&mut self) {
+        self.start_if_needed();
+    }
+
+    /// The earliest live pending events: all events within `window`
+    /// of the earliest one, capped at `cap`, ignoring events past
+    /// `horizon`. Tombstoned heap entries met on the way are skimmed
+    /// off; the returned entries stay queued. Each tuple is
+    /// `(time, seq, event index)` in `(time, seq)` order.
+    pub(crate) fn peek_ready(
+        &mut self,
+        window: SimTime,
+        cap: usize,
+        horizon: SimTime,
+    ) -> Vec<(SimTime, u64, usize)> {
+        let mut popped: Vec<(EventKey, usize)> = Vec::new();
+        let mut out = Vec::new();
+        while let Some(&Reverse((key, idx))) = self.queue.peek() {
+            if self.events[idx].is_none() {
+                self.queue.pop();
+                continue;
+            }
+            let EventKey(at, seq) = key;
+            if at > horizon || out.len() >= cap {
+                break;
+            }
+            if let Some(&(t0, _, _)) = out.first() {
+                if at > t0 + window {
+                    break;
+                }
+            }
+            self.queue.pop();
+            popped.push((key, idx));
+            out.push((at, seq, idx));
+        }
+        for (key, idx) in popped {
+            self.queue.push(Reverse((key, idx)));
+        }
+        out
+    }
+
+    /// Removes and returns the event stored at `idx`, leaving a
+    /// tombstone; its stale heap entry is skipped on a later pop.
+    pub(crate) fn take_event(&mut self, idx: usize) -> Option<Event<A::Msg>> {
+        self.events[idx].take()
+    }
+
+    /// All live pending events as `(time, event index)`, sorted by
+    /// `(time, seq)`. Used for state hashing at choice points.
+    pub(crate) fn pending_snapshot(&self) -> Vec<(SimTime, usize)> {
+        let mut live: Vec<(SimTime, u64, usize)> = self
+            .queue
+            .iter()
+            .filter_map(|&Reverse((EventKey(at, seq), idx))| {
+                self.events[idx].as_ref().map(|_| (at, seq, idx))
+            })
+            .collect();
+        live.sort_unstable();
+        live.into_iter().map(|(at, _, idx)| (at, idx)).collect()
+    }
+
+    /// The kind of the live event stored at `idx`, if any.
+    pub(crate) fn event_kind(&self, idx: usize) -> Option<&EventKind<A::Msg>> {
+        self.events[idx].as_ref().map(|e| &e.kind)
+    }
+
+    /// The live network state (explorer hashing and property checks).
+    pub(crate) fn net(&self) -> &NetState {
+        &self.net
     }
 }
 
@@ -383,6 +621,58 @@ mod tests {
         // n0 -> n1 delivered; n1 -> n2 dropped.
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.dropped, 1);
+        // Relays set no timers, so nothing is suppressed either.
+        assert_eq!(stats.timers_suppressed, 0);
+    }
+
+    #[test]
+    fn crashed_node_timers_are_suppressed_not_lost() {
+        #[derive(Debug, Default, Clone)]
+        struct Ticker {
+            fired: u64,
+        }
+        impl Actor for Ticker {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime::from_millis(100.0), 1);
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Ctx<'_, ()>) {
+                self.fired += 1;
+                ctx.set_timer(SimTime::from_millis(100.0), 1);
+            }
+        }
+        let mut sim = Sim::new(NetConfig::single_site(2), 1, vec![Ticker::default(); 2]);
+        let plan = FaultPlan::new().at(
+            SimTime::from_millis(250.0),
+            FaultAction::CrashNode(NodeId(1)),
+        );
+        sim.apply_fault_plan(&plan);
+        let stats = sim.run_until(SimTime::from_secs(1.0));
+        // Node 0 ticks 10 times; node 1 ticks at 100 and 200 ms, then
+        // its pending 300 ms timer is suppressed by the crash — it is
+        // accounted, not silently dropped, and it does not re-arm.
+        assert_eq!(sim.node(NodeId(0)).fired, 10);
+        assert_eq!(sim.node(NodeId(1)).fired, 2);
+        assert_eq!(stats.timers_fired, 12);
+        assert_eq!(stats.timers_suppressed, 1);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn heal_before_arrival_lets_in_flight_sends_through() {
+        // Ring across two sites: 0,1 in site 0; 2 in site 1. Site 1
+        // starts isolated and heals at 5 ms. n1's send to n2 is
+        // issued at ~1 ms (during the isolation) but arrives at
+        // ~11 ms (after the heal): deliverability is a delivery-time
+        // question, so the token must survive and circle the ring.
+        let mut sim = Sim::new(NetConfig::multi_site(&[2, 1]), 1, ring(3));
+        sim.isolate_site(SiteId(1));
+        let plan = FaultPlan::new().at(SimTime::from_millis(5.0), FaultAction::HealSite(SiteId(1)));
+        sim.apply_fault_plan(&plan);
+        let stats = sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(stats.delivered, 10);
+        assert_eq!(stats.dropped, 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! portfolio, `synth:<seed>:<regions>:<assets>`.
 
 use compound_threats::availability::{downtime_report, DowntimeModel};
+use compound_threats::check::{check_cell, CheckMode, CheckOptions};
 use compound_threats::crossval::{cross_validate, reachable_states};
 use compound_threats::error::CoreError;
 use compound_threats::figures::{reproduce, reproduce_all, Figure};
@@ -162,6 +163,31 @@ const PRUNE: FlagSpec = FlagSpec {
     value_name: Some("secs"),
     help: "also remove records older than this many seconds (destructive)",
 };
+const ARCH: FlagSpec = FlagSpec {
+    name: "--arch",
+    value_name: Some("c"),
+    help: "check: configuration to check, 2 | 2-2 | 6 | 6-6 | 6+6+6",
+};
+const SCENARIO: FlagSpec = FlagSpec {
+    name: "--scenario",
+    value_name: Some("s"),
+    help: "check: threat scenario, hurricane | intrusion | isolation | compound",
+};
+const DEPTH: FlagSpec = FlagSpec {
+    name: "--depth",
+    value_name: Some("N"),
+    help: "check: exhaustive tier, max choice points per path (default 2)",
+};
+const SCHEDULES: FlagSpec = FlagSpec {
+    name: "--schedules",
+    value_name: Some("N"),
+    help: "check: randomized tier, schedules per state (selects this tier)",
+};
+const SEED: FlagSpec = FlagSpec {
+    name: "--seed",
+    value_name: Some("S"),
+    help: "check: randomized tier base seed; run i uses S+i (default 1)",
+};
 
 /// Every `ct` subcommand; parsing, dispatch, and all help text derive
 /// from this table.
@@ -257,6 +283,12 @@ const COMMANDS: &[CommandSpec] = &[
         summary: "Table I vs protocol execution",
         positionals: &[],
         flags: &[METRICS],
+    },
+    CommandSpec {
+        name: "check",
+        summary: "model-check one Table I cell over many schedules",
+        positionals: &[],
+        flags: &[ARCH, SCENARIO, DEPTH, SCHEDULES, SEED, METRICS],
     },
     CommandSpec {
         name: "topology",
@@ -736,6 +768,59 @@ fn run_command(args: &CliArgs) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             println!("{agreed}/{total} states agree between Table I and execution");
             if agreed != total {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        "check" => {
+            let Some(arch_s) = args.value("--arch") else {
+                eprintln!("'check' requires --arch <config> (2 | 2-2 | 6 | 6-6 | 6+6+6)");
+                return Ok(ExitCode::FAILURE);
+            };
+            let Some(arch) = Architecture::from_label(arch_s) else {
+                eprintln!("unknown config '{arch_s}'");
+                return Ok(ExitCode::FAILURE);
+            };
+            let Some(scen_s) = args.value("--scenario") else {
+                eprintln!(
+                    "'check' requires --scenario <s> (hurricane | intrusion | isolation | compound)"
+                );
+                return Ok(ExitCode::FAILURE);
+            };
+            let scenario: ThreatScenario = match scen_s.parse() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let depth = args.parsed::<usize>("--depth")?;
+            let schedules = args.parsed::<u64>("--schedules")?;
+            let mode = match (depth, schedules) {
+                (Some(_), Some(_)) => {
+                    eprintln!("--depth selects the exhaustive tier and --schedules the randomized one; pass exactly one");
+                    return Ok(ExitCode::FAILURE);
+                }
+                (None, Some(schedules)) => CheckMode::Randomized {
+                    schedules,
+                    seed: args.parsed::<u64>("--seed")?.unwrap_or(1),
+                },
+                (depth, None) => {
+                    if args.value("--seed").is_some() {
+                        eprintln!("--seed applies to the randomized tier; pass --schedules <N>");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                    CheckMode::Exhaustive {
+                        depth: depth.unwrap_or(2),
+                    }
+                }
+            };
+            let report = check_cell(&CheckOptions {
+                architecture: arch,
+                scenario,
+                mode,
+            });
+            print!("{}", report.to_csv());
+            if !report.ok() {
                 return Ok(ExitCode::FAILURE);
             }
         }

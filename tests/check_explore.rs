@@ -1,0 +1,148 @@
+//! `ct check`'s two schedule tiers must tell the same story.
+//!
+//! For the paper's two-site (hot-standby) deployments we can afford
+//! both tiers in a test run: bounded exhaustive exploration of
+//! delivery orderings and seeded randomized fault campaigns. Both
+//! must agree with Table I's rule on every reachable worst-case
+//! state, and with each other on the worst observed color — and every
+//! violation a randomized campaign reports must replay from its seed.
+//!
+//! Set `CT_CHECK_SCHEDULES` to raise the campaign size (CI uses a
+//! larger value than the local default).
+
+use compound_threats::check::{check_cell, CheckMode, CheckOptions, CheckReport};
+use ct_scada::Architecture;
+use ct_threat::ThreatScenario;
+use proptest::prelude::*;
+
+fn schedules() -> u64 {
+    std::env::var("CT_CHECK_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+}
+
+fn check(arch: Architecture, scenario: ThreatScenario, mode: CheckMode) -> CheckReport {
+    check_cell(&CheckOptions {
+        architecture: arch,
+        scenario,
+        mode,
+    })
+}
+
+/// Exhaustive exploration at depth 2 confirms every Table I cell of
+/// the hot-standby architectures, and the intrusion cells (gray by
+/// rule) come with a replayable choice-point trace.
+#[test]
+fn exhaustive_tier_confirms_the_two_site_columns() {
+    for arch in [Architecture::C2, Architecture::C2_2] {
+        for scenario in ThreatScenario::ALL {
+            let report = check(arch, scenario, CheckMode::Exhaustive { depth: 2 });
+            assert!(
+                report.ok(),
+                "{} / {} disagrees:\n{}",
+                arch.label(),
+                scenario.keyword(),
+                report.to_csv()
+            );
+            if scenario.budget().intrusions > 0 {
+                assert!(
+                    report.violations() > 0,
+                    "{} / {}: gray cell must yield violations",
+                    arch.label(),
+                    scenario.keyword()
+                );
+                let c = report.counterexample().expect("replayable counterexample");
+                assert!(c.contains("trace="), "{c}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any campaign seed, the randomized tier agrees with the
+    /// rule on every reachable state of the two-site columns, and its
+    /// worst observed color matches the exhaustive tier's.
+    #[test]
+    fn randomized_tier_matches_exhaustive_for_any_seed(seed in 0u64..1_000) {
+        for arch in [Architecture::C2, Architecture::C2_2] {
+            for scenario in ThreatScenario::ALL {
+                let exhaustive = check(arch, scenario, CheckMode::Exhaustive { depth: 1 });
+                let randomized = check(
+                    arch,
+                    scenario,
+                    CheckMode::Randomized { schedules: schedules(), seed },
+                );
+                prop_assert!(exhaustive.ok(), "{}", exhaustive.to_csv());
+                prop_assert!(randomized.ok(), "{}", randomized.to_csv());
+                prop_assert_eq!(exhaustive.states.len(), randomized.states.len());
+                for (e, r) in exhaustive.states.iter().zip(randomized.states.iter()) {
+                    prop_assert_eq!(
+                        e.worst,
+                        r.worst,
+                        "{} / {} / {}: exhaustive worst {} vs randomized worst {}",
+                        arch.label(),
+                        scenario.keyword(),
+                        e.state,
+                        e.worst,
+                        r.worst
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A violation seed reported by a randomized campaign replays: a
+/// one-schedule campaign with that exact seed reproduces a violation
+/// on the same state.
+#[test]
+fn campaign_counterexamples_replay_from_their_seed() {
+    let report = check(
+        Architecture::C2_2,
+        ThreatScenario::HurricaneIntrusion,
+        CheckMode::Randomized {
+            schedules: schedules(),
+            seed: 11,
+        },
+    );
+    assert!(report.ok(), "{}", report.to_csv());
+    let c = report.counterexample().expect("gray cell yields a seed");
+    // "state<N>:seed=<S>"
+    let (state_part, seed_part) = c.split_once(':').expect("tagged counterexample");
+    let index: usize = state_part.trim_start_matches("state").parse().unwrap();
+    let seed: u64 = seed_part.trim_start_matches("seed=").parse().unwrap();
+
+    let replay = check(
+        Architecture::C2_2,
+        ThreatScenario::HurricaneIntrusion,
+        CheckMode::Randomized { schedules: 1, seed },
+    );
+    let state = &replay.states[index];
+    assert!(
+        state.violations >= 1,
+        "seed {seed} must reproduce the violation on state {index}:\n{}",
+        replay.to_csv()
+    );
+    assert_eq!(
+        state.counterexample.as_deref(),
+        Some(format!("seed={seed}").as_str())
+    );
+}
+
+/// The same options produce byte-identical reports — campaigns are
+/// deterministic functions of (cell, mode, seed).
+#[test]
+fn check_reports_are_reproducible() {
+    let opts = CheckOptions {
+        architecture: Architecture::C2,
+        scenario: ThreatScenario::HurricaneIntrusionIsolation,
+        mode: CheckMode::Randomized {
+            schedules: 3,
+            seed: 42,
+        },
+    };
+    assert_eq!(check_cell(&opts).to_csv(), check_cell(&opts).to_csv());
+}
